@@ -1,0 +1,87 @@
+// Command questgen writes a Quest-style synthetic market-basket matrix as
+// CSV, the input of the paper's scale-up experiment (Fig. 8).
+//
+// Usage:
+//
+//	questgen -rows 100000 -cols 100 -out basket.csv
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"ratiorules/internal/quest"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "questgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("questgen", flag.ContinueOnError)
+	var (
+		rows = fs.Int("rows", 100000, "number of customer rows N")
+		cols = fs.Int("cols", 100, "number of product columns M")
+		seed = fs.Int64("seed", 98, "generator seed")
+		out  = fs.String("out", "", "output CSV path (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := quest.DefaultConfig(*rows)
+	cfg.Cols = *cols
+	cfg.Seed = *seed
+	if cfg.PatternLen > *cols {
+		cfg.PatternLen = *cols
+	}
+	src, err := quest.NewSource(cfg)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	// Header.
+	for j := 0; j < *cols; j++ {
+		if j > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, "product%d", j)
+	}
+	bw.WriteByte('\n')
+	buf := make([]byte, 0, 32)
+	for {
+		row, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for j, v := range row {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			buf = strconv.AppendFloat(buf[:0], v, 'g', 6, 64)
+			bw.Write(buf)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,164 @@
+// Command rrbench regenerates the tables and figures of the paper's
+// evaluation (Korn et al., VLDB 1998) on the synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	rrbench -experiment all
+//	rrbench -experiment fig6 -dataset baseball
+//	rrbench -experiment fig8 -sizes 10000,50000,100000
+//	rrbench -experiment table2 | fig7 | fig9 | fig11 | fig12 | cutoff
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ratiorules/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("rrbench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve or all")
+		ds         = fs.String("dataset", "nba", "dataset for fig6/cutoff: nba, baseball or abalone")
+		sizes      = fs.String("sizes", "", "comma-separated row counts for fig8 (default: the paper's sweep)")
+		datDir     = fs.String("datdir", "", "also write the paper's gnuplot data files (nba.d2, scaleup.dat, ...) into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "fig6":
+			res, err := experiments.RunFig6(*ds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, res)
+		case "fig7":
+			res, err := experiments.RunFig7()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, res)
+		case "fig8":
+			ns, err := parseSizes(*sizes)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.RunFig8(ns)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, res)
+		case "fig9":
+			for _, name := range []string{"baseball", "abalone"} {
+				res, err := experiments.RunScatter(name, 1, 2)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, res)
+			}
+		case "fig11":
+			for _, axes := range [][2]int{{1, 2}, {2, 3}} {
+				res, err := experiments.RunScatter("nba", axes[0], axes[1])
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, res)
+			}
+		case "fig12":
+			res, err := experiments.RunFig12()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, res)
+		case "sec63":
+			res, err := experiments.RunSec63()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, res)
+		case "table2":
+			res, err := experiments.RunTable2()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, res)
+		case "learncurve":
+			res, err := experiments.RunLearnCurve(*ds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, res)
+		case "bands":
+			res, err := experiments.RunBands(*ds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, res)
+		case "robust":
+			res, err := experiments.RunRobust(0)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, res)
+		case "cutoff":
+			res, err := experiments.RunCutoff(*ds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, res)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if *datDir != "" {
+		files, err := experiments.WriteAllDat(*datDir, *experiment == "all")
+		if err != nil {
+			return fmt.Errorf("writing dat files: %w", err)
+		}
+		fmt.Fprintf(w, "wrote %d data files to %s: %v\n", len(files), *datDir, files)
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "fig8"} {
+			fmt.Fprintf(w, "==================== %s ====================\n", name)
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	return runOne(*experiment)
+}
+
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

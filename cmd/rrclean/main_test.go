@@ -1,0 +1,148 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// writeDamaged builds a y = 2x CSV with some "?" cells and a corrupt row.
+func writeDamaged(t *testing.T, corrupt bool) (path string, truth map[[2]int]float64) {
+	t.Helper()
+	truth = map[[2]int]float64{}
+	var b strings.Builder
+	b.WriteString("x,y\n")
+	for i := 0; i < 60; i++ {
+		v := 1 + float64(i)*0.2
+		xs := strconv.FormatFloat(v, 'g', -1, 64)
+		ys := strconv.FormatFloat(2*v, 'g', -1, 64)
+		switch {
+		case i%10 == 3:
+			truth[[2]int{i, 1}] = 2 * v
+			ys = "?"
+		case i%10 == 7:
+			truth[[2]int{i, 0}] = v
+			xs = "?"
+		case corrupt && i == 50:
+			ys = "1000" // corrupted record
+		}
+		b.WriteString(xs + "," + ys + "\n")
+	}
+	path = filepath.Join(t.TempDir(), "damaged.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, truth
+}
+
+func parseOut(t *testing.T, out string) [][]float64 {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var rows [][]float64
+	for _, line := range lines[1:] {
+		parts := strings.Split(line, ",")
+		row := make([]float64, len(parts))
+		for j, p := range parts {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				t.Fatalf("non-numeric output %q: %v", p, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func TestCleanEndToEnd(t *testing.T) {
+	path, truth := writeDamaged(t, false)
+	var buf strings.Builder
+	if err := run([]string{"-in", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseOut(t, buf.String())
+	if len(rows) != 60 {
+		t.Fatalf("output rows = %d, want 60", len(rows))
+	}
+	for cell, want := range truth {
+		got := rows[cell[0]][cell[1]]
+		if math.Abs(got-want) > 0.05*(1+math.Abs(want)) {
+			t.Errorf("cell %v repaired to %v, want ≈ %v", cell, got, want)
+		}
+	}
+}
+
+func TestCleanRobustSurvivesCorruption(t *testing.T) {
+	path, truth := writeDamaged(t, true)
+	var buf strings.Builder
+	if err := run([]string{"-in", path, "-robust"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseOut(t, buf.String())
+	for cell, want := range truth {
+		got := rows[cell[0]][cell[1]]
+		if math.Abs(got-want) > 0.1*(1+math.Abs(want)) {
+			t.Errorf("cell %v repaired to %v, want ≈ %v (robust)", cell, got, want)
+		}
+	}
+}
+
+func TestCleanToFile(t *testing.T) {
+	path, _ := writeDamaged(t, false)
+	outPath := filepath.Join(t.TempDir(), "repaired.csv")
+	var buf strings.Builder
+	if err := run([]string{"-in", path, "-out", outPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "?") {
+		t.Error("output still contains holes")
+	}
+}
+
+func TestCleanErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing -in must fail")
+	}
+	if err := run([]string{"-in", "/nonexistent.csv"}, &buf); err == nil {
+		t.Error("missing file must fail")
+	}
+	// Not enough complete rows.
+	path := filepath.Join(t.TempDir(), "tiny.csv")
+	if err := os.WriteFile(path, []byte("a,b\n1,?\n?,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path}, &buf); err == nil {
+		t.Error("all-holes input must fail")
+	}
+	// Garbage cell.
+	path2 := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(path2, []byte("a,b\n1,zzz\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path2}, &buf); err == nil {
+		t.Error("garbage cell must fail")
+	}
+}
+
+func TestCleanEMMode(t *testing.T) {
+	path, truth := writeDamaged(t, false)
+	var buf strings.Builder
+	if err := run([]string{"-in", path, "-em"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseOut(t, buf.String())
+	for cell, want := range truth {
+		got := rows[cell[0]][cell[1]]
+		if math.Abs(got-want) > 0.05*(1+math.Abs(want)) {
+			t.Errorf("EM cell %v repaired to %v, want ≈ %v", cell, got, want)
+		}
+	}
+}

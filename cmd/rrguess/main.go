@@ -1,0 +1,93 @@
+// Command rrguess fills the holes of a partial record using previously
+// mined Ratio Rules (rrmine -out rules.json). Holes are written as "?".
+//
+// Usage:
+//
+//	rrguess -rules rules.json -record "10,?,3.5,?"
+//
+// The filled record is printed one attribute per line, with estimated
+// cells marked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ratiorules"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rrguess:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rrguess", flag.ContinueOnError)
+	var (
+		rulesPath = fs.String("rules", "", "rules JSON produced by rrmine -out; required")
+		record    = fs.String("record", "", `comma-separated record with "?" for unknown cells; required`)
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rulesPath == "" || *record == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -rules or -record")
+	}
+	f, err := os.Open(*rulesPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rules, err := ratiorules.LoadRules(f)
+	if err != nil {
+		return err
+	}
+	row, holes, err := parseRecord(*record)
+	if err != nil {
+		return err
+	}
+	filled, err := rules.FillRow(row, holes)
+	if err != nil {
+		return err
+	}
+	isHole := make(map[int]bool, len(holes))
+	for _, j := range holes {
+		isHole[j] = true
+	}
+	for j, v := range filled {
+		mark := ""
+		if isHole[j] {
+			mark = "  (estimated)"
+		}
+		fmt.Fprintf(out, "%-22s %12.4f%s\n", rules.AttrName(j), v, mark)
+	}
+	return nil
+}
+
+// parseRecord splits "10,?,3.5" into values and hole indices.
+func parseRecord(s string) ([]float64, []int, error) {
+	fields := strings.Split(s, ",")
+	row := make([]float64, len(fields))
+	var holes []int
+	for j, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "?" {
+			row[j] = ratiorules.Hole
+			holes = append(holes, j)
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("field %d (%q): %w", j+1, f, err)
+		}
+		row[j] = v
+	}
+	return row, holes, nil
+}

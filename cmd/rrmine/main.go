@@ -1,0 +1,84 @@
+// Command rrmine mines Ratio Rules from a CSV data matrix (header row of
+// attribute names, numeric rows) in a single pass and prints the rule
+// table; optionally it saves the rules as JSON for later use with rrguess.
+//
+// Usage:
+//
+//	rrmine -in sales.csv [-energy 0.85 | -k 3] [-out rules.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ratiorules"
+	"ratiorules/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rrmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rrmine", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input CSV file (header + numeric rows); required")
+		out    = fs.String("out", "", "optional path to save the mined rules as JSON")
+		energy = fs.Float64("energy", ratiorules.DefaultEnergy, "Eq. 1 variance-coverage cutoff in (0, 1]")
+		k      = fs.Int("k", -1, "retain exactly k rules instead of the energy cutoff")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -in")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	src, err := dataset.NewCSVSource(f)
+	if err != nil {
+		return err
+	}
+
+	opts := []ratiorules.Option{ratiorules.WithAttrNames(src.Header())}
+	if *k >= 0 {
+		opts = append(opts, ratiorules.WithFixedK(*k))
+	} else {
+		opts = append(opts, ratiorules.WithEnergy(*energy))
+	}
+	miner, err := ratiorules.NewMiner(opts...)
+	if err != nil {
+		return err
+	}
+	rules, err := miner.Mine(src)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rules)
+	fmt.Println("\ninterpretation (Fig. 10 methodology):")
+	for _, reading := range rules.Interpret(0) {
+		fmt.Println(" ", reading)
+	}
+
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		if err := rules.Save(of); err != nil {
+			return err
+		}
+		fmt.Printf("\nrules saved to %s\n", *out)
+	}
+	return nil
+}

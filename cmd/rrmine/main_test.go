@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ratiorules"
+)
+
+func writeSalesCSV(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("bread,milk,butter\n")
+	// milk = 2×bread, butter = 0.5×bread.
+	for i := 1; i <= 50; i++ {
+		v := float64(i) * 0.2
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(2*v, 'g', -1, 64))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(0.5*v, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "sales.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMineEndToEnd(t *testing.T) {
+	csvPath := writeSalesCSV(t)
+	rulesPath := filepath.Join(t.TempDir(), "rules.json")
+	if err := run([]string{"-in", csvPath, "-k", "1", "-out", rulesPath}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(rulesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rules, err := ratiorules.LoadRules(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules.K() != 1 || rules.M() != 3 {
+		t.Errorf("K=%d M=%d, want 1, 3", rules.K(), rules.M())
+	}
+	if rules.AttrName(1) != "milk" {
+		t.Errorf("AttrName(1) = %q, want milk", rules.AttrName(1))
+	}
+	// The rule should reflect the 1:2:0.5 spending ratio.
+	rr1 := rules.Rule(0)
+	if rr1[1]/rr1[0] < 1.9 || rr1[1]/rr1[0] > 2.1 {
+		t.Errorf("milk:bread = %v, want ≈ 2", rr1[1]/rr1[0])
+	}
+}
+
+func TestMineMissingInput(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -in must fail")
+	}
+	if err := run([]string{"-in", "/nonexistent/file.csv"}); err == nil {
+		t.Error("nonexistent input must fail")
+	}
+}
+
+func TestMineBadOptions(t *testing.T) {
+	csvPath := writeSalesCSV(t)
+	if err := run([]string{"-in", csvPath, "-energy", "2"}); err == nil {
+		t.Error("energy > 1 must fail")
+	}
+}

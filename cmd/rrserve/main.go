@@ -1,0 +1,40 @@
+// Command rrserve runs the Ratio Rules HTTP service: mine models from
+// JSON row sets and query them for reconstruction, forecasting and outlier
+// detection.
+//
+// Usage:
+//
+//	rrserve -addr :8080
+//
+// Example session:
+//
+//	curl -X POST localhost:8080/v1/rules -d '{"name":"sales","rows":[[1,2],[2,4],[3,6]]}'
+//	curl -X POST localhost:8080/v1/rules/sales/fill -d '{"record":[4,0],"holes":[1]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"ratiorules/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.Handler(server.NewRegistry()),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	fmt.Printf("rrserve listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVizBuiltinDataset(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-dataset", "nba", "-x", "1", "-y", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"nba", "RR1", "RR2", "Jordan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestVizCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.csv")
+	csv := "a,b\n"
+	for i := 0; i < 30; i++ {
+		csv += "1,2\n2,4\n3,6\n"
+	}
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-in", path, "-x", "1", "-y", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "RR space") {
+		t.Errorf("output: %s", buf.String())
+	}
+}
+
+func TestVizFlagValidation(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing source must fail")
+	}
+	if err := run([]string{"-dataset", "nba", "-in", "x.csv"}, &buf); err == nil {
+		t.Error("both sources must fail")
+	}
+	if err := run([]string{"-in", "/nonexistent.csv"}, &buf); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestVizCorrMode(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-dataset", "abalone", "-mode", "corr"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"correlations", "length", "@", "scale:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("corr output missing %q", want)
+		}
+	}
+}
+
+func TestVizCorrCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.csv")
+	csv := "a,b\n1,-1\n2,-2\n3,-3\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-in", path, "-mode", "corr"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#") {
+		t.Errorf("anti-correlated pair should shade '#':\n%s", buf.String())
+	}
+}

@@ -1,0 +1,67 @@
+package ratiorules_test
+
+import (
+	"fmt"
+
+	"ratiorules"
+)
+
+// Example mines Ratio Rules from a tiny exact-ratio sales table and uses
+// them to guess a hidden value.
+func Example() {
+	// Customers spend on bread : milk in an exact 1 : 2 ratio.
+	sales, _ := ratiorules.MatrixFromRows([][]float64{
+		{1, 2},
+		{2, 4},
+		{3, 6},
+		{4, 8},
+	})
+	miner, _ := ratiorules.NewMiner(ratiorules.WithAttrNames([]string{"bread", "milk"}))
+	rules, _ := miner.MineMatrix(sales)
+
+	rr1 := rules.Rule(0)
+	fmt.Printf("bread : milk = %.3f : %.3f\n", rr1[0], rr1[1])
+
+	// A customer spent $5 on bread; how much milk?
+	full, _ := rules.FillRecord([]float64{5, ratiorules.Hole})
+	fmt.Printf("milk ≈ $%.2f\n", full[1])
+	// Output:
+	// bread : milk = 0.447 : 0.894
+	// milk ≈ $10.00
+}
+
+// ExampleGE1 scores a rule set with the paper's guessing error and shows
+// the col-avgs competitor for reference.
+func ExampleGE1() {
+	train, _ := ratiorules.MatrixFromRows([][]float64{
+		{1, 3}, {2, 6}, {3, 9}, {4, 12}, {5, 15},
+	})
+	test, _ := ratiorules.MatrixFromRows([][]float64{
+		{2.5, 7.5}, {3.5, 10.5},
+	})
+	miner, _ := ratiorules.NewMiner()
+	rules, _ := miner.MineMatrix(train)
+
+	geRR, _ := ratiorules.GE1(rules, test)
+	geCA, _ := ratiorules.GE1(ratiorules.NewColAvgs(rules.Means()), test)
+	fmt.Printf("GE1: RR %.4f, col-avgs %.4f\n", geRR, geCA)
+	// Output:
+	// GE1: RR 0.0000, col-avgs 1.1180
+}
+
+// ExampleRules_WhatIf answers the paper's decision-support question:
+// if demand for one product doubles, what happens to the others?
+func ExampleRules_WhatIf() {
+	// cereal : milk sold in a 1 : 1.5 ratio.
+	history, _ := ratiorules.MatrixFromRows([][]float64{
+		{2, 3}, {4, 6}, {6, 9}, {8, 12},
+	})
+	miner, _ := ratiorules.NewMiner(ratiorules.WithAttrNames([]string{"cereal", "milk"}))
+	rules, _ := miner.MineMatrix(history)
+
+	base := rules.Means()
+	out, _ := rules.WhatIf(ratiorules.Scenario{Given: map[int]float64{0: 2 * base[0]}})
+	fmt.Printf("cereal doubles to %.0f -> stock %.0f of milk\n", out[0], out[1])
+	// Output:
+	// cereal doubles to 10 -> stock 15 of milk
+}

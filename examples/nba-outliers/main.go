@@ -1,0 +1,72 @@
+// NBA outliers: reproduce the paper's Sec. 6.1-6.2 discussion — project
+// the nba dataset onto its first two Ratio Rules, spot the players who
+// deviate from the typical stat-line pattern, and interpret the rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ratiorules"
+	"ratiorules/internal/dataset"
+)
+
+func main() {
+	ds := dataset.NBA()
+
+	miner, err := ratiorules.NewMiner(
+		ratiorules.WithFixedK(3),
+		ratiorules.WithAttrNames(ds.Attrs),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := miner.MineMatrix(ds.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rules)
+
+	// Interpretation, following the paper's Fig. 10 methodology: look at
+	// the strongest coefficients of each rule.
+	rr1 := rules.Rule(0)
+	fmt.Printf("RR1 ('court action'): minutes:points = %.2f:%.2f ≈ 1 point per %0.1f minutes\n\n",
+		rr1[0], rr1[7], rr1[0]/rr1[7])
+
+	// Row outliers: players far from the RR hyperplane (unusual stat mix).
+	rows, err := rules.RowOutliers(ds.X, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("players with the most unusual stat lines (>= 3 sigma):")
+	for i, o := range rows {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  %-12s distance %.0f (%.1f sigma)\n", ds.Label(o.Row), o.Distance, o.Score)
+	}
+
+	// Cell outliers: individual statistics that break the pattern.
+	cells, err := rules.CellOutliers(ds.X, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmost surprising individual statistics (>= 4 sigma):")
+	for i, o := range cells {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  %-12s %-20s actual %8.0f vs expected %8.0f (%.1f sigma)\n",
+			ds.Label(o.Row), ds.Attrs[o.Col], o.Actual, o.Predicted, o.Score)
+	}
+
+	// 2-d projection coordinates for the famous extremes (Fig. 11).
+	proj, err := rules.Project(ds.X, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nRR-space coordinates of the planted extremes (cf. Fig. 11):")
+	for i := 455; i < 459; i++ {
+		fmt.Printf("  %-8s RR1 = %8.0f, RR2 = %8.0f\n", ds.Label(i), proj.At(i, 0), proj.At(i, 1))
+	}
+}

@@ -1,0 +1,77 @@
+// Streaming with concept drift: an extension of the paper's single-pass
+// algorithm to continuous operation. A StreamMiner watches an unbounded
+// stream of transactions whose underlying ratio shifts mid-stream (a price
+// change doubles how much customers spend on butter relative to bread).
+// With exponential decay the mined rule tracks the shift; the undecayed
+// miner keeps averaging over both regimes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ratiorules"
+)
+
+func main() {
+	const (
+		attrBread  = 0
+		attrButter = 1
+	)
+	attrs := []string{"bread", "butter"}
+	mkRow := func(rng *rand.Rand, butterPerBread float64) []float64 {
+		bread := 1 + rng.Float64()*9
+		return []float64{bread, butterPerBread * bread * (1 + 0.03*rng.NormFloat64())}
+	}
+
+	tracking, err := ratiorules.NewStreamMiner(2, 0.005, ratiorules.WithAttrNames(attrs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	averaging, err := ratiorules.NewStreamMiner(2, 0, ratiorules.WithAttrNames(attrs))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(2024))
+	slope := func(r *ratiorules.Rules) float64 {
+		rr1 := r.Rule(0)
+		return rr1[attrButter] / rr1[attrBread]
+	}
+
+	fmt.Println("streaming 10,000 transactions; butter:bread ratio jumps 0.5 -> 1.0 at t=5,000")
+	fmt.Printf("%8s %18s %18s\n", "t", "decayed miner", "plain miner")
+	for tick := 1; tick <= 10000; tick++ {
+		ratio := 0.5
+		if tick > 5000 {
+			ratio = 1.0
+		}
+		row := mkRow(rng, ratio)
+		if err := tracking.Push(row); err != nil {
+			log.Fatal(err)
+		}
+		if err := averaging.Push(row); err != nil {
+			log.Fatal(err)
+		}
+		if tick%2000 == 0 || tick == 5500 {
+			rt, err := tracking.Rules()
+			if err != nil {
+				log.Fatal(err)
+			}
+			ra, err := averaging.Rules()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8d %18.3f %18.3f\n", tick, slope(rt), slope(ra))
+		}
+	}
+
+	rt, err := tracking.Rules()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal decayed rule: %s\n", rt.Interpret(0)[0])
+	fmt.Println("the decayed miner locked onto the new 1.0 ratio within ~500 rows;")
+	fmt.Println("the plain miner blends both regimes and is still catching up thousands of rows later")
+}

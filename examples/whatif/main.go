@@ -1,0 +1,71 @@
+// What-if scenarios and forecasting: the paper's decision-support
+// examples — "We expect the demand for Cheerios to double; how much milk
+// should we stock up on?" — answered with Ratio Rules mined from a
+// synthetic grocery history.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ratiorules"
+)
+
+const (
+	cheerios = iota
+	milk
+	bananas
+	coffee
+)
+
+var attrs = []string{"cheerios", "milk", "bananas", "coffee"}
+
+func main() {
+	// History: cereal buyers buy milk (and often bananas); coffee is an
+	// independent habit.
+	rng := rand.New(rand.NewSource(11))
+	x := ratiorules.NewMatrix(2000, len(attrs))
+	for i := 0; i < 2000; i++ {
+		cereal := rng.Float64() * 6
+		caffeine := rng.Float64() * 8
+		x.Set(i, cheerios, cereal*(1+0.05*rng.NormFloat64()))
+		x.Set(i, milk, 1.8*cereal*(1+0.08*rng.NormFloat64()))
+		x.Set(i, bananas, 0.6*cereal*(1+0.15*rng.NormFloat64()))
+		x.Set(i, coffee, caffeine*(1+0.05*rng.NormFloat64()))
+	}
+
+	miner, err := ratiorules.NewMiner(ratiorules.WithAttrNames(attrs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := miner.MineMatrix(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rules)
+
+	means := rules.Means()
+	fmt.Printf("typical weekly demand: cheerios $%.2f, milk $%.2f, bananas $%.2f, coffee $%.2f\n\n",
+		means[cheerios], means[milk], means[bananas], means[coffee])
+
+	// What if cheerios demand doubles?
+	scenario := ratiorules.Scenario{Given: map[int]float64{cheerios: 2 * means[cheerios]}}
+	forecastRow, err := rules.WhatIf(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scenario: cheerios demand doubles")
+	for j, v := range forecastRow {
+		change := 100 * (v/means[j] - 1)
+		fmt.Printf("  %-10s $%7.2f  (%+5.1f%%)\n", attrs[j], v, change)
+	}
+
+	// Forecasting a single product for a known partial basket.
+	basket := map[int]float64{cheerios: 3.0, coffee: 5.0}
+	est, err := rules.Forecast(basket, milk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncustomer with cheerios=$3.00 and coffee=$5.00 -> forecast milk = $%.2f (expect ≈ $5.40)\n", est)
+}

@@ -1,0 +1,3 @@
+module ratiorules
+
+go 1.22

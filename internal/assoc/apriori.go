@@ -1,0 +1,280 @@
+// Package assoc implements the association-rule baselines that the paper
+// positions Ratio Rules against (Sec. 6.3): Boolean association rules in
+// the style of Agrawal et al. (SIGMOD 1993) mined with Apriori, and
+// quantitative association rules in the style of Srikant & Agrawal
+// (SIGMOD 1996), which partition each numeric attribute into intervals and
+// mine Boolean rules over the (attribute, interval) items.
+//
+// The package exists to reproduce the qualitative comparison of Fig. 12:
+// quantitative rules cover the clustered region of the data with bounding
+// rectangles but cannot fire outside them, while Ratio Rules extrapolate.
+package assoc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Itemset is a sorted set of item identifiers.
+type Itemset []int
+
+// key encodes the itemset for map lookups.
+func (s Itemset) key() string {
+	var b strings.Builder
+	for i, v := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// contains reports whether the sorted itemset contains item v.
+func (s Itemset) contains(v int) bool {
+	i := sort.SearchInts(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// isSubsetOf reports whether every item of s appears in the sorted set t.
+func (s Itemset) isSubsetOf(t Itemset) bool {
+	i := 0
+	for _, v := range s {
+		for i < len(t) && t[i] < v {
+			i++
+		}
+		if i >= len(t) || t[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// FrequentItemset couples an itemset with its support count.
+type FrequentItemset struct {
+	Items Itemset
+	Count int
+}
+
+// AprioriConfig bounds the classic level-wise search.
+type AprioriConfig struct {
+	// MinSupport is the minimum fraction of transactions an itemset must
+	// appear in, in (0, 1].
+	MinSupport float64
+	// MaxLen caps the itemset size explored (0 = unlimited).
+	MaxLen int
+}
+
+// Apriori mines all frequent itemsets from transactions (each a sorted,
+// duplicate-free list of item IDs) using the level-wise candidate
+// generation of Agrawal & Srikant (VLDB 1994).
+func Apriori(transactions []Itemset, cfg AprioriConfig) ([]FrequentItemset, error) {
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return nil, fmt.Errorf("assoc: min support %v outside (0, 1]", cfg.MinSupport)
+	}
+	n := len(transactions)
+	if n == 0 {
+		return nil, nil
+	}
+	minCount := int(math.Ceil(cfg.MinSupport * float64(n)))
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// L1: frequent single items.
+	counts := map[int]int{}
+	for _, t := range transactions {
+		for _, item := range t {
+			counts[item]++
+		}
+	}
+	var level []FrequentItemset
+	for item, c := range counts {
+		if c >= minCount {
+			level = append(level, FrequentItemset{Items: Itemset{item}, Count: c})
+		}
+	}
+	sortFrequent(level)
+
+	var all []FrequentItemset
+	all = append(all, level...)
+	for size := 2; len(level) > 0 && (cfg.MaxLen == 0 || size <= cfg.MaxLen); size++ {
+		candidates := generateCandidates(level)
+		if len(candidates) == 0 {
+			break
+		}
+		// Count candidate occurrences with one scan.
+		cand := make(map[string]*FrequentItemset, len(candidates))
+		for i := range candidates {
+			cand[candidates[i].Items.key()] = &candidates[i]
+		}
+		for _, t := range transactions {
+			if len(t) < size {
+				continue
+			}
+			for _, c := range cand {
+				if c.Items.isSubsetOf(t) {
+					c.Count++
+				}
+			}
+		}
+		level = level[:0]
+		for _, c := range cand {
+			if c.Count >= minCount {
+				level = append(level, *c)
+			}
+		}
+		sortFrequent(level)
+		all = append(all, level...)
+	}
+	return all, nil
+}
+
+// generateCandidates joins frequent (k−1)-itemsets sharing a (k−2)-prefix
+// and prunes candidates with an infrequent subset.
+func generateCandidates(level []FrequentItemset) []FrequentItemset {
+	freq := make(map[string]bool, len(level))
+	for _, f := range level {
+		freq[f.Items.key()] = true
+	}
+	var out []FrequentItemset
+	seen := map[string]bool{}
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i].Items, level[j].Items
+			if !samePrefix(a, b) {
+				continue
+			}
+			joined := make(Itemset, len(a)+1)
+			copy(joined, a)
+			last := b[len(b)-1]
+			if a[len(a)-1] > last {
+				joined[len(a)-1], joined[len(a)] = last, a[len(a)-1]
+			} else {
+				joined[len(a)] = last
+			}
+			k := joined.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if !allSubsetsFrequent(joined, freq) {
+				continue
+			}
+			out = append(out, FrequentItemset{Items: joined})
+		}
+	}
+	return out
+}
+
+// samePrefix reports whether a and b agree everywhere except the last item.
+func samePrefix(a, b Itemset) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] != b[len(b)-1]
+}
+
+// allSubsetsFrequent applies the Apriori pruning property.
+func allSubsetsFrequent(c Itemset, freq map[string]bool) bool {
+	sub := make(Itemset, len(c)-1)
+	for drop := range c {
+		copy(sub, c[:drop])
+		copy(sub[drop:], c[drop+1:])
+		if !freq[sub.key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortFrequent orders itemsets lexicographically for determinism.
+func sortFrequent(fs []FrequentItemset) {
+	sort.Slice(fs, func(a, b int) bool {
+		x, y := fs[a].Items, fs[b].Items
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return len(x) < len(y)
+	})
+}
+
+// BoolRule is a Boolean association rule A ⇒ c with its support and
+// confidence, e.g. {bread, milk} ⇒ butter (90%).
+type BoolRule struct {
+	Antecedent Itemset
+	Consequent int
+	Support    float64
+	Confidence float64
+}
+
+// Rules derives single-consequent rules from the frequent itemsets of
+// Apriori, keeping those at or above minConfidence.
+func Rules(frequent []FrequentItemset, numTransactions int, minConfidence float64) ([]BoolRule, error) {
+	if minConfidence <= 0 || minConfidence > 1 {
+		return nil, fmt.Errorf("assoc: min confidence %v outside (0, 1]", minConfidence)
+	}
+	if numTransactions <= 0 {
+		return nil, nil
+	}
+	counts := make(map[string]int, len(frequent))
+	for _, f := range frequent {
+		counts[f.Items.key()] = f.Count
+	}
+	var out []BoolRule
+	sub := make(Itemset, 0, 8)
+	for _, f := range frequent {
+		if len(f.Items) < 2 {
+			continue
+		}
+		for drop, consequent := range f.Items {
+			sub = sub[:0]
+			sub = append(sub, f.Items[:drop]...)
+			sub = append(sub, f.Items[drop+1:]...)
+			antCount, ok := counts[sub.key()]
+			if !ok || antCount == 0 {
+				continue
+			}
+			conf := float64(f.Count) / float64(antCount)
+			if conf >= minConfidence {
+				out = append(out, BoolRule{
+					Antecedent: append(Itemset(nil), sub...),
+					Consequent: consequent,
+					Support:    float64(f.Count) / float64(numTransactions),
+					Confidence: conf,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Confidence != out[b].Confidence {
+			return out[a].Confidence > out[b].Confidence
+		}
+		return out[a].Support > out[b].Support
+	})
+	return out, nil
+}
+
+// Binarize converts numeric rows into transactions by treating every
+// non-zero cell as a purchased item — the information-discarding step the
+// paper criticizes Boolean association rules for (Sec. 6.3).
+func Binarize(rows [][]float64) []Itemset {
+	out := make([]Itemset, len(rows))
+	for i, row := range rows {
+		var t Itemset
+		for j, v := range row {
+			if v != 0 {
+				t = append(t, j)
+			}
+		}
+		out[i] = t
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package assoc
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The classic textbook transaction set.
+func shoppingBaskets() []Itemset {
+	// Items: 0=bread, 1=milk, 2=butter, 3=beer.
+	return []Itemset{
+		{0, 1, 2},
+		{0, 1},
+		{0, 1, 2},
+		{1, 3},
+		{0, 1, 2, 3},
+		{0, 2},
+	}
+}
+
+func TestAprioriFindsFrequentItemsets(t *testing.T) {
+	fs, err := Apriori(shoppingBaskets(), AprioriConfig{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, f := range fs {
+		got[f.Items.key()] = f.Count
+	}
+	want := map[string]int{
+		"0":     5, // bread
+		"1":     5, // milk
+		"2":     4, // butter
+		"0,1":   4, // bread+milk
+		"0,2":   4, // bread+butter
+		"1,2":   3, // milk+butter
+		"0,1,2": 3, // all three
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("frequent itemsets = %v, want %v", got, want)
+	}
+}
+
+func TestAprioriMinSupportFilters(t *testing.T) {
+	fs, err := Apriori(shoppingBaskets(), AprioriConfig{MinSupport: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("99%% support: got %d itemsets, want 0", len(fs))
+	}
+}
+
+func TestAprioriMaxLen(t *testing.T) {
+	fs, err := Apriori(shoppingBaskets(), AprioriConfig{MinSupport: 0.5, MaxLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if len(f.Items) > 1 {
+			t.Errorf("MaxLen=1 produced itemset %v", f.Items)
+		}
+	}
+}
+
+func TestAprioriValidation(t *testing.T) {
+	for _, sup := range []float64{0, -1, 1.5} {
+		if _, err := Apriori(nil, AprioriConfig{MinSupport: sup}); err == nil {
+			t.Errorf("MinSupport=%v must fail", sup)
+		}
+	}
+	fs, err := Apriori(nil, AprioriConfig{MinSupport: 0.5})
+	if err != nil || fs != nil {
+		t.Errorf("empty transactions: got %v, %v", fs, err)
+	}
+}
+
+func TestRulesConfidence(t *testing.T) {
+	baskets := shoppingBaskets()
+	fs, err := Apriori(baskets, AprioriConfig{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := Rules(fs, len(baskets), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect the paper's flagship form: {bread, milk} ⇒ butter at 3/4.
+	found := false
+	for _, r := range rules {
+		if r.Consequent == 2 && len(r.Antecedent) == 2 &&
+			r.Antecedent[0] == 0 && r.Antecedent[1] == 1 {
+			found = true
+			if r.Confidence != 0.75 {
+				t.Errorf("confidence = %v, want 0.75", r.Confidence)
+			}
+			if r.Support != 0.5 {
+				t.Errorf("support = %v, want 0.5", r.Support)
+			}
+		}
+		if r.Confidence < 0.7 {
+			t.Errorf("rule below min confidence: %+v", r)
+		}
+	}
+	if !found {
+		t.Error("rule {bread, milk} => butter not found")
+	}
+	// Sorted by confidence descending.
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence {
+			t.Error("rules not sorted by confidence")
+		}
+	}
+}
+
+func TestRulesValidation(t *testing.T) {
+	if _, err := Rules(nil, 10, 0); err == nil {
+		t.Error("zero confidence must fail")
+	}
+	if _, err := Rules(nil, 10, 1.1); err == nil {
+		t.Error("confidence above 1 must fail")
+	}
+	rules, err := Rules(nil, 0, 0.5)
+	if err != nil || rules != nil {
+		t.Errorf("no transactions: got %v, %v", rules, err)
+	}
+}
+
+func TestBinarize(t *testing.T) {
+	got := Binarize([][]float64{{1.5, 0, 2}, {0, 0, 0}, {0.1, 0.2, 0.3}})
+	want := []Itemset{{0, 2}, nil, {0, 1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Binarize = %v, want %v", got, want)
+	}
+}
+
+func TestItemsetHelpers(t *testing.T) {
+	s := Itemset{1, 3, 5}
+	if !s.contains(3) || s.contains(2) {
+		t.Error("contains wrong")
+	}
+	if !(Itemset{1, 5}).isSubsetOf(s) {
+		t.Error("subset wrong")
+	}
+	if (Itemset{1, 2}).isSubsetOf(s) {
+		t.Error("non-subset reported as subset")
+	}
+	if (Itemset{}).key() != "" || (Itemset{1, 2}).key() != "1,2" {
+		t.Error("key encoding wrong")
+	}
+}
+
+// Property-ish check against a brute-force counter on small random data.
+func TestAprioriAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		const items = 6
+		n := 20 + rng.Intn(30)
+		tx := make([]Itemset, n)
+		for i := range tx {
+			var t Itemset
+			for j := 0; j < items; j++ {
+				if rng.Float64() < 0.4 {
+					t = append(t, j)
+				}
+			}
+			tx[i] = t
+		}
+		minSup := 0.25
+		fs, err := Apriori(tx, AprioriConfig{MinSupport: minSup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]int{}
+		for _, f := range fs {
+			got[f.Items.key()] = f.Count
+		}
+		// Brute force: enumerate all non-empty subsets of {0..5}.
+		minCount := int(math.Ceil(minSup * float64(n)))
+		if minCount < 1 {
+			minCount = 1
+		}
+		for mask := 1; mask < 1<<items; mask++ {
+			var set Itemset
+			for j := 0; j < items; j++ {
+				if mask&(1<<j) != 0 {
+					set = append(set, j)
+				}
+			}
+			count := 0
+			for _, tr := range tx {
+				if set.isSubsetOf(tr) {
+					count++
+				}
+			}
+			k := set.key()
+			if count >= minCount {
+				if got[k] != count {
+					t.Fatalf("trial %d: itemset %v count %d, brute force %d", trial, set, got[k], count)
+				}
+			} else if _, ok := got[k]; ok {
+				t.Fatalf("trial %d: infrequent itemset %v reported", trial, set)
+			}
+		}
+	}
+}

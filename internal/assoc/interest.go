@@ -1,0 +1,120 @@
+package assoc
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's related work (Sec. 2) notes that beyond support/confidence,
+// "recent alternative criteria include the chi-square test [Brin et al.]
+// and probability-based measures". This file supplies those measures so
+// the Boolean baseline can rank rules the way the literature the paper
+// cites does: lift (interest) and the 2×2 chi-square statistic.
+
+// Contingency counts the four cells of the antecedent/consequent 2×2
+// table over a transaction set.
+type Contingency struct {
+	Both    int // antecedent ∧ consequent
+	AntOnly int // antecedent ∧ ¬consequent
+	ConOnly int // ¬antecedent ∧ consequent
+	Neither int
+}
+
+// Total returns the number of transactions tallied.
+func (c Contingency) Total() int { return c.Both + c.AntOnly + c.ConOnly + c.Neither }
+
+// Tally builds the contingency table of a rule over transactions.
+func Tally(transactions []Itemset, antecedent Itemset, consequent int) Contingency {
+	var c Contingency
+	for _, t := range transactions {
+		hasAnt := antecedent.isSubsetOf(t)
+		hasCon := t.contains(consequent)
+		switch {
+		case hasAnt && hasCon:
+			c.Both++
+		case hasAnt:
+			c.AntOnly++
+		case hasCon:
+			c.ConOnly++
+		default:
+			c.Neither++
+		}
+	}
+	return c
+}
+
+// Lift returns P(ant ∧ con) / (P(ant)·P(con)) — the "interest" measure.
+// 1 means independence; above 1, positive association. It returns an
+// error when either side never occurs (the measure is undefined).
+func (c Contingency) Lift() (float64, error) {
+	n := float64(c.Total())
+	if n == 0 {
+		return 0, fmt.Errorf("assoc: lift of empty table")
+	}
+	pAnt := float64(c.Both+c.AntOnly) / n
+	pCon := float64(c.Both+c.ConOnly) / n
+	if pAnt == 0 || pCon == 0 {
+		return 0, fmt.Errorf("assoc: lift undefined with marginal zero (pAnt=%v, pCon=%v)", pAnt, pCon)
+	}
+	return (float64(c.Both) / n) / (pAnt * pCon), nil
+}
+
+// ChiSquare returns the 2×2 chi-square statistic of the table (1 degree
+// of freedom); values above ≈3.84 reject independence at the 5% level.
+// It returns an error when any marginal is zero.
+func (c Contingency) ChiSquare() (float64, error) {
+	n := float64(c.Total())
+	if n == 0 {
+		return 0, fmt.Errorf("assoc: chi-square of empty table")
+	}
+	rowAnt := float64(c.Both + c.AntOnly)
+	rowNot := float64(c.ConOnly + c.Neither)
+	colCon := float64(c.Both + c.ConOnly)
+	colNot := float64(c.AntOnly + c.Neither)
+	if rowAnt == 0 || rowNot == 0 || colCon == 0 || colNot == 0 {
+		return 0, fmt.Errorf("assoc: chi-square undefined with a zero marginal")
+	}
+	observed := [4]float64{float64(c.Both), float64(c.AntOnly), float64(c.ConOnly), float64(c.Neither)}
+	expected := [4]float64{
+		rowAnt * colCon / n,
+		rowAnt * colNot / n,
+		rowNot * colCon / n,
+		rowNot * colNot / n,
+	}
+	var chi float64
+	for i := range observed {
+		d := observed[i] - expected[i]
+		chi += d * d / expected[i]
+	}
+	if math.IsNaN(chi) {
+		return 0, fmt.Errorf("assoc: chi-square degenerate")
+	}
+	return chi, nil
+}
+
+// ScoredRule augments a Boolean rule with the alternative interest
+// measures.
+type ScoredRule struct {
+	BoolRule
+	Lift      float64
+	ChiSquare float64
+}
+
+// ScoreRules computes lift and chi-square for each rule over the
+// transactions. Rules whose measures are undefined are skipped.
+func ScoreRules(transactions []Itemset, rules []BoolRule) []ScoredRule {
+	out := make([]ScoredRule, 0, len(rules))
+	for _, r := range rules {
+		c := Tally(transactions, r.Antecedent, r.Consequent)
+		lift, err := c.Lift()
+		if err != nil {
+			continue
+		}
+		chi, err := c.ChiSquare()
+		if err != nil {
+			continue
+		}
+		out = append(out, ScoredRule{BoolRule: r, Lift: lift, ChiSquare: chi})
+	}
+	return out
+}

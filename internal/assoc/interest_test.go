@@ -1,0 +1,122 @@
+package assoc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTally(t *testing.T) {
+	tx := []Itemset{
+		{0, 1}, // both
+		{0},    // ant only
+		{1},    // con only
+		{2},    // neither
+		{0, 1}, // both
+	}
+	c := Tally(tx, Itemset{0}, 1)
+	if c.Both != 2 || c.AntOnly != 1 || c.ConOnly != 1 || c.Neither != 1 {
+		t.Errorf("Tally = %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestLiftIndependence(t *testing.T) {
+	// Perfectly independent: P(ant)=1/2, P(con)=1/2, P(both)=1/4.
+	c := Contingency{Both: 25, AntOnly: 25, ConOnly: 25, Neither: 25}
+	lift, err := c.Lift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lift-1) > 1e-12 {
+		t.Errorf("independent lift = %v, want 1", lift)
+	}
+	chi, err := c.ChiSquare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi > 1e-12 {
+		t.Errorf("independent chi-square = %v, want 0", chi)
+	}
+}
+
+func TestLiftPositiveAssociation(t *testing.T) {
+	// Antecedent and consequent always co-occur.
+	c := Contingency{Both: 50, Neither: 50}
+	lift, err := c.Lift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lift <= 1.9 {
+		t.Errorf("lift = %v, want ≈ 2 (perfect co-occurrence at 50%% support)", lift)
+	}
+	chi, err := c.ChiSquare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi < 50 {
+		t.Errorf("chi-square = %v, want very large", chi)
+	}
+}
+
+func TestMeasuresUndefined(t *testing.T) {
+	if _, err := (Contingency{}).Lift(); err == nil {
+		t.Error("empty lift must fail")
+	}
+	if _, err := (Contingency{}).ChiSquare(); err == nil {
+		t.Error("empty chi-square must fail")
+	}
+	// Consequent never occurs.
+	c := Contingency{AntOnly: 10, Neither: 10}
+	if _, err := c.Lift(); err == nil {
+		t.Error("zero-marginal lift must fail")
+	}
+	if _, err := c.ChiSquare(); err == nil {
+		t.Error("zero-marginal chi-square must fail")
+	}
+}
+
+func TestScoreRules(t *testing.T) {
+	baskets := shoppingBaskets()
+	fs, err := Apriori(baskets, AprioriConfig{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := Rules(fs, len(baskets), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored := ScoreRules(baskets, rules)
+	if len(scored) == 0 {
+		t.Fatal("no scored rules")
+	}
+	for _, s := range scored {
+		if s.Lift <= 0 {
+			t.Errorf("rule %v lift = %v", s.BoolRule, s.Lift)
+		}
+		if s.ChiSquare < 0 {
+			t.Errorf("rule %v chi-square = %v", s.BoolRule, s.ChiSquare)
+		}
+	}
+	// {bread} => butter: bread in 5/6, butter in 4/6, both 4/6.
+	// lift = (4/6)/((5/6)(4/6)) = 6/5 = 1.2.
+	for _, s := range scored {
+		if len(s.Antecedent) == 1 && s.Antecedent[0] == 0 && s.Consequent == 2 {
+			if math.Abs(s.Lift-1.2) > 1e-12 {
+				t.Errorf("{bread} => butter lift = %v, want 1.2", s.Lift)
+			}
+		}
+	}
+}
+
+func TestScoreRulesSkipsDegenerate(t *testing.T) {
+	// All transactions contain everything: marginals saturate and the
+	// chi-square denominator vanishes — such rules must be skipped, not
+	// returned as NaN.
+	tx := []Itemset{{0, 1}, {0, 1}}
+	rules := []BoolRule{{Antecedent: Itemset{0}, Consequent: 1}}
+	if got := ScoreRules(tx, rules); len(got) != 0 {
+		t.Errorf("degenerate rules scored: %+v", got)
+	}
+}

@@ -1,0 +1,237 @@
+package assoc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ratiorules/internal/matrix"
+)
+
+// Interval is a half-open value range [Lo, Hi) over one attribute. The last
+// interval of an attribute is closed on both ends so the maximum belongs
+// somewhere.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v falls in the interval (treating Hi as
+// inclusive when the interval is the attribute's last, handled by the
+// caller via a small epsilon on construction).
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v < iv.Hi }
+
+// Mid returns the interval midpoint, used as the point prediction.
+func (iv Interval) Mid() float64 { return (iv.Lo + iv.Hi) / 2 }
+
+// AttrInterval pairs an attribute index with one of its intervals.
+type AttrInterval struct {
+	Attr     int
+	Interval Interval
+}
+
+// QuantRule is a quantitative association rule such as
+// bread:[3−5] ∧ milk:[1−2] ⇒ butter:[1.5−2].
+type QuantRule struct {
+	Antecedents []AttrInterval
+	Consequent  AttrInterval
+	Support     float64
+	Confidence  float64
+}
+
+// String renders the rule in the paper's notation.
+func (r QuantRule) String() string {
+	var b strings.Builder
+	for i, a := range r.Antecedents {
+		if i > 0 {
+			b.WriteString(" and ")
+		}
+		fmt.Fprintf(&b, "attr%d:[%.3g-%.3g]", a.Attr, a.Interval.Lo, a.Interval.Hi)
+	}
+	fmt.Fprintf(&b, " => attr%d:[%.3g-%.3g] (sup %.2f, conf %.2f)",
+		r.Consequent.Attr, r.Consequent.Interval.Lo, r.Consequent.Interval.Hi,
+		r.Support, r.Confidence)
+	return b.String()
+}
+
+// QuantConfig parameterizes quantitative rule mining.
+type QuantConfig struct {
+	// Bins is the number of equi-depth intervals per attribute.
+	Bins int
+	// MinSupport and MinConfidence follow the support-confidence framework.
+	MinSupport    float64
+	MinConfidence float64
+	// MaxAntecedents caps rule size (0 = 2, the common practical choice).
+	MaxAntecedents int
+}
+
+// QuantModel is a mined set of quantitative association rules together
+// with the discretization that produced them. It can attempt point
+// predictions of a hidden attribute; unlike Ratio Rules, prediction fails
+// when no rule's antecedents match the record (the Fig. 12 limitation).
+type QuantModel struct {
+	// Cuts[j] holds the bin boundaries of attribute j (len Bins+1).
+	Cuts  [][]float64
+	Rules []QuantRule
+	attrs int
+}
+
+// MineQuantitative discretizes every attribute of x into equi-depth bins,
+// mines frequent (attribute, interval) itemsets with Apriori, and derives
+// rules with a single consequent.
+func MineQuantitative(x *matrix.Dense, cfg QuantConfig) (*QuantModel, error) {
+	n, m := x.Dims()
+	if cfg.Bins < 2 {
+		return nil, fmt.Errorf("assoc: %d bins, want at least 2", cfg.Bins)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("assoc: empty training matrix")
+	}
+	maxAnte := cfg.MaxAntecedents
+	if maxAnte <= 0 {
+		maxAnte = 2
+	}
+
+	cuts := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		cuts[j] = equiDepthCuts(x.Col(j), cfg.Bins)
+	}
+	model := &QuantModel{Cuts: cuts, attrs: m}
+
+	// Encode each row as a transaction of (attr, bin) items.
+	transactions := make([]Itemset, n)
+	for i := 0; i < n; i++ {
+		row := x.RawRow(i)
+		t := make(Itemset, m)
+		for j, v := range row {
+			t[j] = model.itemID(j, model.binOf(j, v))
+		}
+		sort.Ints(t)
+		transactions[i] = t
+	}
+	frequent, err := Apriori(transactions, AprioriConfig{
+		MinSupport: cfg.MinSupport,
+		MaxLen:     maxAnte + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	boolRules, err := Rules(frequent, n, cfg.MinConfidence)
+	if err != nil {
+		return nil, err
+	}
+	for _, br := range boolRules {
+		qr := QuantRule{Support: br.Support, Confidence: br.Confidence}
+		ok := true
+		seen := map[int]bool{}
+		for _, item := range br.Antecedent {
+			attr, bin := model.itemAttrBin(item)
+			if seen[attr] {
+				ok = false // one interval per attribute
+				break
+			}
+			seen[attr] = true
+			qr.Antecedents = append(qr.Antecedents, AttrInterval{Attr: attr, Interval: model.interval(attr, bin)})
+		}
+		if !ok {
+			continue
+		}
+		attr, bin := model.itemAttrBin(br.Consequent)
+		if seen[attr] {
+			continue
+		}
+		qr.Consequent = AttrInterval{Attr: attr, Interval: model.interval(attr, bin)}
+		sort.Slice(qr.Antecedents, func(a, b int) bool { return qr.Antecedents[a].Attr < qr.Antecedents[b].Attr })
+		model.Rules = append(model.Rules, qr)
+	}
+	return model, nil
+}
+
+// itemID packs (attr, bin) into a single item identifier.
+func (m *QuantModel) itemID(attr, bin int) int { return attr*(len(m.Cuts[0])) + bin }
+
+// itemAttrBin unpacks an item identifier.
+func (m *QuantModel) itemAttrBin(item int) (attr, bin int) {
+	w := len(m.Cuts[0])
+	return item / w, item % w
+}
+
+// binOf locates the bin of value v on attribute j (clamped to the ends):
+// the first bin whose upper bound strictly exceeds v, matching the
+// half-open [Lo, Hi) interval convention.
+func (m *QuantModel) binOf(j int, v float64) int {
+	cuts := m.Cuts[j]
+	bins := len(cuts) - 1
+	return sort.Search(bins-1, func(b int) bool { return v < cuts[b+1] })
+}
+
+// interval returns the bin's value range.
+func (m *QuantModel) interval(j, bin int) Interval {
+	cuts := m.Cuts[j]
+	return Interval{Lo: cuts[bin], Hi: cuts[bin+1]}
+}
+
+// Predict attempts to estimate attribute target of the record from the
+// mined rules: among rules whose consequent is the target attribute and
+// whose antecedent intervals all contain the record's values, it picks the
+// highest-confidence one and returns the consequent interval's midpoint.
+// The boolean result reports whether any rule fired — the paper's point is
+// that no rule fires outside the training data's bounding rectangles.
+func (m *QuantModel) Predict(row []float64, target int) (float64, bool, error) {
+	if len(row) != m.attrs {
+		return 0, false, fmt.Errorf("assoc: record width %d, want %d", len(row), m.attrs)
+	}
+	if target < 0 || target >= m.attrs {
+		return 0, false, fmt.Errorf("assoc: target %d out of range [0,%d)", target, m.attrs)
+	}
+	best := -1.0
+	var val float64
+	for _, r := range m.Rules {
+		if r.Consequent.Attr != target {
+			continue
+		}
+		match := true
+		for _, a := range r.Antecedents {
+			if a.Attr == target || !a.Interval.Contains(row[a.Attr]) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if r.Confidence > best {
+			best = r.Confidence
+			val = r.Consequent.Interval.Mid()
+		}
+	}
+	if best < 0 {
+		return 0, false, nil
+	}
+	return val, true, nil
+}
+
+// equiDepthCuts computes bin boundaries holding roughly equal numbers of
+// values, widening the outermost bounds slightly so every training value
+// falls inside some bin.
+func equiDepthCuts(values []float64, bins int) []float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	cuts := make([]float64, bins+1)
+	for b := 0; b <= bins; b++ {
+		idx := b * (n - 1) / bins
+		cuts[b] = sorted[idx]
+	}
+	// Ensure strictly increasing cuts even with ties, and give the last
+	// interval room to include the maximum.
+	span := sorted[n-1] - sorted[0]
+	eps := 1e-9 * (1 + math.Abs(span))
+	for b := 1; b <= bins; b++ {
+		if cuts[b] <= cuts[b-1] {
+			cuts[b] = cuts[b-1] + eps
+		}
+	}
+	cuts[bins] += eps
+	return cuts
+}

@@ -1,0 +1,163 @@
+package assoc
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ratiorules/internal/matrix"
+)
+
+// breadButter builds the Fig. 12 setting: bread spend in (0, 7] with
+// butter ≈ 0.72 × bread.
+func breadButter(rng *rand.Rand, n int) *matrix.Dense {
+	x := matrix.NewDense(n, 2)
+	for i := 0; i < n; i++ {
+		b := 0.5 + rng.Float64()*6.5
+		x.SetRow(i, []float64{b, 0.72*b + 0.2*rng.NormFloat64()})
+	}
+	return x
+}
+
+func TestMineQuantitativeInterpolates(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	x := breadButter(rng, 500)
+	model, err := MineQuantitative(x, QuantConfig{
+		Bins: 5, MinSupport: 0.05, MinConfidence: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Rules) == 0 {
+		t.Fatal("no rules mined from strongly correlated data")
+	}
+	// Inside the training cloud, prediction fires and lands near truth.
+	val, fired, err := model.Predict([]float64{3.5, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("no rule fired inside the training region")
+	}
+	want := 0.72 * 3.5
+	if math.Abs(val-want) > 1.2 {
+		t.Errorf("predicted butter %v, want ≈ %v (interval-midpoint coarse)", val, want)
+	}
+}
+
+func TestQuantitativeCannotExtrapolateFig12(t *testing.T) {
+	// The paper's Fig. 12 punchline: for bread = $8.50 (outside every
+	// bounding rectangle) quantitative association rules have no rule that
+	// can fire.
+	rng := rand.New(rand.NewSource(51))
+	x := breadButter(rng, 500) // training bread stays below 7
+	model, err := MineQuantitative(x, QuantConfig{
+		Bins: 5, MinSupport: 0.05, MinConfidence: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fired, err := model.Predict([]float64{8.5, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("quantitative rules fired outside the training range; Fig. 12 expects no rule to fire")
+	}
+}
+
+func TestMineQuantitativeValidation(t *testing.T) {
+	x := matrix.MustFromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := MineQuantitative(x, QuantConfig{Bins: 1, MinSupport: 0.1, MinConfidence: 0.5}); err == nil {
+		t.Error("1 bin must fail")
+	}
+	if _, err := MineQuantitative(matrix.NewDense(0, 2), QuantConfig{Bins: 2, MinSupport: 0.1, MinConfidence: 0.5}); err == nil {
+		t.Error("empty matrix must fail")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	x := breadButter(rng, 100)
+	model, err := MineQuantitative(x, QuantConfig{Bins: 3, MinSupport: 0.05, MinConfidence: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := model.Predict([]float64{1}, 1); err == nil {
+		t.Error("wrong width must fail")
+	}
+	if _, _, err := model.Predict([]float64{1, 2}, 5); err == nil {
+		t.Error("bad target must fail")
+	}
+}
+
+func TestEquiDepthCuts(t *testing.T) {
+	cuts := equiDepthCuts([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	if len(cuts) != 5 {
+		t.Fatalf("got %d cuts, want 5", len(cuts))
+	}
+	for b := 1; b < len(cuts); b++ {
+		if cuts[b] <= cuts[b-1] {
+			t.Errorf("cuts not strictly increasing: %v", cuts)
+		}
+	}
+	// Every value must land in some bin.
+	if cuts[0] > 1 || cuts[4] <= 8 {
+		t.Errorf("cuts %v do not span the data", cuts)
+	}
+}
+
+func TestEquiDepthCutsWithTies(t *testing.T) {
+	cuts := equiDepthCuts([]float64{5, 5, 5, 5, 5, 5}, 3)
+	for b := 1; b < len(cuts); b++ {
+		if cuts[b] <= cuts[b-1] {
+			t.Fatalf("tied data produced non-increasing cuts: %v", cuts)
+		}
+	}
+}
+
+func TestBinOfCoversRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	x := breadButter(rng, 200)
+	model, err := MineQuantitative(x, QuantConfig{Bins: 4, MinSupport: 0.05, MinConfidence: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 2; j++ {
+			bin := model.binOf(j, x.At(i, j))
+			if bin < 0 || bin >= 4 {
+				t.Fatalf("value %v binned to %d", x.At(i, j), bin)
+			}
+			iv := model.interval(j, bin)
+			if !iv.Contains(x.At(i, j)) {
+				t.Fatalf("bin %d interval %+v does not contain %v", bin, iv, x.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQuantRuleString(t *testing.T) {
+	r := QuantRule{
+		Antecedents: []AttrInterval{{Attr: 0, Interval: Interval{3, 5}}},
+		Consequent:  AttrInterval{Attr: 1, Interval: Interval{1.5, 2}},
+		Support:     0.4, Confidence: 0.9,
+	}
+	s := r.String()
+	for _, want := range []string{"attr0:[3-5]", "attr1:[1.5-2]", "conf 0.90"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{2, 4}
+	if !iv.Contains(2) || !iv.Contains(3.999) || iv.Contains(4) || iv.Contains(1) {
+		t.Error("Contains wrong")
+	}
+	if iv.Mid() != 3 {
+		t.Errorf("Mid = %v, want 3", iv.Mid())
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"ratiorules/internal/matrix"
+)
+
+// streamCheckpoint is the serialized sufficient statistics of a
+// StreamMiner. The mining *options* (cutoff, solver) are reconstruction
+// parameters, not data, so they are re-supplied at load time.
+type streamCheckpoint struct {
+	Version int         `json:"version"`
+	Width   int         `json:"width"`
+	Decay   float64     `json:"decay"`
+	Weight  float64     `json:"weight"`
+	Count   int         `json:"count"`
+	Sums    []float64   `json:"sums"`
+	Cross   [][]float64 `json:"cross"` // upper triangle, row-major per row
+}
+
+const checkpointVersion = 1
+
+// Save writes the miner's sufficient statistics as JSON so a long-running
+// pipeline can checkpoint and resume exactly: Load followed by the same
+// pushes yields the same rules as an uninterrupted run.
+func (s *StreamMiner) Save(w io.Writer) error {
+	cp := streamCheckpoint{
+		Version: checkpointVersion,
+		Width:   s.width,
+		Decay:   s.decay,
+		Weight:  s.weight,
+		Count:   s.count,
+		Sums:    s.sums,
+		Cross:   make([][]float64, s.width),
+	}
+	for j := 0; j < s.width; j++ {
+		cp.Cross[j] = append([]float64(nil), s.cross.RawRow(j)[j:]...)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(cp); err != nil {
+		return fmt.Errorf("core: saving stream checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadStreamMiner restores a checkpointed stream miner. The mining options
+// are re-supplied (they are configuration, not state) and must be valid
+// for the checkpoint's width.
+func LoadStreamMiner(r io.Reader, opts ...Option) (*StreamMiner, error) {
+	var cp streamCheckpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: loading stream checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	if cp.Width <= 0 || len(cp.Sums) != cp.Width || len(cp.Cross) != cp.Width {
+		return nil, fmt.Errorf("core: corrupt checkpoint shapes (width %d, %d sums, %d cross rows): %w",
+			cp.Width, len(cp.Sums), len(cp.Cross), ErrWidth)
+	}
+	if cp.Count < 0 || cp.Weight < 0 || math.IsNaN(cp.Weight) {
+		return nil, fmt.Errorf("core: corrupt checkpoint counters (count %d, weight %v)", cp.Count, cp.Weight)
+	}
+	sm, err := NewStreamMiner(cp.Width, cp.Decay, opts...)
+	if err != nil {
+		return nil, err
+	}
+	sm.weight = cp.Weight
+	sm.count = cp.Count
+	copy(sm.sums, cp.Sums)
+	cross := matrix.NewDense(cp.Width, cp.Width)
+	for j, tail := range cp.Cross {
+		if len(tail) != cp.Width-j {
+			return nil, fmt.Errorf("core: corrupt checkpoint cross row %d (%d values, want %d): %w",
+				j, len(tail), cp.Width-j, ErrWidth)
+		}
+		copy(cross.RawRow(j)[j:], tail)
+	}
+	sm.cross = cross
+	return sm, nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ratiorules/internal/matrix"
+)
+
+func TestMineWithHolesRecoversRules(t *testing.T) {
+	// Plane data with 20% of cells missing across 80% of rows: the
+	// complete-rows-only strategy would be left with a sliver, while EM
+	// mining uses everything.
+	rng := rand.New(rand.NewSource(150))
+	truth := planeData(rng, 400, 5, 2)
+	holed := truth.Clone()
+	holes := 0
+	var holeCell [2]int
+	for i := 0; i < 400; i++ {
+		if rng.Float64() < 0.8 {
+			row := holed.RawRow(i)
+			for j := range row {
+				if rng.Float64() < 0.2 {
+					row[j] = Hole
+					holeCell = [2]int{i, j}
+					holes++
+				}
+			}
+		}
+	}
+	miner, err := NewMiner(WithFixedK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := miner.MineMatrix(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := miner.MineWithHoles(holed, EMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("EM did not converge in %d rounds", res.Rounds)
+	}
+	// The mined rules approximate the complete-data rules.
+	for i := 0; i < 2; i++ {
+		dot := math.Abs(matrix.Dot(res.Rules.Rule(i), want.Rule(i)))
+		if dot < 0.99 {
+			t.Errorf("rule %d alignment |cos| = %v, want >= 0.99", i, dot)
+		}
+	}
+	// The completed matrix approximates the truth at the holes.
+	var sq float64
+	cnt := 0
+	for i := 0; i < 400; i++ {
+		for j := 0; j < 5; j++ {
+			if IsHole(holed.At(i, j)) {
+				d := res.Completed.At(i, j) - truth.At(i, j)
+				sq += d * d
+				cnt++
+			}
+		}
+	}
+	rms := math.Sqrt(sq / float64(cnt))
+	if rms > 0.05*(1+truth.MaxAbs()) {
+		t.Errorf("hole reconstruction RMS = %v over %d holes", rms, cnt)
+	}
+	// Input must keep its holes (non-mutation is covered in detail by
+	// TestMineWithHolesInputPreserved).
+	if !IsHole(holed.At(holeCell[0], holeCell[1])) {
+		t.Error("input hole was overwritten")
+	}
+}
+
+func TestMineWithHolesNoHolesEqualsPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	x := randomCorrelated(rng, 120, 4)
+	miner, err := NewMiner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := miner.MineMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := miner.MineWithHoles(x, EMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 || !res.Converged {
+		t.Errorf("hole-free input: rounds=%d converged=%v, want 1/true", res.Rounds, res.Converged)
+	}
+	if !matrix.EqualApproxVec(res.Rules.Eigenvalues(), plain.Eigenvalues(), 1e-12) {
+		t.Error("hole-free EM differs from plain mining")
+	}
+}
+
+func TestMineWithHolesBeatsCompleteRowsOnly(t *testing.T) {
+	// When nearly every row has a hole, mining only the complete rows
+	// starves; EM mining stays accurate.
+	rng := rand.New(rand.NewSource(152))
+	truth := planeData(rng, 300, 4, 1)
+	holed := truth.Clone()
+	var completeRows []int
+	for i := 0; i < 300; i++ {
+		if i%20 == 0 {
+			completeRows = append(completeRows, i)
+			continue // leave ~15 rows intact
+		}
+		holed.Set(i, rng.Intn(4), Hole)
+	}
+	miner, err := NewMiner(WithFixedK(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := miner.MineMatrix(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := miner.MineWithHoles(holed, EMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emAlign := math.Abs(matrix.Dot(res.Rules.Rule(0), want.Rule(0)))
+	if emAlign < 0.999 {
+		t.Errorf("EM rule alignment = %v, want >= 0.999", emAlign)
+	}
+	// Not a strict comparison (complete rows are unbiased here), just a
+	// sanity check that the starved model exists and EM used 20x the rows.
+	if len(completeRows) >= 30 {
+		t.Fatalf("fixture broken: %d complete rows", len(completeRows))
+	}
+	if res.Rules.TrainedRows() != 300 {
+		t.Errorf("EM trained on %d rows, want 300", res.Rules.TrainedRows())
+	}
+}
+
+func TestMineWithHolesErrors(t *testing.T) {
+	miner, err := NewMiner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := matrix.MustFromRows([][]float64{{1, 2}})
+	if _, err := miner.MineWithHoles(one, EMConfig{}); err == nil {
+		t.Error("single row must fail")
+	}
+	// A column with no observed values cannot be seeded.
+	blind := matrix.MustFromRows([][]float64{{1, Hole}, {2, Hole}, {3, Hole}})
+	if _, err := miner.MineWithHoles(blind, EMConfig{}); !errors.Is(err, ErrBadHole) {
+		t.Errorf("err = %v, want ErrBadHole", err)
+	}
+}
+
+func TestMineWithHolesInputPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	x := planeData(rng, 60, 3, 1)
+	x.Set(5, 1, Hole)
+	snapshot := x.Clone()
+	miner, err := NewMiner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := miner.MineWithHoles(x, EMConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	n, m := x.Dims()
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			a, b := x.At(i, j), snapshot.At(i, j)
+			if IsHole(b) {
+				if !IsHole(a) {
+					t.Fatalf("input hole (%d,%d) was overwritten", i, j)
+				}
+				continue
+			}
+			if a != b {
+				t.Fatalf("input cell (%d,%d) changed", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ratiorules/internal/linsolve"
+	"ratiorules/internal/matrix"
+	"ratiorules/internal/svd"
+)
+
+// Hole is the paper's "?" marker: place it in a record passed to
+// FillRecord to mark an unknown value.
+var Hole = math.NaN()
+
+// IsHole reports whether a cell value is the Hole marker.
+func IsHole(v float64) bool { return math.IsNaN(v) }
+
+// FillSolver selects the algorithm used for the over-specified case
+// (Case 2 of Sec. 4.4).
+type FillSolver int
+
+const (
+	// SolvePseudoInverse uses the Moore–Penrose pseudo-inverse via SVD, as
+	// the paper prescribes (Eqs. 7–9). This is the default.
+	SolvePseudoInverse FillSolver = iota
+	// SolveQR uses Householder QR least squares; an ablation alternative
+	// that agrees with the pseudo-inverse whenever V′ has full column rank.
+	SolveQR
+)
+
+// Estimator is anything that can reconstruct hidden cells of a record.
+// The guessing error (Sec. 4.3) is defined for any Estimator, which is how
+// the paper's col-avgs competitor and the Ratio Rules method share one
+// benchmark harness.
+type Estimator interface {
+	// Width reports the record width M the estimator expects.
+	Width() int
+	// FillRow returns a copy of row with the cells at holes replaced by
+	// estimates. Cells not listed in holes are passed through unchanged.
+	// The input row's values at hole positions are ignored.
+	FillRow(row []float64, holes []int) ([]float64, error)
+}
+
+// FillRow implements Estimator using the geometric algorithm of Fig. 3:
+// intersect the feasible solution space (fixed by the known cells) with the
+// RR-hyperplane spanned by the retained rules.
+//
+// The three cases of Sec. 4.4 are handled as the paper prescribes:
+//
+//   - exactly-specified, (M−h) == k: direct solve of V′·x = b′ (Eq. 6);
+//   - over-specified, (M−h) > k: Moore–Penrose pseudo-inverse (Eqs. 7–9);
+//   - under-specified, (M−h) < k: drop the weakest rules until the system
+//     is exactly specified, then solve (Case 3).
+//
+// With k = 0 (or when every cell is a hole) the prediction degenerates to
+// the column averages, which is exactly the col-avgs competitor.
+func (r *Rules) FillRow(row []float64, holes []int) ([]float64, error) {
+	return r.fill(row, holes, SolvePseudoInverse)
+}
+
+// FillRowWith is FillRow with an explicit solver for the over-specified
+// case, exposed for the solver ablation.
+func (r *Rules) FillRowWith(row []float64, holes []int, solver FillSolver) ([]float64, error) {
+	return r.fill(row, holes, solver)
+}
+
+// Width implements Estimator.
+func (r *Rules) Width() int { return r.M() }
+
+// FillRecord reconstructs every cell marked with the Hole marker (NaN) in
+// record, returning a fully populated copy. It is the user-facing
+// counterpart of FillRow for records with inline "?" markers.
+func (r *Rules) FillRecord(record []float64) ([]float64, error) {
+	var holes []int
+	for j, v := range record {
+		if IsHole(v) {
+			holes = append(holes, j)
+		}
+	}
+	return r.FillRow(record, holes)
+}
+
+func (r *Rules) fill(row []float64, holes []int, solver FillSolver) ([]float64, error) {
+	m := r.M()
+	if len(row) != m {
+		return nil, fmt.Errorf("core: record width %d, want %d: %w", len(row), m, ErrWidth)
+	}
+	if err := validateHoles(holes, m); err != nil {
+		return nil, err
+	}
+	out := make([]float64, m)
+	copy(out, row)
+	h := len(holes)
+	if h == 0 {
+		return out, nil
+	}
+	isHole := make([]bool, m)
+	for _, j := range holes {
+		isHole[j] = true
+	}
+
+	k := r.K()
+	known := m - h
+	// Degenerate cases: no rules retained, or nothing known. Both collapse
+	// to xconcept = 0, i.e. the column averages.
+	if k == 0 || known == 0 {
+		for _, j := range holes {
+			out[j] = r.means[j]
+		}
+		return out, nil
+	}
+
+	// Under-specified (Case 3): ignore the (k+h)−M weakest rules so that
+	// the system becomes exactly specified.
+	kEff := k
+	if known < k {
+		kEff = known
+	}
+
+	// V′ = E_H·V: rows of V at the known attributes, first kEff columns.
+	// b′ = E_H·(b − mean): centered known values.
+	vPrime := matrix.NewDense(known, kEff)
+	bPrime := make([]float64, known)
+	ki := 0
+	for j := 0; j < m; j++ {
+		if isHole[j] {
+			continue
+		}
+		for c := 0; c < kEff; c++ {
+			vPrime.Set(ki, c, r.v.At(j, c))
+		}
+		bPrime[ki] = row[j] - r.means[j]
+		ki++
+	}
+
+	xConcept, err := solveConcept(vPrime, bPrime, known, kEff, solver)
+	if err != nil {
+		return nil, err
+	}
+
+	// x̂ = V·xconcept + mean, taken only at the hole positions (step 5 of
+	// Fig. 3: known cells keep their given values).
+	for _, j := range holes {
+		var s float64
+		for c := 0; c < kEff; c++ {
+			s += r.v.At(j, c) * xConcept[c]
+		}
+		out[j] = s + r.means[j]
+	}
+	return out, nil
+}
+
+// solveConcept solves V′·x = b′ per the case analysis of Sec. 4.4.
+func solveConcept(vPrime *matrix.Dense, bPrime []float64, known, kEff int, solver FillSolver) ([]float64, error) {
+	switch {
+	case known == kEff:
+		// Exactly-specified (Case 1, and Case 3 after rule dropping):
+		// square solve; fall back to the pseudo-inverse when the selected
+		// rows of V happen to be singular.
+		x, err := linsolve.SolveSquare(vPrime, bPrime)
+		if err == nil {
+			return x, nil
+		}
+		if !errors.Is(err, linsolve.ErrSingular) {
+			return nil, fmt.Errorf("core: exactly-specified solve: %w", err)
+		}
+		x, err = svd.SolveLeastSquares(vPrime, bPrime)
+		if err != nil {
+			return nil, fmt.Errorf("core: singular exactly-specified solve: %w", err)
+		}
+		return x, nil
+	case solver == SolveQR:
+		x, err := linsolve.SolveLeastSquares(vPrime, bPrime)
+		if err == nil {
+			return x, nil
+		}
+		if !errors.Is(err, linsolve.ErrSingular) {
+			return nil, fmt.Errorf("core: QR least-squares solve: %w", err)
+		}
+		fallthrough
+	default:
+		// Over-specified (Case 2): minimum-norm least squares through the
+		// Moore–Penrose pseudo-inverse, as in Eqs. 7–9.
+		x, err := svd.SolveLeastSquares(vPrime, bPrime)
+		if err != nil {
+			return nil, fmt.Errorf("core: pseudo-inverse solve: %w", err)
+		}
+		return x, nil
+	}
+}
+
+// validateHoles rejects out-of-range and duplicate hole indices.
+func validateHoles(holes []int, m int) error {
+	if len(holes) > m {
+		return fmt.Errorf("core: %d holes for %d attributes: %w", len(holes), m, ErrBadHole)
+	}
+	seen := make(map[int]bool, len(holes))
+	for _, j := range holes {
+		if j < 0 || j >= m {
+			return fmt.Errorf("core: hole index %d out of range [0,%d): %w", j, m, ErrBadHole)
+		}
+		if seen[j] {
+			return fmt.Errorf("core: duplicate hole index %d: %w", j, ErrBadHole)
+		}
+		seen[j] = true
+	}
+	return nil
+}
+
+// BandedFill is a reconstruction with a 1-sigma uncertainty band per
+// filled cell.
+type BandedFill struct {
+	// Filled is the completed record (known cells passed through).
+	Filled []float64
+	// Std[j] is the 1-sigma reconstruction uncertainty of cell j: the
+	// training residual deviation for filled cells, 0 for known cells.
+	Std []float64
+}
+
+// FillRecordWithBands reconstructs the Hole-marked cells of record and
+// attaches a per-cell uncertainty: the training residual standard
+// deviation of each filled attribute (how far real records typically sit
+// from the RR-hyperplane along it). A forecast of "$6.10 ± $0.40 of
+// butter" is considerably more useful for the paper's decision-support
+// applications than the point estimate alone.
+//
+// The band is the *projection* residual — the error that remains when a
+// record is projected onto the RR-hyperplane with full information. When
+// most of the record is hidden, the fill additionally inherits the noise
+// of the few known cells through the solve, so treat the band as a lower
+// bound in heavily-incomplete records.
+func (r *Rules) FillRecordWithBands(record []float64) (*BandedFill, error) {
+	filled, err := r.FillRecord(record)
+	if err != nil {
+		return nil, err
+	}
+	std := make([]float64, len(record))
+	for j, v := range record {
+		if IsHole(v) {
+			std[j] = r.ResidualStd(j)
+		}
+	}
+	return &BandedFill{Filled: filled, Std: std}, nil
+}
+
+// FillMatrix repairs every Hole-marked cell of x in place using est,
+// row by row, and reports how many cells were filled. Rows without holes
+// are untouched. This is the batch form of FillRow used by data-cleaning
+// pipelines (rrclean, the data-cleaning example).
+func FillMatrix(est Estimator, x *matrix.Dense) (int, error) {
+	n, m := x.Dims()
+	if m != est.Width() {
+		return 0, fmt.Errorf("core: FillMatrix on %d-wide matrix with %d-wide estimator: %w",
+			m, est.Width(), ErrWidth)
+	}
+	filled := 0
+	row := make([]float64, m)
+	var holes []int
+	for i := 0; i < n; i++ {
+		holes = holes[:0]
+		copy(row, x.RawRow(i))
+		for j, v := range row {
+			if IsHole(v) {
+				holes = append(holes, j)
+			}
+		}
+		if len(holes) == 0 {
+			continue
+		}
+		fixed, err := est.FillRow(row, holes)
+		if err != nil {
+			return filled, fmt.Errorf("core: FillMatrix row %d: %w", i, err)
+		}
+		for _, j := range holes {
+			x.Set(i, j, fixed[j])
+		}
+		filled += len(holes)
+	}
+	return filled, nil
+}
+
+// ColAvgs is the paper's straightforward competitor: predict every hidden
+// cell with the column average of the training set. It equals Ratio Rules
+// with k = 0 eigenvectors.
+type ColAvgs struct {
+	means []float64
+}
+
+// NewColAvgs builds the competitor from training column averages.
+func NewColAvgs(means []float64) *ColAvgs {
+	out := make([]float64, len(means))
+	copy(out, means)
+	return &ColAvgs{means: out}
+}
+
+// Width implements Estimator.
+func (c *ColAvgs) Width() int { return len(c.means) }
+
+// FillRow implements Estimator by substituting column averages.
+func (c *ColAvgs) FillRow(row []float64, holes []int) ([]float64, error) {
+	if len(row) != len(c.means) {
+		return nil, fmt.Errorf("core: record width %d, want %d: %w", len(row), len(c.means), ErrWidth)
+	}
+	if err := validateHoles(holes, len(c.means)); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(row))
+	copy(out, row)
+	for _, j := range holes {
+		out[j] = c.means[j]
+	}
+	return out, nil
+}
+
+// SortedHoles returns a sorted copy of holes; exported helpers in this
+// package expect ordered hole sets only for deterministic error text, the
+// algorithms accept any order.
+func SortedHoles(holes []int) []int {
+	out := append([]int(nil), holes...)
+	sort.Ints(out)
+	return out
+}

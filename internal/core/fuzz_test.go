@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzFillRow checks that hole filling never panics, never corrupts known
+// cells and always returns finite values, for arbitrary records and hole
+// sets against a fixed mined rule set.
+func FuzzFillRow(f *testing.F) {
+	rng := rand.New(rand.NewSource(99))
+	x := planeData(rng, 150, 5, 2)
+	miner, err := NewMiner()
+	if err != nil {
+		f.Fatal(err)
+	}
+	rules, err := miner.MineMatrix(x)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(1.0, 2.0, 3.0, 4.0, 5.0, uint8(0b00001))
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, uint8(0b11111))
+	f.Add(-1e9, 1e9, 0.5, -0.5, 42.0, uint8(0b01010))
+	f.Add(1e-300, -1e-300, 1e300, 0.0, 1.0, uint8(0b10000))
+
+	f.Fuzz(func(t *testing.T, a, b, c, d, e float64, mask uint8) {
+		row := []float64{a, b, c, d, e}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return // holes are the only sanctioned non-finite input
+			}
+		}
+		var holes []int
+		for j := 0; j < 5; j++ {
+			if mask&(1<<j) != 0 {
+				holes = append(holes, j)
+			}
+		}
+		out, err := rules.FillRow(row, holes)
+		if err != nil {
+			t.Fatalf("FillRow(%v, %v): %v", row, holes, err)
+		}
+		isHole := map[int]bool{}
+		for _, j := range holes {
+			isHole[j] = true
+		}
+		for j, v := range out {
+			if isHole[j] {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("filled cell %d = %v for row %v holes %v", j, v, row, holes)
+				}
+				continue
+			}
+			if v != row[j] {
+				t.Fatalf("known cell %d changed: %v -> %v", j, row[j], v)
+			}
+		}
+	})
+}
+
+// FuzzWhatIf checks the scenario API never panics and respects givens.
+func FuzzWhatIf(f *testing.F) {
+	rng := rand.New(rand.NewSource(98))
+	x := planeData(rng, 100, 4, 2)
+	miner, err := NewMiner()
+	if err != nil {
+		f.Fatal(err)
+	}
+	rules, err := miner.MineMatrix(x)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(0, 10.0)
+	f.Add(3, -5.0)
+	f.Add(7, 0.0)
+	f.Fuzz(func(t *testing.T, attr int, value float64) {
+		if math.IsNaN(value) || math.IsInf(value, 0) {
+			return
+		}
+		out, err := rules.WhatIf(Scenario{Given: map[int]float64{attr: value}})
+		if attr < 0 || attr >= 4 {
+			if err == nil {
+				t.Fatalf("out-of-range attr %d accepted", attr)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("WhatIf(%d=%v): %v", attr, value, err)
+		}
+		if out[attr] != value {
+			t.Fatalf("given attr changed: %v -> %v", value, out[attr])
+		}
+	})
+}

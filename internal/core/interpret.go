@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RuleReading is the machine-assisted version of the paper's Fig. 10
+// interpretation methodology for one rule: the attributes with significant
+// positive and negative coefficients, ordered by magnitude, plus the
+// variance share the rule carries.
+type RuleReading struct {
+	// Index is the 0-based rule number (RR1 has Index 0).
+	Index int
+	// EnergyShare is this rule's eigenvalue as a fraction of total
+	// variance.
+	EnergyShare float64
+	// Positive and Negative list the significant attributes on each side
+	// of the contrast, strongest first.
+	Positive, Negative []AttrWeight
+}
+
+// AttrWeight pairs an attribute with its coefficient in a rule.
+type AttrWeight struct {
+	Attr   int
+	Name   string
+	Weight float64
+}
+
+// DefaultInterpretThreshold suppresses coefficients whose magnitude is
+// below this fraction of the rule's largest coefficient.
+const DefaultInterpretThreshold = 0.15
+
+// Interpret applies the Fig. 10 methodology ("display Ratio Rules
+// graphically...; observe positive and negative correlations; interpret")
+// to every retained rule: it groups each rule's significant attributes by
+// sign so a human can name the underlying factor (the paper's "court
+// action", "field position", "height"). threshold <= 0 selects
+// DefaultInterpretThreshold.
+func (r *Rules) Interpret(threshold float64) []RuleReading {
+	if threshold <= 0 {
+		threshold = DefaultInterpretThreshold
+	}
+	out := make([]RuleReading, 0, r.K())
+	for i := 0; i < r.K(); i++ {
+		rule := r.Rule(i)
+		var maxAbs float64
+		for _, v := range rule {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		reading := RuleReading{Index: i}
+		if r.totalVariance > 0 {
+			reading.EnergyShare = r.eigenvalues[i] / r.totalVariance
+		}
+		cut := threshold * maxAbs
+		for j, v := range rule {
+			if math.Abs(v) < cut || v == 0 {
+				continue
+			}
+			aw := AttrWeight{Attr: j, Name: r.AttrName(j), Weight: v}
+			if v > 0 {
+				reading.Positive = append(reading.Positive, aw)
+			} else {
+				reading.Negative = append(reading.Negative, aw)
+			}
+		}
+		byMagnitude := func(s []AttrWeight) {
+			sort.SliceStable(s, func(a, b int) bool {
+				return math.Abs(s[a].Weight) > math.Abs(s[b].Weight)
+			})
+		}
+		byMagnitude(reading.Positive)
+		byMagnitude(reading.Negative)
+		out = append(out, reading)
+	}
+	return out
+}
+
+// String renders the reading as the ratio sentence the paper uses, e.g.
+// "RR1: minutes played : points ≈ 0.82 : 0.39" with the contrast side
+// marked, plus the variance share.
+func (rd RuleReading) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RR%d (%.1f%% of variance): ", rd.Index+1, 100*rd.EnergyShare)
+	part := func(s []AttrWeight) string {
+		names := make([]string, len(s))
+		vals := make([]string, len(s))
+		for i, aw := range s {
+			names[i] = aw.Name
+			vals[i] = fmt.Sprintf("%.2f", math.Abs(aw.Weight))
+		}
+		return strings.Join(names, " : ") + " ≈ " + strings.Join(vals, " : ")
+	}
+	switch {
+	case len(rd.Positive) > 0 && len(rd.Negative) > 0:
+		fmt.Fprintf(&b, "%s  AGAINST  %s", part(rd.Positive), part(rd.Negative))
+	case len(rd.Positive) > 0:
+		b.WriteString(part(rd.Positive))
+	case len(rd.Negative) > 0:
+		fmt.Fprintf(&b, "negative: %s", part(rd.Negative))
+	default:
+		b.WriteString("(no significant coefficients)")
+	}
+	return b.String()
+}

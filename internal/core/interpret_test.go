@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestInterpretGroupsBySign(t *testing.T) {
+	// Two factors: attr0+attr1 move together (volume); attr2 and attr3
+	// trade off against each other (contrast).
+	rng := rand.New(rand.NewSource(95))
+	rows := make([][]float64, 500)
+	for i := range rows {
+		vol := rng.NormFloat64() * 10
+		contrast := rng.NormFloat64() * 3
+		rows[i] = []float64{
+			vol + 0.05*rng.NormFloat64(),
+			2*vol + 0.05*rng.NormFloat64(),
+			contrast + 0.05*rng.NormFloat64(),
+			-contrast + 0.05*rng.NormFloat64(),
+		}
+	}
+	x := mustMatrix(t, rows)
+	miner, err := NewMiner(WithFixedK(2), WithAttrNames([]string{"bread", "milk", "tea", "coffee"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := miner.MineMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := rules.Interpret(0)
+	if len(readings) != 2 {
+		t.Fatalf("got %d readings, want 2", len(readings))
+	}
+
+	// RR1: volume — bread and milk positive, milk strongest.
+	rr1 := readings[0]
+	if len(rr1.Positive) < 2 || len(rr1.Negative) != 0 {
+		t.Fatalf("RR1 = %+v, want two positive attrs, no negatives", rr1)
+	}
+	if rr1.Positive[0].Name != "milk" || rr1.Positive[1].Name != "bread" {
+		t.Errorf("RR1 positives = %v, want milk then bread", rr1.Positive)
+	}
+	if rr1.EnergyShare < 0.5 {
+		t.Errorf("RR1 energy share = %v, want dominant", rr1.EnergyShare)
+	}
+
+	// RR2: contrast — tea against coffee (sign orientation may flip which
+	// side is positive).
+	rr2 := readings[1]
+	if len(rr2.Positive) != 1 || len(rr2.Negative) != 1 {
+		t.Fatalf("RR2 = %+v, want one attr per side", rr2)
+	}
+	got := map[string]bool{rr2.Positive[0].Name: true, rr2.Negative[0].Name: true}
+	if !got["tea"] || !got["coffee"] {
+		t.Errorf("RR2 sides = %v vs %v, want tea and coffee", rr2.Positive, rr2.Negative)
+	}
+
+	s := rr2.String()
+	if !strings.Contains(s, "AGAINST") {
+		t.Errorf("contrast rendering = %q, want AGAINST marker", s)
+	}
+	if !strings.Contains(readings[0].String(), "RR1") {
+		t.Error("RR1 rendering missing label")
+	}
+}
+
+func TestInterpretThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	x := planeData(rng, 200, 5, 2)
+	rules := mineK(t, x, 2)
+	// Threshold 1.0 keeps only the single largest coefficient per rule.
+	for _, rd := range rules.Interpret(1.0) {
+		if len(rd.Positive)+len(rd.Negative) != 1 {
+			t.Errorf("RR%d with threshold 1.0 kept %d attrs, want 1",
+				rd.Index+1, len(rd.Positive)+len(rd.Negative))
+		}
+	}
+	// Tiny threshold keeps everything non-zero.
+	for _, rd := range rules.Interpret(1e-12) {
+		if len(rd.Positive)+len(rd.Negative) != 5 {
+			t.Errorf("RR%d with tiny threshold kept %d attrs, want 5",
+				rd.Index+1, len(rd.Positive)+len(rd.Negative))
+		}
+	}
+}
+
+func TestInterpretZeroRules(t *testing.T) {
+	x := paperFig1()
+	rules := mineK(t, x, 0)
+	if got := rules.Interpret(0); len(got) != 0 {
+		t.Errorf("k=0 readings = %v, want none", got)
+	}
+}
+
+func TestRuleReadingEmptyString(t *testing.T) {
+	rd := RuleReading{Index: 0}
+	if !strings.Contains(rd.String(), "no significant") {
+		t.Errorf("empty reading = %q", rd.String())
+	}
+}

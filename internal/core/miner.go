@@ -1,0 +1,319 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"ratiorules/internal/eigen"
+	"ratiorules/internal/matrix"
+	"ratiorules/internal/stats"
+)
+
+// DefaultEnergy is the paper's Eq. 1 cutoff: retain eigenvectors until
+// their eigenvalues cover 85% of the total variance (Jolliffe's textbook
+// heuristic).
+const DefaultEnergy = 0.85
+
+// RowSource yields the rows of a data matrix one at a time, enabling the
+// single-pass mining algorithm to stream datasets far larger than memory.
+// Next returns io.EOF after the last row; the returned slice may be reused
+// by the source between calls.
+type RowSource interface {
+	// Width reports the number of attributes M in every row.
+	Width() int
+	// Next returns the next row or io.EOF when exhausted.
+	Next() ([]float64, error)
+}
+
+// matrixSource adapts an in-memory matrix to RowSource.
+type matrixSource struct {
+	m *matrix.Dense
+	i int
+}
+
+// NewMatrixSource returns a RowSource that iterates the rows of m.
+func NewMatrixSource(m *matrix.Dense) RowSource { return &matrixSource{m: m} }
+
+func (s *matrixSource) Width() int { return s.m.Cols() }
+
+func (s *matrixSource) Next() ([]float64, error) {
+	if s.i >= s.m.Rows() {
+		return nil, io.EOF
+	}
+	row := s.m.RawRow(s.i)
+	s.i++
+	return row, nil
+}
+
+// Miner configures Ratio Rules mining. The zero value is not usable;
+// construct with NewMiner and functional options.
+type Miner struct {
+	energy    float64 // Eq. 1 threshold in (0, 1]
+	fixedK    int     // if > 0, retain exactly this many rules
+	maxK      int     // if > 0, cap k after the energy cutoff
+	subspace  bool    // extract only the needed leading pairs
+	attrs     []string
+	eigSolver func(*matrix.Dense) (*eigen.System, error)
+	// topK extracts leading pairs when subspace mode is on.
+	topK func(*matrix.Dense, int) (*eigen.System, error)
+}
+
+// Option customizes a Miner.
+type Option func(*Miner) error
+
+// WithEnergy sets the Eq. 1 variance-coverage threshold (default 0.85).
+func WithEnergy(fraction float64) Option {
+	return func(m *Miner) error {
+		if fraction <= 0 || fraction > 1 {
+			return fmt.Errorf("core: energy threshold %v outside (0, 1]", fraction)
+		}
+		m.energy = fraction
+		return nil
+	}
+}
+
+// WithFixedK retains exactly k rules, bypassing the energy cutoff.
+// k = 0 is allowed and yields the col-avgs estimator (the paper notes
+// col-avgs "is identical to the proposed method with k = 0").
+func WithFixedK(k int) Option {
+	return func(m *Miner) error {
+		if k < 0 {
+			return fmt.Errorf("core: fixed k %d is negative", k)
+		}
+		m.fixedK = k
+		m.maxK = 0
+		return nil
+	}
+}
+
+// WithMaxK caps the number of rules retained after the energy cutoff.
+func WithMaxK(k int) Option {
+	return func(m *Miner) error {
+		if k < 1 {
+			return fmt.Errorf("core: max k %d must be at least 1", k)
+		}
+		m.maxK = k
+		return nil
+	}
+}
+
+// WithAttrNames attaches attribute names to the mined rules.
+func WithAttrNames(names []string) Option {
+	return func(m *Miner) error {
+		m.attrs = append([]string(nil), names...)
+		return nil
+	}
+}
+
+// WithJacobiSolver switches the eigensolver to cyclic Jacobi (ablation and
+// cross-checking; SymEig is the default).
+func WithJacobiSolver() Option {
+	return func(m *Miner) error {
+		m.eigSolver = eigen.Jacobi
+		return nil
+	}
+}
+
+// WithSubspaceSolver extracts only the leading eigenpairs by block power
+// iteration instead of the full O(M³) solve — the strategy the paper's
+// footnote 1 recommends when M is large. It requires a bound on the number
+// of rules: combine with WithFixedK or WithMaxK. The Eq. 1 energy cutoff
+// still applies, using the scatter matrix's trace as the total variance.
+func WithSubspaceSolver() Option {
+	return func(m *Miner) error {
+		m.subspace = true
+		m.topK = eigen.TopK
+		return nil
+	}
+}
+
+// WithLanczosSolver extracts the leading eigenpairs with the Lanczos
+// method (full reorthogonalization) — the algorithm family the paper's
+// footnote 1 cites, and the fastest option when k ≪ M. It requires a
+// bound on the number of rules: combine with WithFixedK or WithMaxK.
+func WithLanczosSolver() Option {
+	return func(m *Miner) error {
+		m.subspace = true
+		m.topK = eigen.Lanczos
+		return nil
+	}
+}
+
+// NewMiner returns a Miner with the paper's defaults (85% energy cutoff,
+// tred2/tql2 eigensolver).
+func NewMiner(opts ...Option) (*Miner, error) {
+	m := &Miner{energy: DefaultEnergy, fixedK: -1, eigSolver: eigen.SymEig}
+	for _, o := range opts {
+		if err := o(m); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Mine streams the rows of src once, accumulating column averages and the
+// covariance matrix exactly as the paper's Fig. 2(a), then solves the
+// eigensystem (Fig. 2(b)) and retains rules per the configured cutoff.
+func (m *Miner) Mine(src RowSource) (*Rules, error) {
+	width := src.Width()
+	if width <= 0 {
+		return nil, fmt.Errorf("core: source width %d: %w", width, ErrWidth)
+	}
+	if m.attrs != nil && len(m.attrs) != width {
+		return nil, fmt.Errorf("core: %d attribute names for width %d: %w", len(m.attrs), width, ErrWidth)
+	}
+	acc := stats.NewCovAccumulator(width)
+	for {
+		row, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: reading training rows: %w", err)
+		}
+		if err := acc.Push(row); err != nil {
+			return nil, fmt.Errorf("core: accumulating row %d: %w", acc.Count(), err)
+		}
+	}
+	if acc.Count() < 2 {
+		return nil, fmt.Errorf("core: mining needs at least 2 rows, got %d", acc.Count())
+	}
+	scatter, err := acc.Scatter()
+	if err != nil {
+		return nil, fmt.Errorf("core: building covariance: %w", err)
+	}
+	means, err := acc.Means()
+	if err != nil {
+		return nil, fmt.Errorf("core: computing column averages: %w", err)
+	}
+	return m.rulesFromScatter(scatter, means, acc.Count())
+}
+
+// MineMatrix is a convenience wrapper for in-memory matrices.
+func (m *Miner) MineMatrix(x *matrix.Dense) (*Rules, error) {
+	return m.Mine(NewMatrixSource(x))
+}
+
+// rulesFromScatter solves the eigensystem of the scatter matrix and applies
+// the retention cutoff.
+func (m *Miner) rulesFromScatter(scatter *matrix.Dense, means []float64, n int) (*Rules, error) {
+	var (
+		sys   *eigen.System
+		total float64
+		err   error
+	)
+	if m.subspace {
+		sys, total, err = m.leadingPairs(scatter)
+	} else {
+		sys, err = m.eigSolver(scatter)
+		if err == nil {
+			// Clamp round-off negatives: a scatter matrix is PSD.
+			for i, l := range sys.Values {
+				if l < 0 {
+					sys.Values[i] = 0
+				}
+				total += sys.Values[i]
+			}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: eigensystem of %d×%d covariance: %w",
+			scatter.Rows(), scatter.Cols(), err)
+	}
+	k := m.chooseK(sys.Values, total)
+	cols := make([]int, k)
+	for i := range cols {
+		cols[i] = i
+	}
+	// Per-attribute residual variance: training variance minus the part
+	// captured by the retained rules. This prices the uncertainty of a
+	// reconstructed cell (see Rules.ResidualStd / FillRecordWithBands).
+	dim, _ := scatter.Dims()
+	residStd := make([]float64, dim)
+	denom := float64(n - 1)
+	for j := 0; j < dim; j++ {
+		captured := 0.0
+		for i := 0; i < k; i++ {
+			v := sys.Vectors.At(j, i)
+			captured += sys.Values[i] * v * v
+		}
+		if resid := scatter.At(j, j) - captured; resid > 0 && denom > 0 {
+			residStd[j] = math.Sqrt(resid / denom)
+		}
+	}
+	return &Rules{
+		attrs:         m.attrs,
+		means:         means,
+		v:             sys.Vectors.SelectCols(cols),
+		eigenvalues:   append([]float64(nil), sys.Values[:k]...),
+		totalVariance: total,
+		trainedRows:   n,
+		residStd:      residStd,
+	}, nil
+}
+
+// leadingPairs extracts just the eigenpairs the cutoff can possibly
+// retain, via subspace iteration, with the trace supplying the total
+// variance for Eq. 1.
+func (m *Miner) leadingPairs(scatter *matrix.Dense) (*eigen.System, float64, error) {
+	dim, _ := scatter.Dims()
+	var total float64
+	for i := 0; i < dim; i++ {
+		if v := scatter.At(i, i); v > 0 {
+			total += v
+		}
+	}
+	if m.fixedK == 0 {
+		// col-avgs degenerate case: no pairs needed.
+		return &eigen.System{Vectors: matrix.NewDense(dim, 0)}, total, nil
+	}
+	bound := m.fixedK
+	if bound < 0 {
+		bound = m.maxK
+	}
+	if bound <= 0 {
+		return nil, 0, fmt.Errorf("core: subspace solver needs WithFixedK or WithMaxK")
+	}
+	if bound > dim {
+		bound = dim
+	}
+	sys, err := m.topK(scatter, bound)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, l := range sys.Values {
+		if l < 0 {
+			sys.Values[i] = 0
+		}
+	}
+	return sys, total, nil
+}
+
+// chooseK implements Eq. 1: the smallest k whose eigenvalues cover the
+// energy threshold, clamped by fixedK/maxK when configured.
+func (m *Miner) chooseK(values []float64, total float64) int {
+	if m.fixedK >= 0 {
+		if m.fixedK > len(values) {
+			return len(values)
+		}
+		return m.fixedK
+	}
+	if total <= 0 {
+		return 0
+	}
+	var sum float64
+	k := len(values)
+	for i, l := range values {
+		sum += l
+		if sum/total >= m.energy {
+			k = i + 1
+			break
+		}
+	}
+	if m.maxK > 0 && k > m.maxK {
+		k = m.maxK
+	}
+	return k
+}

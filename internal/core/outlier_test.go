@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ratiorules/internal/matrix"
+)
+
+// outlierFixture builds strongly correlated data with one planted anomaly:
+// row `badRow` breaks the correlation at column `badCol`.
+func outlierFixture(rng *rand.Rand, n, m, badRow, badCol int) *matrix.Dense {
+	x := matrix.NewDense(n, m)
+	for i := 0; i < n; i++ {
+		v := 5 + rng.NormFloat64()
+		row := x.RawRow(i)
+		for j := range row {
+			row[j] = v*float64(j+1) + rng.NormFloat64()*0.05
+		}
+	}
+	x.Set(badRow, badCol, x.At(badRow, badCol)*4)
+	return x
+}
+
+func TestCellOutliersFindsPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	x := outlierFixture(rng, 100, 4, 17, 2)
+	rules := mineK(t, x, 1)
+	got, err := rules.CellOutliers(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no outliers found")
+	}
+	top := got[0]
+	if top.Row != 17 || top.Col != 2 {
+		t.Errorf("top outlier at (%d,%d), want (17,2)", top.Row, top.Col)
+	}
+	if top.Score < 2 {
+		t.Errorf("top score = %v, want >= 2", top.Score)
+	}
+	if math.Abs(top.Actual-x.At(17, 2)) > 1e-12 {
+		t.Errorf("Actual = %v, want %v", top.Actual, x.At(17, 2))
+	}
+	// Predicted should be near the unbroken value (¼ of actual).
+	if math.Abs(top.Predicted-top.Actual/4) > 0.3*math.Abs(top.Actual/4) {
+		t.Errorf("Predicted = %v, want ≈ %v", top.Predicted, top.Actual/4)
+	}
+	// Results sorted by descending score.
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Error("outliers not sorted by descending score")
+		}
+	}
+}
+
+func TestCellOutliersDefaultSigma(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := outlierFixture(rng, 80, 3, 5, 1)
+	rules := mineK(t, x, 1)
+	a, err := rules.CellOutliers(x, 0) // 0 selects the default
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rules.CellOutliers(x, DefaultOutlierSigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Errorf("default sigma gave %d outliers, explicit 2.0 gave %d", len(a), len(b))
+	}
+}
+
+func TestCellOutliersWidthError(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	x := outlierFixture(rng, 50, 3, 5, 1)
+	rules := mineK(t, x, 1)
+	if _, err := rules.CellOutliers(matrix.NewDense(5, 9), 2); !errors.Is(err, ErrWidth) {
+		t.Errorf("err = %v, want ErrWidth", err)
+	}
+}
+
+func TestRowOutliersFindsPlantedRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n, m := 120, 5
+	x := matrix.NewDense(n, m)
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64() * 3
+		row := x.RawRow(i)
+		for j := range row {
+			row[j] = v*float64(j+1) + rng.NormFloat64()*0.05
+		}
+	}
+	// Row 40 points in a direction orthogonal to the dominant correlation.
+	x.SetRow(40, []float64{10, -10, 10, -10, 10})
+	rules := mineK(t, x, 1)
+	got, err := rules.RowOutliers(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no row outliers found")
+	}
+	if got[0].Row != 40 {
+		t.Errorf("top row outlier = %d, want 40", got[0].Row)
+	}
+	if got[0].Distance <= 0 || got[0].Score < 3 {
+		t.Errorf("outlier stats = %+v", got[0])
+	}
+}
+
+func TestRowOutliersPerfectDataNone(t *testing.T) {
+	// Data exactly on the plane: all distances 0, no outliers, no NaNs.
+	rng := rand.New(rand.NewSource(34))
+	x := planeData(rng, 60, 4, 2)
+	rules := mineK(t, x, 2)
+	got, err := rules.RowOutliers(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d outliers on perfect data, want 0", len(got))
+	}
+}
+
+func TestRowOutliersWidthError(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	x := planeData(rng, 40, 4, 2)
+	rules := mineK(t, x, 2)
+	if _, err := rules.RowOutliers(matrix.NewDense(5, 9), 2); !errors.Is(err, ErrWidth) {
+		t.Errorf("err = %v, want ErrWidth", err)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"ratiorules/internal/stats"
+)
+
+// MineSharded mines rules from several row shards concurrently: one
+// goroutine accumulates the single-pass covariance sums per shard, the
+// partial accumulators are merged exactly (plain additions), and a single
+// eigensolve finishes the job. The result is bit-for-bit the same rules
+// the sequential Mine would produce on the concatenated shards, because
+// the paper's Fig. 2(a) sums are order-independent up to floating-point
+// re-association.
+//
+// All shards must report the same Width. An error in any shard aborts the
+// whole mine.
+func (m *Miner) MineSharded(shards []RowSource) (*Rules, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("core: MineSharded with no shards: %w", ErrWidth)
+	}
+	width := shards[0].Width()
+	if width <= 0 {
+		return nil, fmt.Errorf("core: shard width %d: %w", width, ErrWidth)
+	}
+	for i, s := range shards {
+		if s.Width() != width {
+			return nil, fmt.Errorf("core: shard %d width %d, want %d: %w",
+				i, s.Width(), width, ErrWidth)
+		}
+	}
+	if m.attrs != nil && len(m.attrs) != width {
+		return nil, fmt.Errorf("core: %d attribute names for width %d: %w",
+			len(m.attrs), width, ErrWidth)
+	}
+
+	accs := make([]*stats.CovAccumulator, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		wg.Add(1)
+		go func(i int, shard RowSource) {
+			defer wg.Done()
+			acc := stats.NewCovAccumulator(width)
+			for {
+				row, err := shard.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("core: shard %d: %w", i, err)
+					return
+				}
+				if err := acc.Push(row); err != nil {
+					errs[i] = fmt.Errorf("core: shard %d row %d: %w", i, acc.Count(), err)
+					return
+				}
+			}
+			accs[i] = acc
+		}(i, shard)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	total := accs[0]
+	for _, acc := range accs[1:] {
+		if err := total.Merge(acc); err != nil {
+			return nil, fmt.Errorf("core: merging shard accumulators: %w", err)
+		}
+	}
+	if total.Count() < 2 {
+		return nil, fmt.Errorf("core: mining needs at least 2 rows, got %d", total.Count())
+	}
+	scatter, err := total.Scatter()
+	if err != nil {
+		return nil, fmt.Errorf("core: building covariance: %w", err)
+	}
+	means, err := total.Means()
+	if err != nil {
+		return nil, fmt.Errorf("core: computing column averages: %w", err)
+	}
+	return m.rulesFromScatter(scatter, means, total.Count())
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ratiorules/internal/matrix"
+)
+
+func TestMineShardedEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	x := randomCorrelated(rng, 400, 6)
+	miner, err := NewMiner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := miner.MineMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard into 4 uneven pieces.
+	bounds := []int{0, 83, 200, 311, 400}
+	shards := make([]RowSource, 4)
+	for i := 0; i < 4; i++ {
+		shards[i] = NewMatrixSource(x.SelectRows(seq2(bounds[i], bounds[i+1])))
+	}
+	par, err := miner.MineSharded(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.K() != seq.K() || par.TrainedRows() != seq.TrainedRows() {
+		t.Fatalf("K/rows = %d/%d, want %d/%d", par.K(), par.TrainedRows(), seq.K(), seq.TrainedRows())
+	}
+	if !matrix.EqualApproxVec(par.Means(), seq.Means(), 1e-9) {
+		t.Error("means differ")
+	}
+	if !matrix.EqualApproxVec(par.Eigenvalues(), seq.Eigenvalues(), 1e-6*(1+seq.Eigenvalues()[0])) {
+		t.Errorf("eigenvalues differ:\nseq %v\npar %v", seq.Eigenvalues(), par.Eigenvalues())
+	}
+	for i := 0; i < seq.K(); i++ {
+		if !matrix.EqualApproxVec(par.Rule(i), seq.Rule(i), 1e-7) {
+			t.Errorf("rule %d differs", i)
+		}
+	}
+}
+
+func TestMineShardedValidation(t *testing.T) {
+	miner, _ := NewMiner()
+	if _, err := miner.MineSharded(nil); !errors.Is(err, ErrWidth) {
+		t.Errorf("no shards: err = %v, want ErrWidth", err)
+	}
+	a := NewMatrixSource(matrix.NewDense(3, 2))
+	b := NewMatrixSource(matrix.NewDense(3, 4))
+	if _, err := miner.MineSharded([]RowSource{a, b}); !errors.Is(err, ErrWidth) {
+		t.Errorf("mixed widths: err = %v, want ErrWidth", err)
+	}
+	zero := NewMatrixSource(matrix.NewDense(0, 0))
+	if _, err := miner.MineSharded([]RowSource{zero}); !errors.Is(err, ErrWidth) {
+		t.Errorf("zero width: err = %v, want ErrWidth", err)
+	}
+}
+
+func TestMineShardedPropagatesShardError(t *testing.T) {
+	miner, _ := NewMiner()
+	good := NewMatrixSource(matrix.MustFromRows([][]float64{{1, 2}, {3, 4}}))
+	_, err := miner.MineSharded([]RowSource{good, &errSource{}})
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Errorf("err = %v, want wrapped shard error", err)
+	}
+}
+
+func TestMineShardedTooFewRows(t *testing.T) {
+	miner, _ := NewMiner()
+	one := NewMatrixSource(matrix.MustFromRows([][]float64{{1, 2}}))
+	if _, err := miner.MineSharded([]RowSource{one}); err == nil {
+		t.Error("single row across shards must fail")
+	}
+}
+
+func seq2(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"ratiorules/internal/matrix"
+)
+
+// Project maps every row of x onto the first dims Ratio Rules, returning an
+// N×dims matrix of RR-space coordinates. This is the paper's visualization
+// primitive (Sec. 6.1): projecting onto the first two or three rules
+// reveals clusters, linear correlations and outliers (Figs. 9 and 11).
+func (r *Rules) Project(x *matrix.Dense, dims int) (*matrix.Dense, error) {
+	n, m := x.Dims()
+	if m != r.M() {
+		return nil, fmt.Errorf("core: projecting %d-wide matrix with %d-wide rules: %w",
+			m, r.M(), ErrWidth)
+	}
+	if dims < 1 || dims > r.K() {
+		return nil, fmt.Errorf("core: projection onto %d rules, have %d: %w", dims, r.K(), ErrNoRules)
+	}
+	out := matrix.NewDense(n, dims)
+	for i := 0; i < n; i++ {
+		row := x.RawRow(i)
+		for c := 0; c < dims; c++ {
+			var s float64
+			for j := 0; j < m; j++ {
+				s += (row[j] - r.means[j]) * r.v.At(j, c)
+			}
+			out.Set(i, c, s)
+		}
+	}
+	return out, nil
+}
+
+// ProjectRow maps a single record onto the first dims rules.
+func (r *Rules) ProjectRow(row []float64, dims int) ([]float64, error) {
+	if len(row) != r.M() {
+		return nil, fmt.Errorf("core: projecting %d-wide record with %d-wide rules: %w",
+			len(row), r.M(), ErrWidth)
+	}
+	if dims < 1 || dims > r.K() {
+		return nil, fmt.Errorf("core: projection onto %d rules, have %d: %w", dims, r.K(), ErrNoRules)
+	}
+	out := make([]float64, dims)
+	for c := 0; c < dims; c++ {
+		var s float64
+		for j := range row {
+			s += (row[j] - r.means[j]) * r.v.At(j, c)
+		}
+		out[c] = s
+	}
+	return out, nil
+}
+
+// Reconstruct maps RR-space coordinates back to attribute space:
+// x̂ = V·coords + mean. It is the inverse of ProjectRow restricted to the
+// RR-hyperplane.
+func (r *Rules) Reconstruct(coords []float64) ([]float64, error) {
+	if len(coords) > r.K() {
+		return nil, fmt.Errorf("core: reconstructing from %d coords with %d rules: %w",
+			len(coords), r.K(), ErrNoRules)
+	}
+	m := r.M()
+	out := make([]float64, m)
+	for j := 0; j < m; j++ {
+		s := r.means[j]
+		for c := range coords {
+			s += r.v.At(j, c) * coords[c]
+		}
+		out[j] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ratiorules/internal/matrix"
+)
+
+// corruptedLine builds y = 2x data with a handful of wildly wrong rows.
+func corruptedLine(rng *rand.Rand, n, bad int) ([][2]float64, [][]float64) {
+	rows := make([][]float64, n)
+	var planted [][2]float64
+	for i := 0; i < n; i++ {
+		v := 1 + rng.Float64()*9
+		rows[i] = []float64{v, 2 * v}
+	}
+	for b := 0; b < bad; b++ {
+		i := 10 + b*7
+		rows[i] = []float64{5, -40 - float64(b)*10} // nowhere near the line
+		planted = append(planted, [2]float64{float64(i), 0})
+	}
+	return planted, rows
+}
+
+func TestMineRobustRecoversSlope(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	planted, raw := corruptedLine(rng, 200, 6)
+	x := mustMatrix(t, raw)
+
+	miner, err := NewMiner(WithFixedK(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := miner.MineMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := miner.MineRobust(x, RobustConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope := func(r *Rules) float64 {
+		rr := r.Rule(0)
+		return rr[1] / rr[0]
+	}
+	if math.Abs(slope(res.Rules)-2) > 0.02 {
+		t.Errorf("robust slope = %v, want ≈ 2", slope(res.Rules))
+	}
+	// Plain mining must be visibly worse for the comparison to matter.
+	if math.Abs(slope(plain)-2) < math.Abs(slope(res.Rules)-2) {
+		t.Errorf("plain mining (slope %v) beat robust (%v)?", slope(plain), slope(res.Rules))
+	}
+	// All planted rows trimmed.
+	trimmedSet := map[int]bool{}
+	for _, i := range res.TrimmedRows {
+		trimmedSet[i] = true
+	}
+	for _, p := range planted {
+		if !trimmedSet[int(p[0])] {
+			t.Errorf("planted bad row %d not trimmed (trimmed: %v)", int(p[0]), res.TrimmedRows)
+		}
+	}
+	if res.Rounds < 1 {
+		t.Errorf("Rounds = %d", res.Rounds)
+	}
+}
+
+func TestMineRobustCleanDataTrimsLittle(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	x := planeData(rng, 300, 4, 2)
+	for i := 0; i < 300; i++ {
+		row := x.RawRow(i)
+		for j := range row {
+			row[j] += rng.NormFloat64() * 0.1
+		}
+	}
+	miner, err := NewMiner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := miner.MineRobust(x, RobustConfig{TrimSigma: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TrimmedRows) > 30 {
+		t.Errorf("trimmed %d of 300 clean rows", len(res.TrimmedRows))
+	}
+}
+
+func TestMineRobustKeepFracGuard(t *testing.T) {
+	// A pathological threshold that would flag half the data: the keep
+	// guard must stop trimming instead of eating the dataset.
+	rng := rand.New(rand.NewSource(93))
+	x := planeData(rng, 100, 3, 1)
+	for i := 0; i < 100; i++ {
+		row := x.RawRow(i)
+		for j := range row {
+			row[j] += rng.NormFloat64() * 2
+		}
+	}
+	miner, err := NewMiner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := miner.MineRobust(x, RobustConfig{TrimSigma: 0.3, Rounds: 10, MinKeepFrac: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept := 100 - len(res.TrimmedRows); kept < 80 {
+		t.Errorf("kept %d rows, guard demands >= 80", kept)
+	}
+}
+
+func TestMineRobustPropagatesMineError(t *testing.T) {
+	miner, err := NewMiner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mustMatrix(t, [][]float64{{1, 2}})
+	if _, err := miner.MineRobust(x, RobustConfig{}); err == nil {
+		t.Error("single-row input must fail")
+	}
+}
+
+func mustMatrix(t *testing.T, rows [][]float64) *matrix.Dense {
+	t.Helper()
+	m, err := matrix.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ratiorules/internal/matrix"
+	"ratiorules/internal/stats"
+)
+
+// SparseRowSource yields sparse rows of a data matrix, for single-pass
+// mining of wide, mostly-zero matrices such as market baskets (the
+// footnote-1 regime of the paper, where M is large but each row touches a
+// few columns). NextSparse returns io.EOF after the last row; the returned
+// vector's slices may be reused between calls.
+type SparseRowSource interface {
+	// Width reports the number of attributes M.
+	Width() int
+	// NextSparse returns the next row in sparse form or io.EOF.
+	NextSparse() (matrix.SparseVec, error)
+}
+
+// MineSparse streams sparse rows through the single-pass accumulator,
+// touching only nonzero cells: O(nnz²) work per row instead of O(M²). The
+// rules produced are identical to dense mining of the materialized matrix.
+func (m *Miner) MineSparse(src SparseRowSource) (*Rules, error) {
+	width := src.Width()
+	if width <= 0 {
+		return nil, fmt.Errorf("core: sparse source width %d: %w", width, ErrWidth)
+	}
+	if m.attrs != nil && len(m.attrs) != width {
+		return nil, fmt.Errorf("core: %d attribute names for width %d: %w", len(m.attrs), width, ErrWidth)
+	}
+	acc := stats.NewCovAccumulator(width)
+	for {
+		row, err := src.NextSparse()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: reading sparse rows: %w", err)
+		}
+		if err := acc.PushSparse(row); err != nil {
+			return nil, fmt.Errorf("core: accumulating sparse row %d: %w", acc.Count(), err)
+		}
+	}
+	if acc.Count() < 2 {
+		return nil, fmt.Errorf("core: mining needs at least 2 rows, got %d", acc.Count())
+	}
+	scatter, err := acc.Scatter()
+	if err != nil {
+		return nil, fmt.Errorf("core: building covariance: %w", err)
+	}
+	means, err := acc.Means()
+	if err != nil {
+		return nil, fmt.Errorf("core: computing column averages: %w", err)
+	}
+	return m.rulesFromScatter(scatter, means, acc.Count())
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ratiorules/internal/matrix"
+	"ratiorules/internal/stats"
+)
+
+// StreamMiner maintains the single-pass covariance sums incrementally so
+// rules can be (re-)derived at any point of an unbounded stream — an
+// extension of the paper's one-pass algorithm to continuous operation.
+// Push is O(M²); Rules costs one O(M³) eigensolve on the current sums and
+// can be called as often as needed.
+//
+// An optional exponential decay geometrically down-weights old rows so
+// the rules track drifting ratios; with decay 0 (the default) the stream
+// miner is exactly equivalent to batch mining of all pushed rows.
+//
+// StreamMiner is not safe for concurrent use; wrap it in a mutex if
+// multiple goroutines push.
+type StreamMiner struct {
+	miner *Miner
+	width int
+	decay float64
+
+	// Decayed sufficient statistics. With decay λ, after pushing rows
+	// x₁..xₙ the weight of xᵢ is (1−λ)^(n−i):
+	//   weight  = Σ wᵢ
+	//   sums[j] = Σ wᵢ·xᵢⱼ
+	//   cross   = Σ wᵢ·xᵢ·xᵢᵗ (upper triangle)
+	weight float64
+	count  int
+	sums   []float64
+	cross  *matrix.Dense
+}
+
+// NewStreamMiner returns a stream miner for rows of the given width,
+// configured by the same options as NewMiner, with exponential decay
+// lambda in [0, 1): each new row multiplies all previous weights by
+// (1−lambda).
+func NewStreamMiner(width int, lambda float64, opts ...Option) (*StreamMiner, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("core: stream miner width %d: %w", width, ErrWidth)
+	}
+	if lambda < 0 || lambda >= 1 {
+		return nil, fmt.Errorf("core: decay %v outside [0, 1)", lambda)
+	}
+	m, err := NewMiner(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if m.attrs != nil && len(m.attrs) != width {
+		return nil, fmt.Errorf("core: %d attribute names for width %d: %w", len(m.attrs), width, ErrWidth)
+	}
+	return &StreamMiner{
+		miner: m,
+		width: width,
+		decay: lambda,
+		sums:  make([]float64, width),
+		cross: matrix.NewDense(width, width),
+	}, nil
+}
+
+// Push folds one row into the decayed sums.
+func (s *StreamMiner) Push(row []float64) error {
+	if len(row) != s.width {
+		return fmt.Errorf("core: stream row width %d, want %d: %w", len(row), s.width, ErrWidth)
+	}
+	for j, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: stream row column %d has value %v: %w", j, v, stats.ErrBadValue)
+		}
+	}
+	if s.decay > 0 {
+		keep := 1 - s.decay
+		s.weight *= keep
+		for j := range s.sums {
+			s.sums[j] *= keep
+		}
+		for j := 0; j < s.width; j++ {
+			r := s.cross.RawRow(j)
+			for l := j; l < s.width; l++ {
+				r[l] *= keep
+			}
+		}
+	}
+	s.weight++
+	s.count++
+	for j, v := range row {
+		s.sums[j] += v
+		if v == 0 {
+			continue
+		}
+		r := s.cross.RawRow(j)
+		for l := j; l < s.width; l++ {
+			r[l] += v * row[l]
+		}
+	}
+	return nil
+}
+
+// Count reports how many rows have been pushed (undecayed).
+func (s *StreamMiner) Count() int { return s.count }
+
+// Rules derives the Ratio Rules from the current (decayed) sums. At least
+// two rows must have been pushed.
+func (s *StreamMiner) Rules() (*Rules, error) {
+	if s.count < 2 {
+		return nil, fmt.Errorf("core: stream mining needs at least 2 rows, got %d", s.count)
+	}
+	means := make([]float64, s.width)
+	for j, v := range s.sums {
+		means[j] = v / s.weight
+	}
+	scatter := matrix.NewDense(s.width, s.width)
+	for j := 0; j < s.width; j++ {
+		for l := j; l < s.width; l++ {
+			v := s.cross.At(j, l) - s.weight*means[j]*means[l]
+			scatter.Set(j, l, v)
+			scatter.Set(l, j, v)
+		}
+	}
+	return s.miner.rulesFromScatter(scatter, means, s.count)
+}

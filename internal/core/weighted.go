@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ratiorules/internal/stats"
+)
+
+// WeightedRow is a data row with an integer multiplicity, the natural
+// shape of a sales table that stores identical baskets with a count.
+type WeightedRow struct {
+	Row    []float64
+	Weight int
+}
+
+// WeightedRowSource streams weighted rows for single-pass mining of
+// count-compressed tables. NextWeighted returns io.EOF when exhausted; the
+// returned row slice may be reused between calls.
+type WeightedRowSource interface {
+	Width() int
+	NextWeighted() (WeightedRow, error)
+}
+
+// MineWeighted mines rules from count-compressed rows: each row enters the
+// covariance sums with its multiplicity, so the result is identical to
+// mining the expanded table at a fraction of the cost.
+func (m *Miner) MineWeighted(src WeightedRowSource) (*Rules, error) {
+	width := src.Width()
+	if width <= 0 {
+		return nil, fmt.Errorf("core: weighted source width %d: %w", width, ErrWidth)
+	}
+	if m.attrs != nil && len(m.attrs) != width {
+		return nil, fmt.Errorf("core: %d attribute names for width %d: %w", len(m.attrs), width, ErrWidth)
+	}
+	acc := stats.NewCovAccumulator(width)
+	for {
+		wr, err := src.NextWeighted()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: reading weighted rows: %w", err)
+		}
+		if err := acc.PushWeighted(wr.Row, wr.Weight); err != nil {
+			return nil, fmt.Errorf("core: accumulating weighted row %d: %w", acc.Count(), err)
+		}
+	}
+	if acc.Count() < 2 {
+		return nil, fmt.Errorf("core: mining needs at least 2 rows (weighted), got %d", acc.Count())
+	}
+	scatter, err := acc.Scatter()
+	if err != nil {
+		return nil, fmt.Errorf("core: building covariance: %w", err)
+	}
+	means, err := acc.Means()
+	if err != nil {
+		return nil, fmt.Errorf("core: computing column averages: %w", err)
+	}
+	return m.rulesFromScatter(scatter, means, acc.Count())
+}
+
+// WeightedSliceSource adapts an in-memory weighted table to
+// WeightedRowSource.
+type WeightedSliceSource struct {
+	Rows []WeightedRow
+	i    int
+}
+
+// Width implements WeightedRowSource; it reports the first row's width
+// (0 for an empty source).
+func (s *WeightedSliceSource) Width() int {
+	if len(s.Rows) == 0 {
+		return 0
+	}
+	return len(s.Rows[0].Row)
+}
+
+// NextWeighted implements WeightedRowSource.
+func (s *WeightedSliceSource) NextWeighted() (WeightedRow, error) {
+	if s.i >= len(s.Rows) {
+		return WeightedRow{}, io.EOF
+	}
+	r := s.Rows[s.i]
+	s.i++
+	return r, nil
+}

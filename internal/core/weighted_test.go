@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ratiorules/internal/matrix"
+	"ratiorules/internal/stats"
+)
+
+func TestMineWeightedEqualsExpanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(160))
+	// Distinct basket shapes with multiplicities.
+	var weighted []WeightedRow
+	var expandedRows [][]float64
+	for b := 0; b < 30; b++ {
+		v := 1 + rng.Float64()*9
+		row := []float64{v, 2 * v, 0.5*v + rng.NormFloat64()*0.1}
+		w := 1 + rng.Intn(9)
+		weighted = append(weighted, WeightedRow{Row: row, Weight: w})
+		for c := 0; c < w; c++ {
+			expandedRows = append(expandedRows, row)
+		}
+	}
+	expanded, err := matrix.FromRows(expandedRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner, err := NewMiner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := miner.MineMatrix(expanded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := miner.MineWeighted(&WeightedSliceSource{Rows: weighted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TrainedRows() != want.TrainedRows() {
+		t.Fatalf("TrainedRows = %d, want %d", got.TrainedRows(), want.TrainedRows())
+	}
+	if !matrix.EqualApproxVec(got.Means(), want.Means(), 1e-9) {
+		t.Error("means differ")
+	}
+	if !matrix.EqualApproxVec(got.Eigenvalues(), want.Eigenvalues(), 1e-7*(1+want.Eigenvalues()[0])) {
+		t.Error("eigenvalues differ")
+	}
+	for i := 0; i < want.K(); i++ {
+		if !matrix.EqualApproxVec(got.Rule(i), want.Rule(i), 1e-8) {
+			t.Errorf("rule %d differs", i)
+		}
+	}
+}
+
+func TestMineWeightedValidation(t *testing.T) {
+	miner, _ := NewMiner()
+	if _, err := miner.MineWeighted(&WeightedSliceSource{}); !errors.Is(err, ErrWidth) {
+		t.Errorf("empty source: err = %v, want ErrWidth", err)
+	}
+	one := &WeightedSliceSource{Rows: []WeightedRow{{Row: []float64{1, 2}, Weight: 1}}}
+	if _, err := miner.MineWeighted(one); err == nil {
+		t.Error("single weighted row must fail")
+	}
+	bad := &WeightedSliceSource{Rows: []WeightedRow{{Row: []float64{1, 2}, Weight: 0}}}
+	if _, err := miner.MineWeighted(bad); !errors.Is(err, stats.ErrBadValue) {
+		t.Errorf("zero weight: err = %v, want ErrBadValue", err)
+	}
+}
+
+func TestPushWeightedEqualsRepeatedPush(t *testing.T) {
+	a := stats.NewCovAccumulator(2)
+	b := stats.NewCovAccumulator(2)
+	row := []float64{3, -1}
+	if err := a.PushWeighted(row, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.Push(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Need a second distinct row for a defined covariance.
+	other := []float64{1, 4}
+	if err := a.PushWeighted(other, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := b.Push(other); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Count() != b.Count() {
+		t.Fatalf("counts %d vs %d", a.Count(), b.Count())
+	}
+	sa, err := a.Scatter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Scatter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(sa, sb, 1e-9*(1+sb.MaxAbs())) {
+		t.Error("weighted scatter differs from repeated pushes")
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ratiorules/internal/matrix"
+)
+
+// cerealFixture models the paper's Cheerios/milk example: demand for the
+// two products is proportional (milk = 1.5 × cheerios), with small noise.
+func cerealFixture(rng *rand.Rand, n int) *matrix.Dense {
+	x := matrix.NewDense(n, 2)
+	for i := 0; i < n; i++ {
+		c := 2 + rng.Float64()*6
+		x.SetRow(i, []float64{c, 1.5 * c * (1 + rng.NormFloat64()*0.01)})
+	}
+	return x
+}
+
+func TestWhatIfCheeriosDoubling(t *testing.T) {
+	// "We expect the demand for Cheerios to double; how much milk should we
+	// stock up on?" → milk doubles too.
+	rng := rand.New(rand.NewSource(40))
+	x := cerealFixture(rng, 300)
+	rules := mineK(t, x, 1)
+
+	base := rules.Means() // the typical demand
+	doubled, err := rules.WhatIf(Scenario{Given: map[int]float64{0: 2 * base[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMilk := 2 * 1.5 * base[0]
+	if math.Abs(doubled[1]-wantMilk) > 0.05*wantMilk {
+		t.Errorf("milk forecast = %v, want ≈ %v", doubled[1], wantMilk)
+	}
+	if doubled[0] != 2*base[0] {
+		t.Errorf("given attribute changed: %v", doubled[0])
+	}
+}
+
+func TestForecast(t *testing.T) {
+	// "If a customer spends $1 on bread and $2.50 on ham, how much will
+	// s/he spend on mayonnaise?" — three correlated products.
+	rng := rand.New(rand.NewSource(41))
+	x := matrix.NewDense(400, 3)
+	for i := 0; i < 400; i++ {
+		v := 1 + rng.Float64()*4
+		x.SetRow(i, []float64{v, 2.5 * v, 0.5 * v})
+	}
+	rules := mineK(t, x, 1)
+	mayo, err := rules.Forecast(map[int]float64{0: 1, 1: 2.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mayo-0.5) > 0.05 {
+		t.Errorf("mayonnaise forecast = %v, want ≈ 0.5", mayo)
+	}
+}
+
+func TestWhatIfErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := cerealFixture(rng, 50)
+	rules := mineK(t, x, 1)
+	if _, err := rules.WhatIf(Scenario{}); !errors.Is(err, ErrBadHole) {
+		t.Errorf("empty scenario: err = %v, want ErrBadHole", err)
+	}
+	if _, err := rules.WhatIf(Scenario{Given: map[int]float64{5: 1}}); !errors.Is(err, ErrBadHole) {
+		t.Errorf("out-of-range given: err = %v, want ErrBadHole", err)
+	}
+	if _, err := rules.WhatIf(Scenario{Given: map[int]float64{0: 1, -1: 2}}); !errors.Is(err, ErrBadHole) {
+		t.Errorf("negative given: err = %v, want ErrBadHole", err)
+	}
+}
+
+func TestForecastErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	x := cerealFixture(rng, 50)
+	rules := mineK(t, x, 1)
+	if _, err := rules.Forecast(map[int]float64{0: 1}, 9); !errors.Is(err, ErrBadHole) {
+		t.Errorf("bad target: err = %v, want ErrBadHole", err)
+	}
+	if _, err := rules.Forecast(map[int]float64{0: 1}, 0); !errors.Is(err, ErrBadHole) {
+		t.Errorf("target already given: err = %v, want ErrBadHole", err)
+	}
+}
+
+func TestProjectTrainingVariance(t *testing.T) {
+	// Projecting the training data onto the rules must yield coordinates
+	// whose scatter equals the retained eigenvalues.
+	rng := rand.New(rand.NewSource(44))
+	x := planeData(rng, 150, 5, 2)
+	rules := mineK(t, x, 2)
+	proj, err := rules.Project(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := proj.Dims()
+	if n != 150 {
+		t.Fatalf("projected rows = %d, want 150", n)
+	}
+	ev := rules.Eigenvalues()
+	for c := 0; c < 2; c++ {
+		col := proj.Col(c)
+		var ss float64
+		for _, v := range col {
+			ss += v * v
+		}
+		if math.Abs(ss-ev[c]) > 1e-6*(1+ev[c]) {
+			t.Errorf("scatter along RR%d = %v, want eigenvalue %v", c+1, ss, ev[c])
+		}
+	}
+}
+
+func TestProjectRowAndReconstructRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	x := planeData(rng, 100, 4, 2)
+	rules := mineK(t, x, 2)
+	row := x.Row(11)
+	coords, err := rules.ProjectRow(row, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := rules.Reconstruct(coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On-plane rows survive the round trip exactly.
+	if !matrix.EqualApproxVec(back, row, 1e-6*(1+matrix.Norm2(row))) {
+		t.Errorf("round trip: got %v, want %v", back, row)
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	x := planeData(rng, 50, 4, 2)
+	rules := mineK(t, x, 2)
+	if _, err := rules.Project(matrix.NewDense(3, 9), 2); !errors.Is(err, ErrWidth) {
+		t.Errorf("width: err = %v, want ErrWidth", err)
+	}
+	if _, err := rules.Project(x, 3); !errors.Is(err, ErrNoRules) {
+		t.Errorf("too many dims: err = %v, want ErrNoRules", err)
+	}
+	if _, err := rules.Project(x, 0); !errors.Is(err, ErrNoRules) {
+		t.Errorf("zero dims: err = %v, want ErrNoRules", err)
+	}
+	if _, err := rules.ProjectRow([]float64{1}, 1); !errors.Is(err, ErrWidth) {
+		t.Errorf("row width: err = %v, want ErrWidth", err)
+	}
+	if _, err := rules.ProjectRow(x.Row(0), 5); !errors.Is(err, ErrNoRules) {
+		t.Errorf("row dims: err = %v, want ErrNoRules", err)
+	}
+	if _, err := rules.Reconstruct([]float64{1, 2, 3}); !errors.Is(err, ErrNoRules) {
+		t.Errorf("reconstruct dims: err = %v, want ErrNoRules", err)
+	}
+}
+
+func TestReconstructMeansAtOrigin(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	x := planeData(rng, 60, 3, 1)
+	rules := mineK(t, x, 1)
+	got, err := rules.Reconstruct([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApproxVec(got, rules.Means(), 1e-12) {
+		t.Errorf("Reconstruct(0) = %v, want means %v", got, rules.Means())
+	}
+}

@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"ratiorules/internal/matrix"
+)
+
+// BaseballSeed is the fixed seed for the synthetic `baseball` dataset.
+const BaseballSeed = 1574
+
+// BaseballAttrs lists the 17 batting statistics of the paper's `baseball`
+// dataset (MLB batting over four seasons).
+var BaseballAttrs = []string{
+	"games",
+	"at-bats",
+	"runs",
+	"hits",
+	"doubles",
+	"triples",
+	"home runs",
+	"runs batted in",
+	"walks",
+	"strikeouts",
+	"stolen bases",
+	"caught stealing",
+	"batting average",
+	"on-base percentage",
+	"slugging percentage",
+	"plate appearances",
+	"total bases",
+}
+
+// Baseball generates the synthetic stand-in for the paper's `baseball`
+// dataset: 1574 player-seasons × 17 batting statistics.
+//
+// The latent structure is a playing-time factor (dominant: all counting
+// stats scale with at-bats), a power-vs-contact contrast (home runs and
+// strikeouts against batting average and stolen bases) and a speed factor
+// (steals, triples, runs). Rate statistics (average, OBP, slugging) are
+// derived from the counting stats exactly as their definitions dictate, so
+// the generator preserves the real dataset's mixed-scale columns (counts
+// in the hundreds alongside rates below one).
+func Baseball() *Dataset {
+	return BaseballWithSeed(BaseballSeed)
+}
+
+// BaseballWithSeed is Baseball with an explicit seed.
+func BaseballWithSeed(seed int64) *Dataset {
+	const n = 1574
+	rng := rand.New(rand.NewSource(seed))
+	x := matrix.NewDense(n, len(BaseballAttrs))
+	labels := make([]string, n)
+	for i := 0; i < n; i++ {
+		labels[i] = playerName(rng)
+		// Playing time in (0, 1]: regulars and part-timers.
+		var playtime float64
+		if rng.Float64() < 0.45 {
+			playtime = clamp(0.75+0.15*rng.NormFloat64(), 0.05, 1)
+		} else {
+			playtime = clamp(0.28+0.15*rng.NormFloat64(), 0.03, 1)
+		}
+		power := clamp(rng.NormFloat64()*0.7, -1.5, 1.8)
+		speed := clamp(rng.NormFloat64()*0.7-0.25*power, -1.5, 1.8)
+		x.SetRow(i, baseballRow(rng, playtime, power, speed))
+	}
+	return &Dataset{Name: "baseball", Attrs: BaseballAttrs, Labels: labels, X: x}
+}
+
+func baseballRow(rng *rand.Rand, playtime, power, speed float64) []float64 {
+	noise := func(sd float64) float64 { return 1 + sd*rng.NormFloat64() }
+	pos := func(v float64) float64 { return math.Max(0, v) }
+
+	games := pos(158 * playtime * noise(0.05))
+	atBats := pos(games * 3.6 * noise(0.06))
+	// Contact hitters bat for average; power hitters trade average for
+	// home runs and strikeouts.
+	avg := clamp(0.258-0.016*power+0.022*rng.NormFloat64(), 0.130, 0.370)
+	hits := pos(atBats * avg * noise(0.02))
+	doubles := pos(hits * (0.17 + 0.02*power) * noise(0.12))
+	triples := pos(hits * (0.018 + 0.02*pos(speed)) * noise(0.3))
+	homeRuns := pos(atBats * (0.012 + 0.024*pos(power) - 0.004*pos(speed)) * noise(0.2))
+	walks := pos(atBats * (0.095 + 0.02*power) * noise(0.12))
+	strikeouts := pos(atBats * (0.14 + 0.05*power) * noise(0.12))
+	stolen := pos(games * (0.04 + 0.22*pos(speed)) * noise(0.25))
+	caught := pos(stolen * 0.38 * noise(0.25))
+	runs := pos((hits*0.42 + walks*0.30 + stolen*0.25) * noise(0.08))
+	rbi := pos((hits*0.40 + homeRuns*1.4) * noise(0.10))
+	plateApp := atBats + walks
+	singles := math.Max(0, hits-doubles-triples-homeRuns)
+	totalBases := singles + 2*doubles + 3*triples + 4*homeRuns
+	var obp, slg float64
+	if plateApp > 0 {
+		obp = (hits + walks) / plateApp
+	}
+	if atBats > 0 {
+		slg = totalBases / atBats
+	}
+
+	return []float64{
+		games, atBats, runs, hits, doubles, triples, homeRuns, rbi,
+		walks, strikeouts, stolen, caught, avg, obp, slg, plateApp, totalBases,
+	}
+}

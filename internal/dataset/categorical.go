@@ -1,0 +1,202 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"ratiorules/internal/matrix"
+)
+
+// The paper closes with: "Future research could focus on applying Ratio
+// Rules to datasets that contain categorical data." This file implements
+// that extension: a one-hot (dummy) encoder that maps mixed
+// categorical/numeric records onto a purely numeric matrix the miner can
+// consume, and decodes filled records back, choosing the highest-scoring
+// level for each reconstructed categorical field.
+
+// ErrUnknownLevel is returned when encoding meets a category level that
+// was not present during Fit.
+var ErrUnknownLevel = errors.New("dataset: unknown categorical level")
+
+// ErrSchema is returned for records that do not match the encoder schema.
+var ErrSchema = errors.New("dataset: record does not match schema")
+
+// Field describes one column of a mixed record.
+type Field struct {
+	Name string
+	// Categorical marks the field for one-hot expansion; otherwise the
+	// field must parse as a float.
+	Categorical bool
+}
+
+// CategoricalEncoder one-hot encodes mixed records. Construct with
+// NewCategoricalEncoder, then Fit on training records before Encode.
+type CategoricalEncoder struct {
+	fields []Field
+	levels [][]string       // per categorical field: sorted level names
+	index  []map[string]int // per categorical field: level -> position
+	attrs  []string         // expanded attribute names
+	starts []int            // expanded start column per field
+	width  int
+}
+
+// NewCategoricalEncoder returns an encoder for the given schema.
+func NewCategoricalEncoder(fields []Field) *CategoricalEncoder {
+	return &CategoricalEncoder{fields: append([]Field(nil), fields...)}
+}
+
+// Fit discovers the level set of every categorical field from the
+// training records and freezes the expanded layout.
+func (e *CategoricalEncoder) Fit(records [][]string) error {
+	nf := len(e.fields)
+	levelSets := make([]map[string]bool, nf)
+	for i, f := range e.fields {
+		if f.Categorical {
+			levelSets[i] = map[string]bool{}
+		}
+	}
+	for r, rec := range records {
+		if len(rec) != nf {
+			return fmt.Errorf("dataset: record %d has %d fields, want %d: %w", r, len(rec), nf, ErrSchema)
+		}
+		for i, f := range e.fields {
+			if f.Categorical {
+				levelSets[i][rec[i]] = true
+				continue
+			}
+			if _, err := strconv.ParseFloat(rec[i], 64); err != nil {
+				return fmt.Errorf("dataset: record %d field %q: %w", r, f.Name, err)
+			}
+		}
+	}
+	e.levels = make([][]string, nf)
+	e.index = make([]map[string]int, nf)
+	e.attrs = e.attrs[:0]
+	e.starts = make([]int, nf)
+	col := 0
+	for i, f := range e.fields {
+		e.starts[i] = col
+		if !f.Categorical {
+			e.attrs = append(e.attrs, f.Name)
+			col++
+			continue
+		}
+		lv := make([]string, 0, len(levelSets[i]))
+		for l := range levelSets[i] {
+			lv = append(lv, l)
+		}
+		sort.Strings(lv)
+		if len(lv) == 0 {
+			return fmt.Errorf("dataset: categorical field %q has no levels: %w", f.Name, ErrSchema)
+		}
+		e.levels[i] = lv
+		e.index[i] = make(map[string]int, len(lv))
+		for p, l := range lv {
+			e.index[i][l] = p
+			e.attrs = append(e.attrs, f.Name+"="+l)
+		}
+		col += len(lv)
+	}
+	e.width = col
+	return nil
+}
+
+// Width reports the expanded numeric width (0 before Fit).
+func (e *CategoricalEncoder) Width() int { return e.width }
+
+// Attrs returns the expanded attribute names.
+func (e *CategoricalEncoder) Attrs() []string {
+	return append([]string(nil), e.attrs...)
+}
+
+// FieldColumns returns the expanded column range [start, end) of field i.
+func (e *CategoricalEncoder) FieldColumns(i int) (start, end int, err error) {
+	if e.width == 0 {
+		return 0, 0, fmt.Errorf("dataset: encoder not fitted: %w", ErrSchema)
+	}
+	if i < 0 || i >= len(e.fields) {
+		return 0, 0, fmt.Errorf("dataset: field %d out of range [0,%d): %w", i, len(e.fields), ErrSchema)
+	}
+	start = e.starts[i]
+	if i+1 < len(e.fields) {
+		end = e.starts[i+1]
+	} else {
+		end = e.width
+	}
+	return start, end, nil
+}
+
+// Encode maps one mixed record onto the expanded numeric row.
+func (e *CategoricalEncoder) Encode(record []string) ([]float64, error) {
+	if e.width == 0 {
+		return nil, fmt.Errorf("dataset: encoder not fitted: %w", ErrSchema)
+	}
+	if len(record) != len(e.fields) {
+		return nil, fmt.Errorf("dataset: record has %d fields, want %d: %w", len(record), len(e.fields), ErrSchema)
+	}
+	row := make([]float64, e.width)
+	for i, f := range e.fields {
+		if !f.Categorical {
+			v, err := strconv.ParseFloat(record[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: field %q: %w", f.Name, err)
+			}
+			row[e.starts[i]] = v
+			continue
+		}
+		p, ok := e.index[i][record[i]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: field %q level %q: %w", f.Name, record[i], ErrUnknownLevel)
+		}
+		row[e.starts[i]+p] = 1
+	}
+	return row, nil
+}
+
+// EncodeAll encodes the records into a Dataset ready for mining.
+func (e *CategoricalEncoder) EncodeAll(name string, records [][]string) (*Dataset, error) {
+	if e.width == 0 {
+		if err := e.Fit(records); err != nil {
+			return nil, err
+		}
+	}
+	x := matrix.NewDense(len(records), e.width)
+	for i, rec := range records {
+		row, err := e.Encode(rec)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: record %d: %w", i, err)
+		}
+		x.SetRow(i, row)
+	}
+	return &Dataset{Name: name, Attrs: e.Attrs(), X: x}, nil
+}
+
+// Decode maps an expanded numeric row (e.g. a reconstruction from
+// Rules.FillRow) back to a mixed record: numeric fields are formatted,
+// categorical fields take the level with the highest score.
+func (e *CategoricalEncoder) Decode(row []float64) ([]string, error) {
+	if e.width == 0 {
+		return nil, fmt.Errorf("dataset: encoder not fitted: %w", ErrSchema)
+	}
+	if len(row) != e.width {
+		return nil, fmt.Errorf("dataset: row width %d, want %d: %w", len(row), e.width, ErrSchema)
+	}
+	out := make([]string, len(e.fields))
+	for i, f := range e.fields {
+		start := e.starts[i]
+		if !f.Categorical {
+			out[i] = strconv.FormatFloat(row[start], 'g', -1, 64)
+			continue
+		}
+		best, arg := row[start], 0
+		for p := 1; p < len(e.levels[i]); p++ {
+			if row[start+p] > best {
+				best, arg = row[start+p], p
+			}
+		}
+		out[i] = e.levels[i][arg]
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"ratiorules/internal/core"
+)
+
+func mixedSchema() []Field {
+	return []Field{
+		{Name: "segment", Categorical: true},
+		{Name: "bread"},
+		{Name: "butter"},
+	}
+}
+
+func TestEncoderFitEncodeDecode(t *testing.T) {
+	enc := NewCategoricalEncoder(mixedSchema())
+	records := [][]string{
+		{"family", "4", "2"},
+		{"single", "1", "0.5"},
+		{"family", "5", "2.5"},
+	}
+	if err := enc.Fit(records); err != nil {
+		t.Fatal(err)
+	}
+	if enc.Width() != 4 { // 2 levels + 2 numerics
+		t.Fatalf("Width = %d, want 4", enc.Width())
+	}
+	attrs := enc.Attrs()
+	want := []string{"segment=family", "segment=single", "bread", "butter"}
+	for i, w := range want {
+		if attrs[i] != w {
+			t.Errorf("attrs[%d] = %q, want %q", i, attrs[i], w)
+		}
+	}
+	row, err := enc.Encode([]string{"single", "1", "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 0 || row[1] != 1 || row[2] != 1 || row[3] != 0.5 {
+		t.Errorf("Encode = %v", row)
+	}
+	rec, err := enc.Decode(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec[0] != "single" || rec[1] != "1" || rec[2] != "0.5" {
+		t.Errorf("Decode = %v", rec)
+	}
+}
+
+func TestEncoderErrors(t *testing.T) {
+	enc := NewCategoricalEncoder(mixedSchema())
+	// Unfitted.
+	if _, err := enc.Encode([]string{"family", "1", "2"}); !errors.Is(err, ErrSchema) {
+		t.Errorf("unfitted Encode: err = %v, want ErrSchema", err)
+	}
+	if _, err := enc.Decode([]float64{1}); !errors.Is(err, ErrSchema) {
+		t.Errorf("unfitted Decode: err = %v, want ErrSchema", err)
+	}
+	if _, _, err := enc.FieldColumns(0); !errors.Is(err, ErrSchema) {
+		t.Errorf("unfitted FieldColumns: err = %v, want ErrSchema", err)
+	}
+	// Bad training data.
+	if err := enc.Fit([][]string{{"a", "x", "1"}}); err == nil {
+		t.Error("non-numeric numeric field must fail")
+	}
+	if err := enc.Fit([][]string{{"a", "1"}}); !errors.Is(err, ErrSchema) {
+		t.Errorf("ragged record: err = %v, want ErrSchema", err)
+	}
+	// Fit properly, then bad encodes.
+	if err := enc.Fit([][]string{{"family", "1", "2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Encode([]string{"alien", "1", "2"}); !errors.Is(err, ErrUnknownLevel) {
+		t.Errorf("unknown level: err = %v, want ErrUnknownLevel", err)
+	}
+	if _, err := enc.Encode([]string{"family", "x", "2"}); err == nil {
+		t.Error("non-numeric encode must fail")
+	}
+	if _, err := enc.Encode([]string{"family"}); !errors.Is(err, ErrSchema) {
+		t.Errorf("short record: err = %v, want ErrSchema", err)
+	}
+	if _, err := enc.Decode([]float64{1, 2}); !errors.Is(err, ErrSchema) {
+		t.Errorf("short row: err = %v, want ErrSchema", err)
+	}
+	if _, _, err := enc.FieldColumns(9); !errors.Is(err, ErrSchema) {
+		t.Errorf("bad field: err = %v, want ErrSchema", err)
+	}
+}
+
+func TestFieldColumns(t *testing.T) {
+	enc := NewCategoricalEncoder(mixedSchema())
+	if err := enc.Fit([][]string{{"a", "1", "2"}, {"b", "3", "4"}, {"c", "5", "6"}}); err != nil {
+		t.Fatal(err)
+	}
+	start, end, err := enc.FieldColumns(0)
+	if err != nil || start != 0 || end != 3 {
+		t.Errorf("segment columns = [%d,%d), %v; want [0,3)", start, end, err)
+	}
+	start, end, err = enc.FieldColumns(2)
+	if err != nil || start != 4 || end != 5 {
+		t.Errorf("butter columns = [%d,%d), %v; want [4,5)", start, end, err)
+	}
+}
+
+// TestCategoricalRatioRules is the paper's future-work scenario end to
+// end: mine Ratio Rules over one-hot encoded mixed data and use them to
+// guess a hidden category from the numeric spendings.
+func TestCategoricalRatioRules(t *testing.T) {
+	// Families buy a lot of bread and butter; singles buy little.
+	rng := rand.New(rand.NewSource(90))
+	var records [][]string
+	for i := 0; i < 600; i++ {
+		if rng.Float64() < 0.5 {
+			b := 4 + rng.Float64()*4
+			records = append(records, []string{"family",
+				fmt.Sprintf("%.3f", b), fmt.Sprintf("%.3f", 0.5*b)})
+		} else {
+			b := 0.5 + rng.Float64()*1.5
+			records = append(records, []string{"single",
+				fmt.Sprintf("%.3f", b), fmt.Sprintf("%.3f", 0.5*b)})
+		}
+	}
+	enc := NewCategoricalEncoder(mixedSchema())
+	ds, err := enc.EncodeAll("groceries", records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner, err := core.NewMiner(core.WithAttrNames(ds.Attrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := miner.MineMatrix(ds.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new customer spent $6.50 on bread, $3.20 on butter; which segment?
+	segStart, segEnd, err := enc.FieldColumns(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{0, 0, 6.5, 3.2}
+	holes := []int{segStart, segStart + 1}
+	_ = segEnd
+	filled, err := rules.FillRow(row, holes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := enc.Decode(filled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec[0] != "family" {
+		t.Errorf("guessed segment %q for a big-basket customer, want family (scores %v)",
+			rec[0], filled[segStart:segStart+2])
+	}
+	// And the converse for a small basket.
+	filled, err = rules.FillRow([]float64{0, 0, 0.8, 0.4}, holes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err = enc.Decode(filled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec[0] != "single" {
+		t.Errorf("guessed segment %q for a small-basket customer, want single", rec[0])
+	}
+}
+
+func TestEncodeAllAutoFits(t *testing.T) {
+	enc := NewCategoricalEncoder([]Field{{Name: "color", Categorical: true}, {Name: "size"}})
+	ds, err := enc.EncodeAll("d", [][]string{{"red", "1"}, {"blue", "2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Cols() != 3 {
+		t.Errorf("Cols = %d, want 3", ds.Cols())
+	}
+	if ds.Rows() != 2 {
+		t.Errorf("Rows = %d, want 2", ds.Rows())
+	}
+	// Round-trip each record.
+	for i, rec := range [][]string{{"red", "1"}, {"blue", "2"}} {
+		got, err := enc.Decode(ds.X.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != rec[0] || got[1] != rec[1] {
+			t.Errorf("record %d round-trip = %v, want %v", i, got, rec)
+		}
+	}
+}
+
+func TestDecodeFormatsNumbers(t *testing.T) {
+	enc := NewCategoricalEncoder([]Field{{Name: "v"}})
+	if err := enc.Fit([][]string{{"1.5"}}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := enc.Decode([]float64{2.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := strconv.ParseFloat(rec[0], 64); v != 2.25 {
+		t.Errorf("Decode numeric = %q", rec[0])
+	}
+}

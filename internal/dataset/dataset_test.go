@@ -1,0 +1,376 @@
+package dataset
+
+import (
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"ratiorules/internal/eigen"
+	"ratiorules/internal/matrix"
+	"ratiorules/internal/stats"
+)
+
+func tiny() *Dataset {
+	return &Dataset{
+		Name:   "tiny",
+		Attrs:  []string{"a", "b"},
+		Labels: []string{"r0", "r1", "r2", "r3"},
+		X: matrix.MustFromRows([][]float64{
+			{1, 10}, {2, 20}, {3, 30}, {4, 40},
+		}),
+	}
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	d := tiny()
+	if d.Rows() != 4 || d.Cols() != 2 {
+		t.Fatalf("dims = %d×%d, want 4×2", d.Rows(), d.Cols())
+	}
+	if d.Label(1) != "r1" {
+		t.Errorf("Label(1) = %q", d.Label(1))
+	}
+	if d.Label(99) != "row99" {
+		t.Errorf("Label(99) = %q, want fallback", d.Label(99))
+	}
+	unlabeled := &Dataset{X: matrix.NewDense(2, 1)}
+	if unlabeled.Label(0) != "row0" {
+		t.Errorf("unlabeled Label(0) = %q", unlabeled.Label(0))
+	}
+}
+
+func TestSplitDeterministicAndComplete(t *testing.T) {
+	d := tiny()
+	train, test, err := d.Split(0.75, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Rows() != 3 || test.Rows() != 1 {
+		t.Fatalf("split sizes %d/%d, want 3/1", train.Rows(), test.Rows())
+	}
+	// Deterministic: same seed, same split.
+	train2, test2, err := d.Split(0.75, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(train.X, train2.X, 0) || !matrix.EqualApprox(test.X, test2.X, 0) {
+		t.Error("same seed must give the same split")
+	}
+	// All rows accounted for: values 1..4 partitioned.
+	seen := map[float64]bool{}
+	for i := 0; i < train.Rows(); i++ {
+		seen[train.X.At(i, 0)] = true
+	}
+	for i := 0; i < test.Rows(); i++ {
+		v := test.X.At(i, 0)
+		if seen[v] {
+			t.Errorf("row with a=%v in both sides", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("split lost rows: %d of 4 present", len(seen))
+	}
+	// Labels follow their rows.
+	for i := 0; i < train.Rows(); i++ {
+		wantLabel := map[float64]string{1: "r0", 2: "r1", 3: "r2", 4: "r3"}[train.X.At(i, 0)]
+		if train.Labels[i] != wantLabel {
+			t.Errorf("label %q does not follow row (want %q)", train.Labels[i], wantLabel)
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	d := tiny()
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := d.Split(frac, 1); err == nil {
+			t.Errorf("Split(%v) must fail", frac)
+		}
+	}
+	// A single row cannot be split into two non-empty sides.
+	small := &Dataset{Attrs: []string{"a"}, X: matrix.MustFromRows([][]float64{{1}})}
+	if _, _, err := small.Split(0.5, 1); err == nil {
+		t.Error("split of one row must fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := tiny()
+	var buf strings.Builder
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("tiny", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(got.X, d.X, 0) {
+		t.Error("matrix did not round-trip")
+	}
+	if len(got.Attrs) != 2 || got.Attrs[1] != "b" {
+		t.Errorf("attrs = %v", got.Attrs)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad number": "a,b\n1,x\n",
+		"ragged":     "a,b\n1,2\n3\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadCSV("x", strings.NewReader(in)); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestCSVSourceStreams(t *testing.T) {
+	in := "a,b\n1,2\n3,4\n"
+	src, err := NewCSVSource(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Width() != 2 {
+		t.Fatalf("Width = %d, want 2", src.Width())
+	}
+	row, err := src.Next()
+	if err != nil || row[0] != 1 || row[1] != 2 {
+		t.Fatalf("first row = %v, %v", row, err)
+	}
+	row, err = src.Next()
+	if err != nil || row[0] != 3 || row[1] != 4 {
+		t.Fatalf("second row = %v, %v", row, err)
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestCSVSourceErrors(t *testing.T) {
+	if _, err := NewCSVSource(strings.NewReader("")); err == nil {
+		t.Error("empty input must fail")
+	}
+	src, err := NewCSVSource(strings.NewReader("a,b\n1,nope\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err == nil {
+		t.Error("non-numeric cell must fail")
+	}
+}
+
+func TestNBAShape(t *testing.T) {
+	d := NBA()
+	if d.Rows() != 459 || d.Cols() != 12 {
+		t.Fatalf("nba dims = %d×%d, want 459×12", d.Rows(), d.Cols())
+	}
+	if len(d.Attrs) != 12 || len(d.Labels) != 459 {
+		t.Fatalf("attrs/labels = %d/%d", len(d.Attrs), len(d.Labels))
+	}
+	// Non-negative stats, realistic scales.
+	minMax := func(col int) (lo, hi float64) {
+		c := d.X.Col(col)
+		lo, hi = c[0], c[0]
+		for _, v := range c {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return lo, hi
+	}
+	for j := 0; j < 12; j++ {
+		lo, _ := minMax(j)
+		if lo < 0 {
+			t.Errorf("column %q has negative value %v", d.Attrs[j], lo)
+		}
+	}
+	if _, hi := minMax(0); hi < 2500 || hi > 4000 {
+		t.Errorf("max minutes = %v, want a starter-level 2500-4000", hi)
+	}
+	if _, hi := minMax(7); hi < 1800 {
+		t.Errorf("max points = %v, want a star-level 1800+", hi)
+	}
+	// Planted outliers are labeled.
+	for i, want := range map[int]string{455: "Jordan", 456: "Rodman", 457: "Bogues", 458: "Malone"} {
+		if d.Labels[i] != want {
+			t.Errorf("label[%d] = %q, want %q", i, d.Labels[i], want)
+		}
+	}
+	// Deterministic.
+	if !matrix.EqualApprox(d.X, NBA().X, 0) {
+		t.Error("NBA() must be deterministic")
+	}
+	if matrix.EqualApprox(d.X, NBAWithSeed(1).X, 1e-9) {
+		t.Error("different seeds must differ")
+	}
+}
+
+func TestNBAPlantedExtremes(t *testing.T) {
+	d := NBA()
+	points, rebounds := d.X.Col(7), d.X.Col(9)
+	assists := d.X.Col(10)
+	// Jordan (455) leads scoring; Rodman (456) leads rebounding.
+	for i := 0; i < 455; i++ {
+		if points[i] > points[455] {
+			t.Fatalf("regular player %d out-scores the planted Jordan: %v > %v", i, points[i], points[455])
+		}
+		if rebounds[i] > rebounds[456] {
+			t.Fatalf("regular player %d out-rebounds the planted Rodman: %v > %v", i, rebounds[i], rebounds[456])
+		}
+	}
+	// Rodman rebounds much more than he scores relative to Jordan.
+	if rebounds[456] < 2*rebounds[455] {
+		t.Errorf("Rodman rebounds %v vs Jordan %v: want a big gap", rebounds[456], rebounds[455])
+	}
+	// Bogues: high assists, negligible rebounds for his minutes.
+	if assists[457] < 400 {
+		t.Errorf("Bogues assists = %v, want playmaker volume", assists[457])
+	}
+}
+
+func TestBaseballShape(t *testing.T) {
+	d := Baseball()
+	if d.Rows() != 1574 || d.Cols() != 17 {
+		t.Fatalf("baseball dims = %d×%d, want 1574×17", d.Rows(), d.Cols())
+	}
+	// Batting averages live in a plausible band.
+	avg := d.X.Col(12)
+	for i, v := range avg {
+		if v < 0.1 || v > 0.4 {
+			t.Fatalf("row %d batting average %v outside [0.1, 0.4]", i, v)
+		}
+	}
+	// Identity: total bases >= hits (every hit is at least a single).
+	hits, tb := d.X.Col(3), d.X.Col(16)
+	for i := range hits {
+		if tb[i] < hits[i]-1e-9 {
+			t.Fatalf("row %d total bases %v < hits %v", i, tb[i], hits[i])
+		}
+	}
+	if !matrix.EqualApprox(d.X, Baseball().X, 0) {
+		t.Error("Baseball() must be deterministic")
+	}
+}
+
+func TestAbaloneShape(t *testing.T) {
+	d := Abalone()
+	if d.Rows() != 4177 || d.Cols() != 7 {
+		t.Fatalf("abalone dims = %d×%d, want 4177×7", d.Rows(), d.Cols())
+	}
+	for j := 0; j < 7; j++ {
+		for _, v := range d.X.Col(j) {
+			if v < 0 {
+				t.Fatalf("column %q negative", d.Attrs[j])
+			}
+		}
+	}
+	// Diameter < length for essentially all specimens.
+	length, diam := d.X.Col(0), d.X.Col(1)
+	bad := 0
+	for i := range length {
+		if diam[i] > length[i] {
+			bad++
+		}
+	}
+	if bad > 40 {
+		t.Errorf("%d of %d specimens have diameter > length", bad, len(length))
+	}
+	if !matrix.EqualApprox(d.X, Abalone().X, 0) {
+		t.Error("Abalone() must be deterministic")
+	}
+}
+
+// The substitution argument of DESIGN.md §3 rests on the synthetic
+// datasets reproducing the eigenstructure the experiments exercise. These
+// tests pin those structural claims down.
+
+func TestAbaloneNearRankOne(t *testing.T) {
+	d := Abalone()
+	acc := stats.NewCovAccumulator(d.Cols())
+	for i := 0; i < d.Rows(); i++ {
+		if err := acc.Push(d.X.RawRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scatter, err := acc.Scatter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := eigen.SymEig(scatter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, l := range sys.Values {
+		total += l
+	}
+	if share := sys.Values[0] / total; share < 0.9 {
+		t.Errorf("abalone top-eigenvalue share = %v, want >= 0.9 (near rank one)", share)
+	}
+	// The dominant direction is all-positive: a pure size factor.
+	for j, v := range sys.Vectors.Col(0) {
+		if v < 0 {
+			t.Errorf("abalone RR1[%d] = %v, want all-positive size factor", j, v)
+		}
+	}
+}
+
+func TestBaseballPlayingTimeDominates(t *testing.T) {
+	d := Baseball()
+	acc := stats.NewCovAccumulator(d.Cols())
+	for i := 0; i < d.Rows(); i++ {
+		if err := acc.Push(d.X.RawRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scatter, err := acc.Scatter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := eigen.SymEig(scatter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, l := range sys.Values {
+		total += l
+	}
+	if share := sys.Values[0] / total; share < 0.8 {
+		t.Errorf("baseball top share = %v, want playing time to dominate", share)
+	}
+	// The largest coefficients of RR1 are the volume stats: at-bats and
+	// plate appearances (columns 1 and 15).
+	rr1 := sys.Vectors.Col(0)
+	maxJ := 0
+	for j, v := range rr1 {
+		if math.Abs(v) > math.Abs(rr1[maxJ]) {
+			maxJ = j
+		}
+	}
+	if maxJ != 1 && maxJ != 15 {
+		t.Errorf("baseball RR1 dominated by column %d (%s), want at-bats or plate appearances",
+			maxJ, d.Attrs[maxJ])
+	}
+}
+
+func TestCSVSourceHeader(t *testing.T) {
+	src, err := NewCSVSource(strings.NewReader("a,b\n1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := src.Header()
+	if len(h) != 2 || h[0] != "a" || h[1] != "b" {
+		t.Errorf("Header = %v", h)
+	}
+	h[0] = "mutated"
+	if src.Header()[0] != "a" {
+		t.Error("Header must return a copy")
+	}
+}

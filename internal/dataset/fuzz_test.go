@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV reader never panics on arbitrary input and
+// either returns a consistent dataset or an error.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n")
+	f.Add("")
+	f.Add("x\n\"unterminated")
+	f.Add("a,b\n1\n2,3\n")
+	f.Add("h1,h2,h3\n1,2,3\n4,5,6\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		ds, err := ReadCSV("fuzz", strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if ds.Rows() > 0 && ds.Cols() != len(ds.Attrs) {
+			t.Fatalf("inconsistent dataset: %d cols, %d attrs", ds.Cols(), len(ds.Attrs))
+		}
+	})
+}
+
+// FuzzCSVSource checks the streaming reader agrees with the batch reader
+// on well-formed input and fails cleanly otherwise.
+func FuzzCSVSource(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n")
+	f.Add("a\nnope\n")
+	f.Add("a,b\n1,2\n3\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		src, err := NewCSVSource(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		streamed := 0
+		for {
+			row, err := src.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return // stream rejects what batch may also reject
+			}
+			if len(row) != src.Width() {
+				t.Fatalf("row width %d, want %d", len(row), src.Width())
+			}
+			streamed++
+		}
+		// If streaming succeeded fully, batch reading must succeed too and
+		// agree on the row count.
+		ds, err := ReadCSV("fuzz", strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("stream accepted but batch rejected: %v", err)
+		}
+		if ds.Rows() != streamed {
+			t.Fatalf("batch read %d rows, stream read %d", ds.Rows(), streamed)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"ratiorules/internal/matrix"
+)
+
+// NBASeed is the fixed seed all experiments use for the synthetic `nba`
+// dataset, so every figure and table in EXPERIMENTS.md is reproducible.
+const NBASeed = 19920612
+
+// NBAAttrs lists the 12 per-player season statistics, matching the fields
+// of the paper's Table 2.
+var NBAAttrs = []string{
+	"minutes played",
+	"field goals",
+	"goal attempts",
+	"free throws",
+	"throws attempted",
+	"blocked shots",
+	"fouls",
+	"points",
+	"offensive rebounds",
+	"total rebounds",
+	"assists",
+	"steals",
+}
+
+// NBA generates the synthetic stand-in for the paper's `nba` dataset:
+// 459 players × 12 statistics from the 1991-92 season.
+//
+// The generator is a three-factor model mirroring the interpretation the
+// paper itself gives to the mined rules (Sec. 6.2):
+//
+//   - "court action" — playing time drives every counting stat, with the
+//     average player scoring ≈ 1 point per 2 minutes (RR1's 2:1 ratio);
+//   - "field position" — shooters score more and rebound less than big men
+//     for the same minutes (RR2's negative points/rebounds correlation);
+//   - "height" — rebounds and blocks trade off against assists and steals
+//     (RR3).
+//
+// Four extreme players analogous to the paper's named outliers are planted
+// at the end: a dominant shooting guard (Jordan-like: huge scoring, few
+// rebounds), an extreme rebounder (Rodman-like), a tiny playmaker
+// (Bogues-like) and a heavy-duty power forward (Malone-like). Labels name
+// them so the visualization experiments can annotate the scatter plots.
+func NBA() *Dataset {
+	return NBAWithSeed(NBASeed)
+}
+
+// NBAWithSeed is NBA with an explicit seed, for sensitivity tests.
+func NBAWithSeed(seed int64) *Dataset {
+	const (
+		regular = 455
+		total   = 459
+	)
+	rng := rand.New(rand.NewSource(seed))
+	x := matrix.NewDense(total, len(NBAAttrs))
+	labels := make([]string, total)
+	for i := 0; i < regular; i++ {
+		labels[i] = playerName(rng)
+		// Court action: a rough starters/bench mixture in (0, 1].
+		var action float64
+		if rng.Float64() < 0.4 {
+			action = clamp(0.68+0.16*rng.NormFloat64(), 0.05, 1) // starter
+		} else {
+			action = clamp(0.22+0.13*rng.NormFloat64(), 0.02, 1) // bench
+		}
+		// Field position: +1 pure guard, −1 pure big man.
+		position := clamp(rng.NormFloat64()*0.6, -1.3, 1.3)
+		// Height: anti-correlated with guard-ness plus its own variation.
+		height := clamp(-0.6*position+0.5*rng.NormFloat64(), -1.4, 1.4)
+		x.SetRow(i, nbaRow(rng, action, position, height, 1, 1))
+	}
+	// Planted extremes, mirroring the paper's Sec. 6.2 narrative.
+	labels[455] = "Jordan" // most active player in almost every category
+	x.SetRow(455, nbaRow(rng, 1.00, 1.05, -0.9, 1.35, 0.45))
+	labels[456] = "Rodman" // extreme rebounder: modest scoring, huge boards
+	x.SetRow(456, nbaRow(rng, 0.92, -1.45, 1.5, 0.55, 2.2))
+	labels[457] = "Bogues" // 5'3": assists and steals, no rebounds/blocks
+	x.SetRow(457, nbaRow(rng, 0.78, 1.3, -1.7, 0.75, 0.3))
+	labels[458] = "Malone" // 6'8" power forward workhorse
+	x.SetRow(458, nbaRow(rng, 0.97, -0.9, 1.2, 1.1, 1.3))
+	return &Dataset{Name: "nba", Attrs: NBAAttrs, Labels: labels, X: x}
+}
+
+// nbaRow synthesizes one stat line from the latent factors. scoring scales
+// offensive output beyond what position implies (star quality); rebounding
+// does the same for board work (the planted Rodman). Multiplicative noise
+// is clipped at ±2.8σ so planted extremes stay extreme against 455 draws.
+func nbaRow(rng *rand.Rand, action, position, height, scoring, rebounding float64) []float64 {
+	noise := func(sd float64) float64 { return 1 + sd*clamp(rng.NormFloat64(), -2.8, 2.8) }
+	pos := func(v float64) float64 { return math.Max(0, v) }
+
+	minutes := pos(3080 * action * noise(0.06))
+	// Shooting volume: guards and stars shoot more per minute. The base
+	// rates put the average player at ≈ 1 point per 2 minutes, the ratio
+	// the paper reads off RR1.
+	shotRate := (1 + 0.35*position) * scoring
+	fieldGoals := pos(0.19 * minutes * shotRate * noise(0.10))
+	goalAttempts := pos(fieldGoals * 2.1 * noise(0.05))
+	freeThrows := pos(0.075 * minutes * shotRate * noise(0.15))
+	throwsAttempted := pos(freeThrows * 1.33 * noise(0.05))
+	blocked := pos(0.022 * minutes * (1 + 1.3*height) * noise(0.25))
+	fouls := pos(0.085 * minutes * (1 - 0.15*position) * noise(0.12))
+	points := pos(2*fieldGoals + freeThrows + 0.12*fieldGoals*pos(position)*noise(0.3))
+	offReb := pos(0.032 * minutes * (1 + 1.3*height - 0.35*position) * rebounding * noise(0.20))
+	totReb := pos(offReb*3.1*noise(0.08) + 0.01*minutes*rebounding)
+	assists := pos(0.075 * minutes * (1 + 1.0*position - 0.8*height) * noise(0.15))
+	steals := pos(0.028 * minutes * (1 + 0.55*position - 0.5*height) * noise(0.18))
+
+	return []float64{
+		minutes, fieldGoals, goalAttempts, freeThrows, throwsAttempted,
+		blocked, fouls, points, offReb, totReb, assists, steals,
+	}
+}
+
+// playerName produces deterministic synthetic names.
+var nbaFirst = []string{"Alex", "Chris", "Jordan", "Sam", "Taylor", "Marcus", "Derek", "Tony", "Luis", "Kevin"}
+var nbaLast = []string{"Smith", "Brown", "Lee", "Walker", "Hill", "Young", "Allen", "Scott", "Reed", "Cruz"}
+
+func playerName(rng *rand.Rand) string {
+	return nbaFirst[rng.Intn(len(nbaFirst))] + " " + nbaLast[rng.Intn(len(nbaLast))]
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

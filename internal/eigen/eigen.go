@@ -1,0 +1,393 @@
+// Package eigen computes eigenvalues and eigenvectors of real symmetric
+// matrices, the "off-the-shelf eigensystem package" step of the Ratio Rules
+// pipeline (Fig. 2(b) of Korn et al., VLDB 1998).
+//
+// Two independent solvers are provided:
+//
+//   - SymEig: Householder tridiagonalization followed by the implicit-shift
+//     QL iteration (the EISPACK tred2/tql2 pair). This is the default,
+//     O(M³) with a small constant, and robust for the covariance matrices
+//     the miner produces.
+//   - Jacobi: classical cyclic Jacobi rotations. Slower but simple and very
+//     accurate; retained as a cross-check in tests and an ablation baseline.
+//
+// Both return eigenvalues sorted in descending order together with the
+// matching orthonormal eigenvectors, which is the order the Ratio Rules
+// cutoff (Eq. 1 of the paper) consumes them in.
+package eigen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ratiorules/internal/matrix"
+)
+
+// ErrNotSymmetric is returned when the input matrix is not square and
+// symmetric within SymmetryTol.
+var ErrNotSymmetric = errors.New("eigen: matrix is not symmetric")
+
+// ErrNoConvergence is returned when an iterative solver exceeds its
+// iteration budget without reducing off-diagonal mass to round-off.
+var ErrNoConvergence = errors.New("eigen: iteration did not converge")
+
+// SymmetryTol is the absolute tolerance used to validate input symmetry,
+// relative to the largest matrix entry.
+const SymmetryTol = 1e-8
+
+// System is an eigendecomposition of a symmetric matrix A = V·diag(λ)·Vᵗ.
+type System struct {
+	// Values holds the eigenvalues in descending order.
+	Values []float64
+	// Vectors holds the corresponding eigenvectors as columns: column j of
+	// Vectors is the unit eigenvector for Values[j].
+	Vectors *matrix.Dense
+}
+
+// SymEig decomposes the symmetric matrix a using Householder reduction and
+// implicit-shift QL iteration. The input is not modified.
+func SymEig(a *matrix.Dense) (*System, error) {
+	if err := checkSymmetric(a); err != nil {
+		return nil, err
+	}
+	n, _ := a.Dims()
+	if n == 0 {
+		return &System{Values: nil, Vectors: matrix.NewDense(0, 0)}, nil
+	}
+	// Work on a copy: tred2 runs in place.
+	z := a.Clone()
+	d := make([]float64, n) // diagonal of the tridiagonal form
+	e := make([]float64, n) // sub-diagonal
+	tred2(z, d, e)
+	if err := tql2(z, d, e); err != nil {
+		return nil, err
+	}
+	return sortedSystem(d, z), nil
+}
+
+// Jacobi decomposes the symmetric matrix a using cyclic Jacobi rotations.
+// The input is not modified. It is O(M³) per sweep with typically 6-10
+// sweeps; prefer SymEig for large matrices.
+func Jacobi(a *matrix.Dense) (*System, error) {
+	if err := checkSymmetric(a); err != nil {
+		return nil, err
+	}
+	n, _ := a.Dims()
+	if n == 0 {
+		return &System{Values: nil, Vectors: matrix.NewDense(0, 0)}, nil
+	}
+	w := a.Clone()
+	v := matrix.Identity(n)
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagonalNorm(w)
+		if off <= 1e-14*(1+w.MaxAbs()) {
+			d := make([]float64, n)
+			for i := 0; i < n; i++ {
+				d[i] = w.At(i, i)
+			}
+			return sortedSystem(d, v), nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				jacobiRotate(w, v, p, q)
+			}
+		}
+	}
+	return nil, fmt.Errorf("eigen: Jacobi exceeded %d sweeps: %w", 64, ErrNoConvergence)
+}
+
+// checkSymmetric validates that a is square and symmetric.
+func checkSymmetric(a *matrix.Dense) error {
+	r, c := a.Dims()
+	if r != c {
+		return fmt.Errorf("eigen: %d×%d matrix is not square: %w", r, c, ErrNotSymmetric)
+	}
+	tol := SymmetryTol * (1 + a.MaxAbs())
+	if !a.IsSymmetric(tol) {
+		return ErrNotSymmetric
+	}
+	return nil
+}
+
+// offDiagonalNorm returns the Frobenius norm of the strictly upper triangle.
+func offDiagonalNorm(a *matrix.Dense) float64 {
+	n, _ := a.Dims()
+	var s float64
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			v := a.At(i, j)
+			s += v * v
+		}
+	}
+	return math.Sqrt(2 * s)
+}
+
+// jacobiRotate zeroes w[p][q] with a Givens rotation, accumulating into v.
+func jacobiRotate(w, v *matrix.Dense, p, q int) {
+	apq := w.At(p, q)
+	if apq == 0 {
+		return
+	}
+	app, aqq := w.At(p, p), w.At(q, q)
+	theta := (aqq - app) / (2 * apq)
+	// Numerically stable tangent of the rotation angle.
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+	tau := s / (1 + c)
+
+	n, _ := w.Dims()
+	w.Set(p, p, app-t*apq)
+	w.Set(q, q, aqq+t*apq)
+	w.Set(p, q, 0)
+	w.Set(q, p, 0)
+	for i := 0; i < n; i++ {
+		if i != p && i != q {
+			aip, aiq := w.At(i, p), w.At(i, q)
+			w.Set(i, p, aip-s*(aiq+tau*aip))
+			w.Set(p, i, w.At(i, p))
+			w.Set(i, q, aiq+s*(aip-tau*aiq))
+			w.Set(q, i, w.At(i, q))
+		}
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, vip-s*(viq+tau*vip))
+		v.Set(i, q, viq+s*(vip-tau*viq))
+	}
+}
+
+// sortedSystem bundles eigenvalues d and eigenvector columns of z into a
+// System sorted by descending eigenvalue, normalizing vector signs so the
+// component of largest magnitude is positive (a stable, presentation-
+// friendly convention for Ratio Rules).
+func sortedSystem(d []float64, z *matrix.Dense) *System {
+	n := len(d)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return d[idx[a]] > d[idx[b]] })
+
+	values := make([]float64, n)
+	vectors := matrix.NewDense(n, n)
+	for out, in := range idx {
+		values[out] = d[in]
+		col := z.Col(in)
+		canonicalizeSign(col)
+		for i := 0; i < n; i++ {
+			vectors.Set(i, out, col[i])
+		}
+	}
+	return &System{Values: values, Vectors: vectors}
+}
+
+// canonicalizeSign flips v so that its largest-magnitude component is
+// positive.
+func canonicalizeSign(v []float64) {
+	var (
+		mx  float64
+		arg int
+	)
+	for i, x := range v {
+		if a := math.Abs(x); a > mx {
+			mx, arg = a, i
+		}
+	}
+	if mx > 0 && v[arg] < 0 {
+		for i := range v {
+			v[i] = -v[i]
+		}
+	}
+}
+
+// tred2 reduces the symmetric matrix stored in z to tridiagonal form by
+// Householder similarity transformations, accumulating the transformation
+// in z. On return d holds the diagonal and e the sub-diagonal (e[0] = 0).
+// Translated from the EISPACK routine of the same name (0-indexed).
+func tred2(z *matrix.Dense, d, e []float64) {
+	n := len(d)
+	for i := 0; i < n; i++ {
+		d[i] = z.At(n-1, i)
+	}
+	for i := n - 1; i > 0; i-- {
+		l := i - 1
+		var h, scale float64
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(d[k])
+			}
+			if scale == 0 {
+				e[i] = d[l]
+				for j := 0; j <= l; j++ {
+					d[j] = z.At(l, j)
+					z.Set(i, j, 0)
+					z.Set(j, i, 0)
+				}
+			} else {
+				for k := 0; k <= l; k++ {
+					d[k] /= scale
+					h += d[k] * d[k]
+				}
+				f := d[l]
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				d[l] = f - g
+				for j := 0; j <= l; j++ {
+					e[j] = 0
+				}
+				for j := 0; j <= l; j++ {
+					f = d[j]
+					z.Set(j, i, f)
+					g = e[j] + z.At(j, j)*f
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * d[k]
+						e[k] += z.At(k, j) * f
+					}
+					e[j] = g
+				}
+				f = 0
+				for j := 0; j <= l; j++ {
+					e[j] /= h
+					f += e[j] * d[j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					e[j] -= hh * d[j]
+				}
+				for j := 0; j <= l; j++ {
+					f = d[j]
+					g = e[j]
+					for k := j; k <= l; k++ {
+						z.Set(k, j, z.At(k, j)-(f*e[k]+g*d[k]))
+					}
+					d[j] = z.At(l, j)
+					z.Set(i, j, 0)
+				}
+			}
+		} else {
+			e[i] = d[l]
+			d[l] = z.At(l, l)
+			z.Set(i, l, 0)
+			z.Set(l, i, 0)
+		}
+		d[i] = h
+	}
+	// Accumulate transformations.
+	for i := 0; i < n-1; i++ {
+		z.Set(n-1, i, z.At(i, i))
+		z.Set(i, i, 1)
+		l := i + 1
+		if d[l] != 0 {
+			for k := 0; k < l; k++ {
+				d[k] = z.At(k, l) / d[l]
+			}
+			for j := 0; j < l; j++ {
+				var g float64
+				for k := 0; k < l; k++ {
+					g += z.At(k, l) * z.At(k, j)
+				}
+				for k := 0; k < l; k++ {
+					z.Set(k, j, z.At(k, j)-g*d[k])
+				}
+			}
+		}
+		for k := 0; k < l; k++ {
+			z.Set(k, l, 0)
+		}
+	}
+	for i := 0; i < n; i++ {
+		d[i] = z.At(n-1, i)
+		z.Set(n-1, i, 0)
+	}
+	z.Set(n-1, n-1, 1)
+	e[0] = 0
+}
+
+// tql2 finds the eigenvalues and eigenvectors of the symmetric tridiagonal
+// matrix described by d (diagonal) and e (sub-diagonal, e[0] ignored) using
+// the QL method with implicit shifts, updating the transformation
+// accumulated in z. Translated from the EISPACK routine of the same name.
+func tql2(z *matrix.Dense, d, e []float64) error {
+	n := len(d)
+	if n == 1 {
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	const maxIter = 50
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find a small sub-diagonal element to split the matrix.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				// The absolute floor handles spectra whose tail underflows
+				// toward zero (dd ≈ 0 with a denormal e[m]), where a purely
+				// relative test can never be met.
+				if math.Abs(e[m]) <= machEps*dd+1e-300 {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter >= maxIter {
+				return fmt.Errorf("eigen: tql2 exceeded %d iterations at index %d: %w",
+					maxIter, l, ErrNoConvergence)
+			}
+			// Form the implicit Wilkinson shift.
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				// Accumulate the rotation into the eigenvector matrix.
+				for k := 0; k < n; k++ {
+					f = z.At(k, i+1)
+					z.Set(k, i+1, s*z.At(k, i)+c*f)
+					z.Set(k, i, c*z.At(k, i)-s*f)
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+const machEps = 2.220446049250313e-16

@@ -1,0 +1,155 @@
+package eigen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ratiorules/internal/matrix"
+)
+
+// TopK computes the k largest-eigenvalue pairs of the symmetric
+// positive-semi-definite matrix a by block power (subspace) iteration with
+// Rayleigh–Ritz extraction.
+//
+// The paper's footnote 1 observes that when the number of columns is far
+// above a thousand, full eigensolution of the covariance matrix is
+// wasteful and Lanczos-type methods ("the methods from [6]") should be
+// used to extract just the leading eigenvectors. Subspace iteration is the
+// simplest member of that family: each sweep costs O(k·M²) against the
+// O(M³) of the full tred2/tql2 solve, which pays off when k ≪ M.
+//
+// The matrix must be symmetric PSD (covariance/scatter matrices are).
+// Results match SymEig's leading pairs to the requested tolerance.
+func TopK(a *matrix.Dense, k int) (*System, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("eigen: TopK of %d×%d matrix: %w", n, c, ErrNotSymmetric)
+	}
+	if err := checkSymmetric(a); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("eigen: TopK k=%d outside [1, %d]", k, n)
+	}
+	if n == 0 {
+		return &System{Vectors: matrix.NewDense(0, 0)}, nil
+	}
+
+	// Guard block: iterate k+g vectors so the k-th pair converges even
+	// when eigenvalues k and k+1 are close.
+	block := k + 2
+	if block > n {
+		block = n
+	}
+
+	// Deterministic random start, orthonormalized.
+	rng := rand.New(rand.NewSource(31337))
+	q := matrix.NewDense(n, block)
+	for i := 0; i < n; i++ {
+		for j := 0; j < block; j++ {
+			q.Set(i, j, rng.NormFloat64())
+		}
+	}
+	orthonormalizeColumns(q)
+
+	const (
+		maxSweeps = 500
+		tol       = 1e-12
+	)
+	prev := make([]float64, block)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		z := matrix.MustMul(a, q)
+		// Rayleigh–Ritz: project onto the subspace and solve the small
+		// block×block eigenproblem exactly.
+		small := matrix.MustMul(q.T(), z)
+		// Symmetrize round-off before the small solve.
+		for i := 0; i < block; i++ {
+			for j := i + 1; j < block; j++ {
+				v := 0.5 * (small.At(i, j) + small.At(j, i))
+				small.Set(i, j, v)
+				small.Set(j, i, v)
+			}
+		}
+		sys, err := SymEig(small)
+		if err != nil {
+			return nil, fmt.Errorf("eigen: TopK Rayleigh-Ritz solve: %w", err)
+		}
+		// Rotate the block onto the Ritz vectors and power once.
+		q = matrix.MustMul(z, sys.Vectors)
+		orthonormalizeColumns(q)
+
+		// Convergence on the leading k Ritz values, each relative to its
+		// own magnitude (a floor tied to λ₁ keeps near-null pairs from
+		// demanding impossible absolute accuracy).
+		floor := 1e-10 * (1 + math.Abs(sys.Values[0]))
+		done := true
+		for j := 0; j < k; j++ {
+			if math.Abs(sys.Values[j]-prev[j]) > tol*math.Abs(sys.Values[j])+floor*tol {
+				done = false
+			}
+		}
+		copy(prev, sys.Values)
+		if done && sweep > 0 {
+			break
+		}
+	}
+
+	// Final Rayleigh-Ritz pass for consistent eigenpairs.
+	z := matrix.MustMul(a, q)
+	small := matrix.MustMul(q.T(), z)
+	for i := 0; i < block; i++ {
+		for j := i + 1; j < block; j++ {
+			v := 0.5 * (small.At(i, j) + small.At(j, i))
+			small.Set(i, j, v)
+			small.Set(j, i, v)
+		}
+	}
+	sys, err := SymEig(small)
+	if err != nil {
+		return nil, fmt.Errorf("eigen: TopK final Rayleigh-Ritz solve: %w", err)
+	}
+	ritz := matrix.MustMul(q, sys.Vectors)
+
+	values := make([]float64, k)
+	vectors := matrix.NewDense(n, k)
+	for j := 0; j < k; j++ {
+		values[j] = sys.Values[j]
+		col := ritz.Col(j)
+		matrix.Normalize(col)
+		canonicalizeSign(col)
+		for i := 0; i < n; i++ {
+			vectors.Set(i, j, col[i])
+		}
+	}
+	return &System{Values: values, Vectors: vectors}, nil
+}
+
+// orthonormalizeColumns applies modified Gram-Schmidt in place. Columns
+// that collapse to zero are replaced by fresh deterministic noise and
+// re-orthogonalized, so the block never degenerates.
+func orthonormalizeColumns(q *matrix.Dense) {
+	n, k := q.Dims()
+	rng := rand.New(rand.NewSource(7331))
+	for j := 0; j < k; j++ {
+		col := q.Col(j)
+		for attempt := 0; ; attempt++ {
+			for p := 0; p < j; p++ {
+				prev := q.Col(p)
+				d := matrix.Dot(col, prev)
+				for i := range col {
+					col[i] -= d * prev[i]
+				}
+			}
+			if matrix.Normalize(col) > 1e-12 || attempt >= 3 {
+				break
+			}
+			for i := range col {
+				col[i] = rng.NormFloat64()
+			}
+		}
+		for i := 0; i < n; i++ {
+			q.Set(i, j, col[i])
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ratiorules/internal/core"
+)
+
+// BandsResult calibrates the uncertainty-band extension empirically: hide
+// each test cell, reconstruct it, and check how often the true value falls
+// inside the ±1σ and ±2σ bands (Rules.ResidualStd). For a well-calibrated
+// Gaussian residual those coverages are ≈68% and ≈95%; single-hole fills
+// keep most of the row known, so the projection-residual band is close to
+// the true predictive spread.
+type BandsResult struct {
+	Dataset string
+	// Coverage1 and Coverage2 are the fractions of hidden cells whose true
+	// value fell within ±1σ and ±2σ of the reconstruction.
+	Coverage1, Coverage2 float64
+	// MeanBandToError is the ratio of the mean band to the RMS error — a
+	// scale check (≈1 when the band is sized correctly).
+	MeanBandToError float64
+	Cells           int
+}
+
+// RunBands evaluates band calibration on the dataset's test split.
+func RunBands(name string) (*BandsResult, error) {
+	ds, err := DatasetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := trainOn(ds)
+	if err != nil {
+		return nil, err
+	}
+	test := m.test.X
+	n, cols := test.Dims()
+	var (
+		in1, in2, cells int
+		sumBand, sumSq  float64
+	)
+	rec := make([]float64, cols)
+	for i := 0; i < n; i++ {
+		row := test.RawRow(i)
+		for j := 0; j < cols; j++ {
+			copy(rec, row)
+			rec[j] = core.Hole
+			out, err := m.rules.FillRecordWithBands(rec)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: banded fill at (%d,%d): %w", i, j, err)
+			}
+			diff := math.Abs(out.Filled[j] - row[j])
+			band := out.Std[j]
+			if band <= 0 {
+				continue
+			}
+			cells++
+			sumBand += band
+			sumSq += diff * diff
+			if diff <= band {
+				in1++
+			}
+			if diff <= 2*band {
+				in2++
+			}
+		}
+	}
+	if cells == 0 {
+		return nil, fmt.Errorf("experiments: no banded cells on %s", name)
+	}
+	out := &BandsResult{
+		Dataset:   name,
+		Coverage1: float64(in1) / float64(cells),
+		Coverage2: float64(in2) / float64(cells),
+		Cells:     cells,
+	}
+	if rms := math.Sqrt(sumSq / float64(cells)); rms > 0 {
+		out.MeanBandToError = (sumBand / float64(cells)) / rms
+	}
+	return out, nil
+}
+
+// String renders the calibration summary.
+func (r *BandsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Uncertainty-band calibration ('%s', %d hidden cells)\n\n", r.Dataset, r.Cells)
+	fmt.Fprintf(&b, "±1σ coverage: %.0f%%   (Gaussian ideal ≈ 68%%)\n", 100*r.Coverage1)
+	fmt.Fprintf(&b, "±2σ coverage: %.0f%%   (Gaussian ideal ≈ 95%%)\n", 100*r.Coverage2)
+	fmt.Fprintf(&b, "mean band / RMS error: %.2f (≈ 1 when sized correctly)\n", r.MeanBandToError)
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ratiorules/internal/core"
+	"ratiorules/internal/textplot"
+)
+
+// CutoffPoint is one k in the cutoff ablation sweep.
+type CutoffPoint struct {
+	K      int
+	Energy float64 // fraction of variance covered by the first K rules
+	GE1    float64
+}
+
+// CutoffResult is the ablation behind Eq. 1's 85% heuristic: sweep the
+// number of retained rules k from 0 (col-avgs) to M and measure GE₁ on the
+// test split. The paper asserts k=0 is the straightforward competitor and
+// the energy heuristic picks a good operating point; the sweep shows where
+// the error curve actually flattens.
+type CutoffResult struct {
+	Dataset string
+	// ChosenK is what the default 85% cutoff picks.
+	ChosenK int
+	Points  []CutoffPoint
+}
+
+// RunCutoff sweeps k on the named dataset.
+func RunCutoff(name string) (*CutoffResult, error) {
+	ds, err := DatasetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := ds.Split(TrainFrac, SplitSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: splitting %s: %w", name, err)
+	}
+	defMiner, err := core.NewMiner(core.WithAttrNames(ds.Attrs))
+	if err != nil {
+		return nil, err
+	}
+	defRules, err := defMiner.MineMatrix(train.X)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mining %s: %w", name, err)
+	}
+	out := &CutoffResult{Dataset: name, ChosenK: defRules.K()}
+	m := ds.Cols()
+	for k := 0; k <= m; k++ {
+		miner, err := core.NewMiner(core.WithFixedK(k), core.WithAttrNames(ds.Attrs))
+		if err != nil {
+			return nil, err
+		}
+		rules, err := miner.MineMatrix(train.X)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: mining %s with k=%d: %w", name, k, err)
+		}
+		ge, err := core.GE1(rules, test.X)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: GE1 with k=%d: %w", k, err)
+		}
+		out.Points = append(out.Points, CutoffPoint{K: k, Energy: rules.EnergyCovered(), GE1: ge})
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (r *CutoffResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cutoff ablation ('%s'): GE1 vs number of rules k (Eq. 1 picks k=%d)\n\n",
+		r.Dataset, r.ChosenK)
+	fmt.Fprintf(&b, "%4s %10s %14s\n", "k", "energy", "GE1")
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		marker := " "
+		if p.K == r.ChosenK {
+			marker = " <- Eq. 1 cutoff"
+		}
+		fmt.Fprintf(&b, "%4d %9.1f%% %14.4f%s\n", p.K, 100*p.Energy, p.GE1, marker)
+		xs[i] = float64(p.K)
+		ys[i] = p.GE1
+	}
+	b.WriteByte('\n')
+	b.WriteString(textplot.Lines("GE1 vs k", "k", "GE1",
+		[]textplot.Series{{Name: "GE1", X: xs, Y: ys, Marker: '*'}}, 50, 12))
+	return b.String()
+}

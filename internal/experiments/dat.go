@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The paper's figures are gnuplot renderings of whitespace-separated data
+// files — the plot keys name them directly ("nba.d2", "baseball.d2",
+// "abalone.d2", "scaleup.dat"). These writers regenerate those artifact
+// files so the figures can be re-plotted with any tool.
+
+// WriteDat writes the scatter points as "x y" lines — the paper's .d2
+// format (2-d RR-space coordinates, one point per row).
+func (r *ScatterResult) WriteDat(w io.Writer) error {
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%g %g\n", p.X, p.Y); err != nil {
+			return fmt.Errorf("experiments: writing scatter dat: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteDat writes the scale-up measurements as "N seconds" lines — the
+// paper's scaleup.dat.
+func (r *Fig8Result) WriteDat(w io.Writer) error {
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%d %g\n", p.Rows, p.Elapsed.Seconds()); err != nil {
+			return fmt.Errorf("experiments: writing scaleup dat: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteDat writes the guessing-error curves as "h RR col-avgs regression"
+// lines, one per hole count.
+func (r *Fig6Result) WriteDat(w io.Writer) error {
+	for i, h := range r.Holes {
+		if _, err := fmt.Fprintf(w, "%d %g %g %g\n", h, r.RR[i], r.ColAvgs[i], r.Regress[i]); err != nil {
+			return fmt.Errorf("experiments: writing GEh dat: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteAllDat regenerates every data file of the paper's figures into dir
+// (created if needed), returning the file names written:
+//
+//	nba.d2, nba2.d2           Fig. 11 (RR1/RR2 and RR2/RR3 views)
+//	baseball.d2, abalone.d2   Fig. 9
+//	ge_nba.dat, ge_baseball.dat  Fig. 6 curves
+//	scaleup.dat               Fig. 8 (quick sizes unless full is true)
+func WriteAllDat(dir string, fullScaleup bool) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: creating %s: %w", dir, err)
+	}
+	var written []string
+	save := func(name string, write func(io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written = append(written, name)
+		return nil
+	}
+
+	// Fig. 11: the paper's nba.d2 (RR1/RR2) and nba2.d2 (RR2/RR3).
+	for _, view := range []struct {
+		file string
+		x, y int
+	}{{"nba.d2", 1, 2}, {"nba2.d2", 2, 3}} {
+		res, err := RunScatter("nba", view.x, view.y)
+		if err != nil {
+			return written, err
+		}
+		if err := save(view.file, res.WriteDat); err != nil {
+			return written, err
+		}
+	}
+	// Fig. 9.
+	for _, name := range []string{"baseball", "abalone"} {
+		res, err := RunScatter(name, 1, 2)
+		if err != nil {
+			return written, err
+		}
+		if err := save(name+".d2", res.WriteDat); err != nil {
+			return written, err
+		}
+	}
+	// Fig. 6 curves.
+	for _, name := range []string{"nba", "baseball"} {
+		res, err := RunFig6(name)
+		if err != nil {
+			return written, err
+		}
+		if err := save("ge_"+name+".dat", res.WriteDat); err != nil {
+			return written, err
+		}
+	}
+	// Fig. 8.
+	sizes := []int{5000, 10000, 20000}
+	if fullScaleup {
+		sizes = nil // default full sweep
+	}
+	res, err := RunFig8(sizes)
+	if err != nil {
+		return written, err
+	}
+	if err := save("scaleup.dat", res.WriteDat); err != nil {
+		return written, err
+	}
+	return written, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ratiorules/internal/textplot"
+)
+
+func TestScatterWriteDat(t *testing.T) {
+	res := &ScatterResult{Points: []textplot.Point{{X: 1, Y: 2}, {X: -3.5, Y: 0}}}
+	var buf strings.Builder
+	if err := res.WriteDat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || lines[0] != "1 2" || lines[1] != "-3.5 0" {
+		t.Errorf("dat = %q", buf.String())
+	}
+}
+
+func TestFig8WriteDat(t *testing.T) {
+	res := &Fig8Result{Points: []Fig8Point{{Rows: 1000, Elapsed: 250 * time.Millisecond}}}
+	var buf strings.Builder
+	if err := res.WriteDat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(strings.TrimSpace(buf.String()))
+	if len(fields) != 2 || fields[0] != "1000" {
+		t.Fatalf("dat = %q", buf.String())
+	}
+	if v, err := strconv.ParseFloat(fields[1], 64); err != nil || v != 0.25 {
+		t.Errorf("seconds = %q", fields[1])
+	}
+}
+
+func TestFig6WriteDat(t *testing.T) {
+	res := &Fig6Result{
+		Holes:   []int{1, 2},
+		RR:      []float64{10, 11},
+		ColAvgs: []float64{20, 21},
+		Regress: []float64{5, 30},
+	}
+	var buf strings.Builder
+	if err := res.WriteDat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || lines[1] != "2 11 21 30" {
+		t.Errorf("dat = %q", buf.String())
+	}
+}

@@ -1,0 +1,80 @@
+// Package experiments reproduces every table and figure of the evaluation
+// and discussion sections of Korn et al. (VLDB 1998):
+//
+//   - Fig. 6: guessing error vs. number of holes (1-5), RR vs col-avgs;
+//   - Fig. 7: relative single-hole guessing error over the three datasets;
+//   - Fig. 8: scale-up — time to compute Ratio Rules vs. N;
+//   - Fig. 9/11: 2-d scatter plots of the datasets in RR space;
+//   - Table 2: the first three Ratio Rules of the `nba` dataset;
+//   - Fig. 12 / Sec. 6.3: Ratio Rules vs. quantitative association rules
+//     (prediction coverage and extrapolation).
+//
+// Every runner is deterministic (fixed seeds), returns a typed result and
+// knows how to render itself for the terminal, so the same code backs the
+// rrbench CLI, the bench suite and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"ratiorules/internal/core"
+	"ratiorules/internal/dataset"
+)
+
+// TrainFrac is the paper's training split ("a reasonable choice is to use
+// 90% of the original data matrix for training and the remaining 10% for
+// testing").
+const TrainFrac = 0.9
+
+// SplitSeed fixes the train/test shuffle across all experiments.
+const SplitSeed = 1998
+
+// Datasets returns the three evaluation datasets in the paper's order.
+func Datasets() []*dataset.Dataset {
+	return []*dataset.Dataset{dataset.NBA(), dataset.Baseball(), dataset.Abalone()}
+}
+
+// DatasetByName resolves one of "nba", "baseball", "abalone".
+func DatasetByName(name string) (*dataset.Dataset, error) {
+	switch name {
+	case "nba":
+		return dataset.NBA(), nil
+	case "baseball":
+		return dataset.Baseball(), nil
+	case "abalone":
+		return dataset.Abalone(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q (want nba, baseball or abalone)", name)
+	}
+}
+
+// trainedModel bundles the artifacts shared by several experiments: the
+// split, the mined rules and the col-avgs competitor.
+type trainedModel struct {
+	train, test *dataset.Dataset
+	rules       *core.Rules
+	colAvgs     *core.ColAvgs
+}
+
+// trainOn mines rules on the 90% split of ds with the paper's defaults.
+func trainOn(ds *dataset.Dataset, opts ...core.Option) (*trainedModel, error) {
+	train, test, err := ds.Split(TrainFrac, SplitSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: splitting %s: %w", ds.Name, err)
+	}
+	allOpts := append([]core.Option{core.WithAttrNames(ds.Attrs)}, opts...)
+	miner, err := core.NewMiner(allOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: configuring miner: %w", err)
+	}
+	rules, err := miner.MineMatrix(train.X)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mining %s: %w", ds.Name, err)
+	}
+	return &trainedModel{
+		train:   train,
+		test:    test,
+		rules:   rules,
+		colAvgs: core.NewColAvgs(rules.Means()),
+	}, nil
+}

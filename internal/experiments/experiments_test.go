@@ -1,0 +1,448 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDatasetByName(t *testing.T) {
+	for _, name := range []string{"nba", "baseball", "abalone"} {
+		ds, err := DatasetByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Name != name {
+			t.Errorf("Name = %q, want %q", ds.Name, name)
+		}
+	}
+	if _, err := DatasetByName("bogus"); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestDatasetsOrder(t *testing.T) {
+	all := Datasets()
+	if len(all) != 3 {
+		t.Fatalf("got %d datasets, want 3", len(all))
+	}
+	want := []string{"nba", "baseball", "abalone"}
+	for i, ds := range all {
+		if ds.Name != want[i] {
+			t.Errorf("dataset %d = %q, want %q", i, ds.Name, want[i])
+		}
+	}
+}
+
+func TestFig7RRWinsEverywhere(t *testing.T) {
+	// The paper's headline: "the proposed method was the clear winner for
+	// all datasets we tried and gave as low as one-fifth the guessing
+	// error of col-avgs".
+	res, err := RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	bestRel := 101.0
+	for _, row := range res.Rows {
+		if row.GE1RR >= row.GE1ColAvgs {
+			t.Errorf("%s: GE1(RR)=%v not below GE1(col-avgs)=%v", row.Dataset, row.GE1RR, row.GE1ColAvgs)
+		}
+		if row.RelPercent <= 0 || row.RelPercent >= 100 {
+			t.Errorf("%s: relative error %v%% outside (0, 100)", row.Dataset, row.RelPercent)
+		}
+		if row.K < 1 {
+			t.Errorf("%s: cutoff retained %d rules", row.Dataset, row.K)
+		}
+		if row.RelPercent < bestRel {
+			bestRel = row.RelPercent
+		}
+	}
+	// "up to 5 times less" — at least one dataset at or below ~35%.
+	if bestRel > 35 {
+		t.Errorf("best relative error %v%%, want a dataset at <= 35%% (paper: down to 20%%)", bestRel)
+	}
+	s := res.String()
+	for _, want := range []string{"nba", "baseball", "abalone", "col-avgs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestFig6ShapeClaims(t *testing.T) {
+	for _, name := range []string{"nba", "baseball"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, err := RunFig6(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.RR) != MaxHoles || len(res.ColAvgs) != MaxHoles {
+				t.Fatalf("curve lengths %d/%d, want %d", len(res.RR), len(res.ColAvgs), MaxHoles)
+			}
+			for i := range res.RR {
+				// RR below col-avgs at every h.
+				if res.RR[i] >= res.ColAvgs[i] {
+					t.Errorf("h=%d: RR %v >= col-avgs %v", i+1, res.RR[i], res.ColAvgs[i])
+				}
+			}
+			// col-avgs flat: max/min within a sampling wobble.
+			lo, hi := res.ColAvgs[0], res.ColAvgs[0]
+			for _, v := range res.ColAvgs {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if (hi-lo)/hi > 0.15 {
+				t.Errorf("col-avgs curve not ≈ flat: %v", res.ColAvgs)
+			}
+			// RR stable: h=5 within 3× of h=1 (paper: "relatively stable").
+			if res.RR[MaxHoles-1] > 3*res.RR[0] {
+				t.Errorf("RR curve unstable: %v", res.RR)
+			}
+			if !strings.Contains(res.String(), "Figure 6") {
+				t.Error("rendering broken")
+			}
+		})
+	}
+}
+
+func TestFig6UnknownDataset(t *testing.T) {
+	if _, err := RunFig6("nope"); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestFig8LinearScaleUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-up sweep is slow")
+	}
+	// Scaled-down sweep to keep the test fast; linearity is what matters.
+	res, err := RunFig8([]int{2000, 4000, 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Elapsed <= 0 {
+			t.Errorf("N=%d: non-positive time %v", p.Rows, p.Elapsed)
+		}
+		if p.K < 1 {
+			t.Errorf("N=%d: no rules mined", p.Rows)
+		}
+	}
+	// Close to a straight line (generous bound for CI noise).
+	if res.MaxResidualFrac > 0.5 {
+		t.Errorf("max residual %v, want a near-linear scale-up", res.MaxResidualFrac)
+	}
+	if !strings.Contains(res.String(), "Figure 8") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestFig8Validation(t *testing.T) {
+	if _, err := RunFig8([]int{1}); err == nil {
+		t.Error("N=1 must fail")
+	}
+}
+
+func TestTable2Interpretations(t *testing.T) {
+	res, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rules.K() != 3 {
+		t.Fatalf("K = %d, want 3", res.Rules.K())
+	}
+	// RR1 "court action": minutes:points around 2:1 (band 1.5-3.5).
+	if res.MinutesPointsRatio < 1.5 || res.MinutesPointsRatio > 3.5 {
+		t.Errorf("minutes:points = %v:1, want ≈ 2:1", res.MinutesPointsRatio)
+	}
+	if !res.RR2Opposed {
+		t.Error("RR2 must oppose rebounds and points (field position)")
+	}
+	if !res.RR3Opposed {
+		t.Error("RR3 must oppose rebounds and assists+steals (height)")
+	}
+	s := res.String()
+	for _, want := range []string{"Table 2", "court action", "minutes played", "RR3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestScatterNBAOutliers(t *testing.T) {
+	// Fig. 11(a): the RR1/RR2 view separates Jordan and Rodman from the
+	// cloud; Jordan leads RR1 ("most active in almost every category").
+	res, err := RunScatter("nba", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 459 {
+		t.Fatalf("points = %d, want 459", len(res.Points))
+	}
+	if len(res.Named) != 4 {
+		t.Fatalf("named points = %d, want 4", len(res.Named))
+	}
+	var jordan *struct{ x, y float64 }
+	maxX := res.Points[0].X
+	for _, p := range res.Points {
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Label == "Jordan" {
+			jordan = &struct{ x, y float64 }{p.X, p.Y}
+		}
+	}
+	if jordan == nil {
+		t.Fatal("Jordan not labeled")
+	}
+	if jordan.x < 0.97*maxX {
+		t.Errorf("Jordan RR1 = %v, want the maximum (%v)", jordan.x, maxX)
+	}
+	if !strings.Contains(res.String(), "Jordan") {
+		t.Error("rendering must list the labeled outliers")
+	}
+}
+
+func TestScatterRodmanJordanSeparatedOnRR2(t *testing.T) {
+	res, err := RunScatter("nba", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jordanY, rodmanY float64
+	for _, p := range res.Named {
+		switch p.Label {
+		case "Jordan":
+			jordanY = p.Y
+		case "Rodman":
+			rodmanY = p.Y
+		}
+	}
+	// Fig. 11(a): Jordan and Rodman sit at opposite RR2 extremes.
+	if jordanY*rodmanY >= 0 {
+		t.Errorf("Jordan RR2 %v and Rodman RR2 %v must have opposite signs", jordanY, rodmanY)
+	}
+}
+
+func TestScatterOtherDatasets(t *testing.T) {
+	for _, name := range []string{"baseball", "abalone"} {
+		res, err := RunScatter(name, 1, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Points) == 0 {
+			t.Errorf("%s: no points", name)
+		}
+		if len(res.Named) != 0 {
+			t.Errorf("%s: unexpected labeled points", name)
+		}
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	if _, err := RunScatter("nba", 1, 1); err == nil {
+		t.Error("equal axes must fail")
+	}
+	if _, err := RunScatter("nba", 0, 2); err == nil {
+		t.Error("rule index 0 must fail")
+	}
+	if _, err := RunScatter("nope", 1, 2); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestFig12Claims(t *testing.T) {
+	res, err := RunFig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RR1 close to the paper's 0.81:0.58.
+	if res.RR1[0] < 0.7 || res.RR1[0] > 0.9 || res.RR1[1] < 0.45 || res.RR1[1] > 0.7 {
+		t.Errorf("RR1 = %v, want ≈ (0.81, 0.58)", res.RR1)
+	}
+	// A single rule vs many rectangles.
+	if res.QuantRuleCount < 2 {
+		t.Errorf("quantitative rules = %d, want several rectangles", res.QuantRuleCount)
+	}
+	// RR covers everything; quant rules less.
+	if res.CoverageRR != 1 {
+		t.Errorf("RR coverage = %v, want 1", res.CoverageRR)
+	}
+	if res.CoverageQuant > res.CoverageRR {
+		t.Errorf("quant coverage %v exceeds RR %v", res.CoverageQuant, res.CoverageRR)
+	}
+	// The extrapolation punchline.
+	if res.ExtrapolationQuFired {
+		t.Error("quantitative rules fired at bread=$8.50; the paper expects none to fire")
+	}
+	want := 8.5 * 0.58 / 0.81
+	if res.ExtrapolationRRPred < want-0.5 || res.ExtrapolationRRPred > want+0.5 {
+		t.Errorf("RR extrapolation = %v, want ≈ %v (paper: 6.10)", res.ExtrapolationRRPred, want)
+	}
+	// RR at least as accurate where quant fires.
+	if res.RMSERR > res.RMSEQuant {
+		t.Errorf("RMSE RR %v worse than quant %v on quant-covered queries", res.RMSERR, res.RMSEQuant)
+	}
+	if !strings.Contains(res.String(), "8.50") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestCutoffSweep(t *testing.T) {
+	res, err := RunCutoff("abalone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 8 { // k = 0..7
+		t.Fatalf("points = %d, want 8", len(res.Points))
+	}
+	if res.Points[0].K != 0 || res.Points[0].Energy != 0 {
+		t.Errorf("k=0 point = %+v", res.Points[0])
+	}
+	// Energy monotone nondecreasing in k, ending at 100%.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Energy < res.Points[i-1].Energy-1e-12 {
+			t.Error("energy not monotone in k")
+		}
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.Energy < 0.999 {
+		t.Errorf("full-k energy = %v, want ≈ 1", last.Energy)
+	}
+	// The chosen k must beat k=0 (col-avgs).
+	chosen := res.Points[res.ChosenK]
+	if chosen.GE1 >= res.Points[0].GE1 {
+		t.Errorf("chosen k=%d GE1 %v not below col-avgs %v", res.ChosenK, chosen.GE1, res.Points[0].GE1)
+	}
+	if !strings.Contains(res.String(), "Eq. 1 cutoff") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestCutoffUnknownDataset(t *testing.T) {
+	if _, err := RunCutoff("nope"); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestSec63BooleanComparison(t *testing.T) {
+	res, err := RunSec63()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TopBoolRule == "" {
+		t.Error("the flagship {bread, milk} => butter rule was not mined")
+	}
+	if res.BoolRuleCount < 1 {
+		t.Errorf("BoolRuleCount = %d", res.BoolRuleCount)
+	}
+	// Boolean rules are fine at presence...
+	if res.PresenceAccuracy < 0.9 {
+		t.Errorf("presence accuracy = %v, want >= 0.9", res.PresenceAccuracy)
+	}
+	// ...but lose badly on amounts: RR at least 3x more accurate.
+	if res.RMSERatio >= res.RMSEBoolean/3 {
+		t.Errorf("RMSE: RR %v vs Boolean %v, want RR at least 3x better",
+			res.RMSERatio, res.RMSEBoolean)
+	}
+	if !strings.Contains(res.String(), "butter") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestRobustAblation(t *testing.T) {
+	res, err := RunRobust(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain mining on corrupted data must degrade noticeably...
+	if res.GE1Plain < 1.5*res.GE1Clean {
+		t.Errorf("plain GE1 %v vs clean %v: corruption should hurt", res.GE1Plain, res.GE1Clean)
+	}
+	// ...and robust mining must recover most of the gap.
+	if res.GE1Robust > 1.3*res.GE1Clean {
+		t.Errorf("robust GE1 %v vs clean %v: trimming should recover", res.GE1Robust, res.GE1Clean)
+	}
+	if res.TrimmedRows == 0 {
+		t.Error("robust mining trimmed nothing on corrupted data")
+	}
+	if !strings.Contains(res.String(), "robust mining") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestRobustAblationValidation(t *testing.T) {
+	if _, err := RunRobust(2); err == nil {
+		t.Error("fraction >= 1 must fail")
+	}
+}
+
+func TestLearnCurve(t *testing.T) {
+	res, err := RunLearnCurve("abalone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 4 {
+		t.Fatalf("only %d points", len(res.Points))
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if first.TrainRows >= last.TrainRows {
+		t.Error("training sizes not increasing")
+	}
+	// RR beats col-avgs even with the smallest training set, and the error
+	// does not grow with more data.
+	for _, p := range res.Points {
+		if p.GE1RR >= p.GE1ColAvgs {
+			t.Errorf("rows=%d: RR %v >= col-avgs %v", p.TrainRows, p.GE1RR, p.GE1ColAvgs)
+		}
+	}
+	if last.GE1RR > 1.2*first.GE1RR {
+		t.Errorf("GE1 grew with training size: first %v, last %v", first.GE1RR, last.GE1RR)
+	}
+	if !strings.Contains(res.String(), "Learning curve") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestLearnCurveUnknownDataset(t *testing.T) {
+	if _, err := RunLearnCurve("nope"); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestBandsCalibration(t *testing.T) {
+	res, err := RunBands("abalone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-hole fills keep most of the row known, so the projection
+	// residual should be roughly calibrated: 2-sigma coverage in the
+	// broad 80-100% range, band scale within 2x of the true error.
+	if res.Coverage2 < 0.8 {
+		t.Errorf("2-sigma coverage = %v, want >= 0.8", res.Coverage2)
+	}
+	if res.Coverage1 < 0.4 {
+		t.Errorf("1-sigma coverage = %v, want >= 0.4", res.Coverage1)
+	}
+	if res.MeanBandToError < 0.5 || res.MeanBandToError > 2 {
+		t.Errorf("band/error ratio = %v, want within [0.5, 2]", res.MeanBandToError)
+	}
+	if !strings.Contains(res.String(), "calibration") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestBandsUnknownDataset(t *testing.T) {
+	if _, err := RunBands("nope"); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}

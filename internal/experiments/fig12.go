@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ratiorules/internal/assoc"
+	"ratiorules/internal/core"
+	"ratiorules/internal/matrix"
+)
+
+// Fig12Result reproduces the qualitative comparison of Fig. 12 / Sec. 6.3:
+// on a fictitious bread/butter sales dataset, quantitative association
+// rules tile the data cloud with bounding rectangles while a single Ratio
+// Rule fits the best line. The concrete claims checked:
+//
+//   - inside the training range both methods predict, RR more tightly;
+//   - for the extrapolation query (bread = $8.50, beyond every training
+//     purchase) no quantitative rule fires, while RR predicts ≈ $6.10.
+type Fig12Result struct {
+	// RR1 is the mined ratio rule (paper: bread:butter = .81:.58).
+	RR1 []float64
+	// QuantRuleCount is how many quantitative rules were needed to cover
+	// the cloud that the single Ratio Rule describes.
+	QuantRuleCount int
+	// Coverage is the fraction of in-range test queries where each method
+	// produced a prediction.
+	CoverageQuant, CoverageRR float64
+	// RMSEQuant and RMSERR compare accuracy on the queries quant rules
+	// answered.
+	RMSEQuant, RMSERR float64
+	// Extrapolation: the bread = $8.50 query of the paper.
+	ExtrapolationQuery   float64
+	ExtrapolationRRPred  float64 // paper: ≈ 6.10
+	ExtrapolationQuFired bool    // paper: false
+}
+
+// fig12Data builds the fictitious sales cloud of Fig. 12: bread spend up
+// to ≈ $7 with butter ≈ (0.58/0.81) × bread plus scatter.
+func fig12Data(n int, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	x := matrix.NewDense(n, 2)
+	slope := 0.58 / 0.81
+	for i := 0; i < n; i++ {
+		bread := 0.4 + rng.Float64()*6.6
+		butter := slope*bread + 0.25*rng.NormFloat64()
+		if butter < 0 {
+			butter = 0
+		}
+		x.SetRow(i, []float64{bread, butter})
+	}
+	return x
+}
+
+// RunFig12 mines both rule types on the same training cloud and compares
+// predictions on held-out queries plus the extrapolation query.
+func RunFig12() (*Fig12Result, error) {
+	train := fig12Data(600, 612)
+	test := fig12Data(200, 613)
+
+	miner, err := core.NewMiner(core.WithFixedK(1), core.WithAttrNames([]string{"bread", "butter"}))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: configuring miner: %w", err)
+	}
+	rules, err := miner.MineMatrix(train)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mining fig12 data: %w", err)
+	}
+	quant, err := assoc.MineQuantitative(train, assoc.QuantConfig{
+		Bins: 6, MinSupport: 0.03, MinConfidence: 0.4,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mining quantitative rules: %w", err)
+	}
+
+	out := &Fig12Result{RR1: rules.Rule(0), QuantRuleCount: len(quant.Rules)}
+
+	var (
+		quFired, rrFired int
+		quSSE, rrSSE     float64
+		quCount          int
+	)
+	for i := 0; i < test.Rows(); i++ {
+		row := test.RawRow(i)
+		truth := row[1]
+		qv, fired, err := quant.Predict([]float64{row[0], 0}, 1)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: quantitative predict: %w", err)
+		}
+		rv, err := rules.FillRow([]float64{row[0], core.Hole}, []int{1})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: RR predict: %w", err)
+		}
+		rrFired++
+		if fired {
+			quFired++
+			quCount++
+			quSSE += (qv - truth) * (qv - truth)
+			rrSSE += (rv[1] - truth) * (rv[1] - truth)
+		}
+	}
+	n := float64(test.Rows())
+	out.CoverageQuant = float64(quFired) / n
+	out.CoverageRR = float64(rrFired) / n
+	if quCount > 0 {
+		out.RMSEQuant = sqrt(quSSE / float64(quCount))
+		out.RMSERR = sqrt(rrSSE / float64(quCount))
+	}
+
+	// The paper's extrapolation: bread = $8.50, outside the training range.
+	out.ExtrapolationQuery = 8.5
+	_, fired, err := quant.Predict([]float64{8.5, 0}, 1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: quantitative extrapolation: %w", err)
+	}
+	out.ExtrapolationQuFired = fired
+	rv, err := rules.FillRow([]float64{8.5, core.Hole}, []int{1})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: RR extrapolation: %w", err)
+	}
+	out.ExtrapolationRRPred = rv[1]
+	return out, nil
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 60; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+// String renders the comparison.
+func (r *Fig12Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 12 / Sec 6.3: Ratio Rules vs quantitative association rules\n\n")
+	fmt.Fprintf(&b, "RR1 (bread:butter) = %.2f:%.2f   (paper: 0.81:0.58)\n", r.RR1[0], r.RR1[1])
+	fmt.Fprintf(&b, "quantitative rules mined: %d (vs a single Ratio Rule)\n\n", r.QuantRuleCount)
+	fmt.Fprintf(&b, "prediction coverage on in-range queries: quant %.0f%%, RR %.0f%%\n",
+		100*r.CoverageQuant, 100*r.CoverageRR)
+	fmt.Fprintf(&b, "RMSE where quant rules fired: quant %.3f, RR %.3f\n\n", r.RMSEQuant, r.RMSERR)
+	fmt.Fprintf(&b, "extrapolation, bread = $%.2f (outside training range):\n", r.ExtrapolationQuery)
+	fmt.Fprintf(&b, "  quantitative rule fired: %v (paper: no rule can fire)\n", r.ExtrapolationQuFired)
+	fmt.Fprintf(&b, "  Ratio Rules predict butter = $%.2f (paper: $6.10)\n", r.ExtrapolationRRPred)
+	return b.String()
+}

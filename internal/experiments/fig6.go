@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ratiorules/internal/core"
+	"ratiorules/internal/regress"
+	"ratiorules/internal/textplot"
+)
+
+// MaxHoles is the largest simultaneous hole count of Fig. 6.
+const MaxHoles = 5
+
+// Fig6Result reproduces Fig. 6 ("Guessing error vs. number of holes") for
+// one dataset: GEh for h = 1..5 under Ratio Rules, col-avgs and (as an
+// extension) multiple linear regression. The paper's claims: RR stays well
+// below col-avgs, col-avgs is exactly flat, and RR is stable in h.
+type Fig6Result struct {
+	Dataset string
+	Holes   []int
+	RR      []float64
+	ColAvgs []float64
+	Regress []float64
+}
+
+// RunFig6 evaluates GEh curves on the dataset's 10% test split.
+func RunFig6(name string) (*Fig6Result, error) {
+	ds, err := DatasetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := trainOn(ds)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.GEhConfig{SetsPerRow: 20, Seed: SplitSeed}
+	rr, err := core.GECurve(m.rules, m.test.X, MaxHoles, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: GEh(RR) on %s: %w", name, err)
+	}
+	ca, err := core.GECurve(m.colAvgs, m.test.X, MaxHoles, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: GEh(col-avgs) on %s: %w", name, err)
+	}
+	reg, err := regress.Fit(m.train.X)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fitting regression on %s: %w", name, err)
+	}
+	rg, err := core.GECurve(reg, m.test.X, MaxHoles, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: GEh(regression) on %s: %w", name, err)
+	}
+	holes := make([]int, MaxHoles)
+	for i := range holes {
+		holes[i] = i + 1
+	}
+	return &Fig6Result{Dataset: name, Holes: holes, RR: rr, ColAvgs: ca, Regress: rg}, nil
+}
+
+// String renders the curves as a table and an ASCII plot.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: guessing error vs. number of holes (%s)\n\n", r.Dataset)
+	fmt.Fprintf(&b, "%6s %14s %14s %14s\n", "holes", "GEh(RR)", "GEh(col-avgs)", "GEh(regress)")
+	for i, h := range r.Holes {
+		fmt.Fprintf(&b, "%6d %14.4f %14.4f %14.4f\n", h, r.RR[i], r.ColAvgs[i], r.Regress[i])
+	}
+	b.WriteByte('\n')
+	xs := make([]float64, len(r.Holes))
+	for i, h := range r.Holes {
+		xs[i] = float64(h)
+	}
+	b.WriteString(textplot.Lines(
+		fmt.Sprintf("GEh vs h ('%s')", r.Dataset), "number of holes", "guessing error",
+		[]textplot.Series{
+			{Name: "col-avgs", X: xs, Y: r.ColAvgs, Marker: 'c'},
+			{Name: "Ratio Rules", X: xs, Y: r.RR, Marker: 'r'},
+		}, 50, 14))
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ratiorules/internal/core"
+	"ratiorules/internal/dataset"
+	"ratiorules/internal/regress"
+	"ratiorules/internal/textplot"
+)
+
+// Fig7Row is one dataset's entry in the Fig. 7 bar chart: GE₁ for Ratio
+// Rules and for col-avgs, plus the relative error the paper plots
+// (RR as a percentage of col-avgs; col-avgs itself is 100% by definition).
+type Fig7Row struct {
+	Dataset    string
+	K          int     // rules retained by the Eq. 1 cutoff
+	GE1RR      float64 // Ratio Rules guessing error
+	GE1ColAvgs float64 // competitor guessing error
+	GE1Regress float64 // multiple linear regression (extension, not in the paper's chart)
+	RelPercent float64 // 100 · GE1RR / GE1ColAvgs
+}
+
+// Fig7Result reproduces Fig. 7 ("Relative guessing error over 3
+// datasets"): the paper reports RR winning on every dataset, with as
+// little as one fifth the error of col-avgs.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// RunFig7 evaluates GE₁ on the 10% test split of each dataset.
+func RunFig7() (*Fig7Result, error) {
+	out := &Fig7Result{}
+	for _, ds := range Datasets() {
+		row, err := fig7Row(ds)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, *row)
+	}
+	return out, nil
+}
+
+func fig7Row(ds *dataset.Dataset) (*Fig7Row, error) {
+	m, err := trainOn(ds)
+	if err != nil {
+		return nil, err
+	}
+	geRR, err := core.GE1(m.rules, m.test.X)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: GE1(RR) on %s: %w", ds.Name, err)
+	}
+	geCA, err := core.GE1(m.colAvgs, m.test.X)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: GE1(col-avgs) on %s: %w", ds.Name, err)
+	}
+	reg, err := regress.Fit(m.train.X)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fitting regression on %s: %w", ds.Name, err)
+	}
+	geReg, err := core.GE1(reg, m.test.X)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: GE1(regression) on %s: %w", ds.Name, err)
+	}
+	rel := 0.0
+	if geCA > 0 {
+		rel = 100 * geRR / geCA
+	}
+	return &Fig7Row{
+		Dataset:    ds.Name,
+		K:          m.rules.K(),
+		GE1RR:      geRR,
+		GE1ColAvgs: geCA,
+		GE1Regress: geReg,
+		RelPercent: rel,
+	}, nil
+}
+
+// String renders the figure as a table plus the paper-style relative bar
+// chart.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: single-hole guessing error GE1, 90/10 train/test split\n\n")
+	fmt.Fprintf(&b, "%-10s %4s %14s %14s %14s %12s\n",
+		"dataset", "k", "GE1(RR)", "GE1(col-avgs)", "GE1(regress)", "RR % of CA")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %4d %14.4f %14.4f %14.4f %11.1f%%\n",
+			row.Dataset, row.K, row.GE1RR, row.GE1ColAvgs, row.GE1Regress, row.RelPercent)
+	}
+	b.WriteByte('\n')
+	names := []string{"col-avgs (reference)"}
+	values := []float64{100}
+	for _, row := range r.Rows {
+		names = append(names, "RR on "+row.Dataset)
+		values = append(values, row.RelPercent)
+	}
+	b.WriteString(textplot.Histogram("relative guessing error (% of col-avgs)", names, values, 40))
+	return b.String()
+}

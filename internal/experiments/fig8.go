@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ratiorules/internal/core"
+	"ratiorules/internal/quest"
+	"ratiorules/internal/textplot"
+)
+
+// Fig8Point is one measurement of the scale-up experiment.
+type Fig8Point struct {
+	Rows    int
+	Elapsed time.Duration
+	K       int // rules retained, to confirm the pipeline ran end to end
+}
+
+// Fig8Result reproduces Fig. 8 ("Scale-up: time to compute RR versus db
+// size N in records") on Quest-style synthetic data with M = 100 columns.
+// The paper's claim is linearity in N with a negligible O(M³) y-intercept.
+type Fig8Result struct {
+	Cols   int
+	Points []Fig8Point
+	// FitSecondsPerMRows is the least-squares slope in seconds per million
+	// rows, and FitInterceptMS the y-intercept in milliseconds (≈ the
+	// eigensolve cost).
+	FitSecondsPerMRows float64
+	FitInterceptMS     float64
+	// MaxResidualFrac is the largest relative deviation of a measurement
+	// from the linear fit — small values confirm the paper's straight line.
+	MaxResidualFrac float64
+}
+
+// DefaultFig8Sizes mirrors the paper's sweep of N up to 100,000 rows.
+var DefaultFig8Sizes = []int{10000, 25000, 50000, 75000, 100000}
+
+// RunFig8 streams Quest data of each size through the single-pass miner
+// and measures wall-clock time (generation + covariance accumulation +
+// eigensolve), exactly the work the paper timed.
+func RunFig8(sizes []int) (*Fig8Result, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultFig8Sizes
+	}
+	cfg := quest.DefaultConfig(0)
+	out := &Fig8Result{Cols: cfg.Cols}
+	miner, err := core.NewMiner()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: configuring miner: %w", err)
+	}
+	for _, n := range sizes {
+		if n < 2 {
+			return nil, fmt.Errorf("experiments: scale-up size %d too small", n)
+		}
+		c := cfg
+		c.Rows = n
+		src, err := quest.NewSource(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: quest source for N=%d: %w", n, err)
+		}
+		start := time.Now()
+		rules, err := miner.Mine(src)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: mining N=%d: %w", n, err)
+		}
+		out.Points = append(out.Points, Fig8Point{Rows: n, Elapsed: elapsed, K: rules.K()})
+	}
+	out.fit()
+	return out, nil
+}
+
+// fit computes the least-squares line time = a + b·N and the worst
+// relative residual.
+func (r *Fig8Result) fit() {
+	n := float64(len(r.Points))
+	if n < 2 {
+		return
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range r.Points {
+		x := float64(p.Rows)
+		y := p.Elapsed.Seconds()
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	r.FitSecondsPerMRows = b * 1e6
+	r.FitInterceptMS = a * 1e3
+	for _, p := range r.Points {
+		pred := a + b*float64(p.Rows)
+		if pred <= 0 {
+			continue
+		}
+		frac := abs(p.Elapsed.Seconds()-pred) / pred
+		if frac > r.MaxResidualFrac {
+			r.MaxResidualFrac = frac
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// String renders the measurements and the linear fit.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: scale-up, time to compute Ratio Rules vs N (M=%d)\n\n", r.Cols)
+	fmt.Fprintf(&b, "%10s %14s %6s\n", "rows N", "time", "k")
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		fmt.Fprintf(&b, "%10d %14s %6d\n", p.Rows, p.Elapsed.Round(time.Millisecond), p.K)
+		xs[i] = float64(p.Rows)
+		ys[i] = p.Elapsed.Seconds()
+	}
+	fmt.Fprintf(&b, "\nlinear fit: %.3f s per million rows, intercept %.1f ms (eigensolve), max residual %.1f%%\n\n",
+		r.FitSecondsPerMRows, r.FitInterceptMS, 100*r.MaxResidualFrac)
+	b.WriteString(textplot.Lines("time vs N", "rows", "seconds",
+		[]textplot.Series{{Name: "measured", X: xs, Y: ys, Marker: '+'}}, 50, 12))
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ratiorules/internal/core"
+	"ratiorules/internal/textplot"
+)
+
+// LearnPoint is one training-size measurement.
+type LearnPoint struct {
+	TrainRows  int
+	GE1RR      float64
+	GE1ColAvgs float64
+}
+
+// LearnCurveResult measures how much training data Ratio Rules need: GE₁
+// on a fixed clean test split as the training set grows. Because the model
+// is just M² covariance sums plus column means, it should saturate after a
+// few hundred rows — an operational answer to "how big must the training
+// matrix be", which the paper leaves implicit.
+type LearnCurveResult struct {
+	Dataset string
+	Points  []LearnPoint
+}
+
+// learnFractions are the training-set fractions swept (of the 90% split).
+var learnFractions = []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1.0}
+
+// RunLearnCurve sweeps training size on the named dataset.
+func RunLearnCurve(name string) (*LearnCurveResult, error) {
+	ds, err := DatasetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := ds.Split(TrainFrac, SplitSeed)
+	if err != nil {
+		return nil, err
+	}
+	out := &LearnCurveResult{Dataset: name}
+	for _, frac := range learnFractions {
+		rows := int(frac * float64(train.Rows()))
+		if rows < ds.Cols()+1 {
+			continue // too few rows for a meaningful covariance
+		}
+		idx := make([]int, rows)
+		for i := range idx {
+			idx[i] = i
+		}
+		sub := train.X.SelectRows(idx)
+		miner, err := core.NewMiner(core.WithAttrNames(ds.Attrs))
+		if err != nil {
+			return nil, err
+		}
+		rules, err := miner.MineMatrix(sub)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: mining %d rows of %s: %w", rows, name, err)
+		}
+		geRR, err := core.GE1(rules, test.X)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: GE1 at %d rows: %w", rows, err)
+		}
+		geCA, err := core.GE1(core.NewColAvgs(rules.Means()), test.X)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: col-avgs GE1 at %d rows: %w", rows, err)
+		}
+		out.Points = append(out.Points, LearnPoint{TrainRows: rows, GE1RR: geRR, GE1ColAvgs: geCA})
+	}
+	if len(out.Points) == 0 {
+		return nil, fmt.Errorf("experiments: dataset %s too small for the sweep", name)
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (r *LearnCurveResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Learning curve ('%s'): GE1 vs training rows (fixed test split)\n\n", r.Dataset)
+	fmt.Fprintf(&b, "%10s %14s %14s\n", "rows", "GE1(RR)", "GE1(col-avgs)")
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		fmt.Fprintf(&b, "%10d %14.4f %14.4f\n", p.TrainRows, p.GE1RR, p.GE1ColAvgs)
+		xs[i] = float64(p.TrainRows)
+		ys[i] = p.GE1RR
+	}
+	b.WriteByte('\n')
+	b.WriteString(textplot.Lines("GE1(RR) vs training rows", "rows", "GE1",
+		[]textplot.Series{{Name: "RR", X: xs, Y: ys, Marker: '*'}}, 50, 10))
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ratiorules/internal/core"
+	"ratiorules/internal/textplot"
+)
+
+// ScatterResult reproduces the RR-space scatter plots: Fig. 11 (nba, two
+// orthogonal 2-d views) and Fig. 9 (baseball and abalone). Points carry
+// labels for the planted extreme players so the views can be annotated the
+// way the paper calls out Jordan, Rodman, Bogues and Malone.
+type ScatterResult struct {
+	Dataset string
+	// XRule and YRule are the 1-based rule indices of the axes.
+	XRule, YRule int
+	Points       []textplot.Point
+	// Named lists the labeled points (the planted outliers) in order.
+	Named []textplot.Point
+}
+
+// RunScatter projects the full dataset onto rules xRule and yRule
+// (1-based, per the paper's RR1/RR2/RR3 naming).
+func RunScatter(name string, xRule, yRule int) (*ScatterResult, error) {
+	ds, err := DatasetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	need := xRule
+	if yRule > need {
+		need = yRule
+	}
+	if xRule < 1 || yRule < 1 || xRule == yRule {
+		return nil, fmt.Errorf("experiments: scatter axes RR%d/RR%d invalid", xRule, yRule)
+	}
+	miner, err := core.NewMiner(core.WithFixedK(need), core.WithAttrNames(ds.Attrs))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: configuring miner: %w", err)
+	}
+	rules, err := miner.MineMatrix(ds.X)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mining %s: %w", name, err)
+	}
+	proj, err := rules.Project(ds.X, need)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: projecting %s: %w", name, err)
+	}
+	out := &ScatterResult{Dataset: name, XRule: xRule, YRule: yRule}
+	for i := 0; i < proj.Rows(); i++ {
+		p := textplot.Point{X: proj.At(i, xRule-1), Y: proj.At(i, yRule-1)}
+		if label := ds.Label(i); isFamous(label) {
+			p.Label = label
+			out.Named = append(out.Named, p)
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// isFamous reports whether the label is one of the planted extremes.
+func isFamous(label string) bool {
+	switch label {
+	case "Jordan", "Rodman", "Bogues", "Malone":
+		return true
+	}
+	return false
+}
+
+// String renders the scatter plot.
+func (r *ScatterResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scatter plot of '%s' in RR space (x=RR%d, y=RR%d)\n\n", r.Dataset, r.XRule, r.YRule)
+	b.WriteString(textplot.Scatter(
+		fmt.Sprintf("'%s': %d points", r.Dataset, len(r.Points)),
+		fmt.Sprintf("RR%d", r.XRule), fmt.Sprintf("RR%d", r.YRule),
+		r.Points, 70, 22))
+	return b.String()
+}

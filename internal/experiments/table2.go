@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ratiorules/internal/core"
+	"ratiorules/internal/dataset"
+	"ratiorules/internal/textplot"
+)
+
+// Table2Result reproduces Table 2 ("Relative values of the RRs from
+// `nba`"): the first three Ratio Rules of the nba dataset, together with
+// the structural checks behind the paper's interpretation (Sec. 6.2):
+//
+//   - RR1 "court action": minutes:points ≈ 2:1, everything non-negative;
+//   - RR2 "field position": rebounds against points (negative correlation);
+//   - RR3 "height": rebounds against assists/steals.
+type Table2Result struct {
+	Rules *core.Rules
+	// MinutesPointsRatio is RR1's minutes-played : points ratio (paper ≈ 2).
+	MinutesPointsRatio float64
+	// RR2Opposed reports whether total rebounds and points carry opposite
+	// signs in RR2.
+	RR2Opposed bool
+	// RR2ReboundsPointsRatio is |rebounds|:|points| within RR2 (paper ≈ 2.45).
+	RR2ReboundsPointsRatio float64
+	// RR3Opposed reports whether rebounds oppose assists+steals in RR3.
+	RR3Opposed bool
+}
+
+// Attribute indices in dataset.NBAAttrs.
+const (
+	nbaMinutes = 0
+	nbaPoints  = 7
+	nbaTotReb  = 9
+	nbaAssists = 10
+	nbaSteals  = 11
+)
+
+// RunTable2 mines k = 3 rules from the full nba dataset (the paper presents
+// the mined rules, not a split) and derives the interpretation metrics.
+func RunTable2() (*Table2Result, error) {
+	ds := dataset.NBA()
+	miner, err := core.NewMiner(core.WithFixedK(3), core.WithAttrNames(ds.Attrs))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: configuring miner: %w", err)
+	}
+	rules, err := miner.MineMatrix(ds.X)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mining nba: %w", err)
+	}
+	out := &Table2Result{Rules: rules}
+	rr1, rr2, rr3 := rules.Rule(0), rules.Rule(1), rules.Rule(2)
+	if rr1[nbaPoints] != 0 {
+		out.MinutesPointsRatio = rr1[nbaMinutes] / rr1[nbaPoints]
+	}
+	out.RR2Opposed = rr2[nbaTotReb]*rr2[nbaPoints] < 0
+	if rr2[nbaPoints] != 0 {
+		out.RR2ReboundsPointsRatio = math.Abs(rr2[nbaTotReb] / rr2[nbaPoints])
+	}
+	out.RR3Opposed = rr3[nbaTotReb]*(rr3[nbaAssists]+rr3[nbaSteals]) < 0
+	return out, nil
+}
+
+// String renders the rule table plus per-rule histograms (the display step
+// of the paper's Fig. 10 methodology) and the interpretation summary.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 2: relative values of the RRs from 'nba'\n\n")
+	b.WriteString(r.Rules.String())
+	b.WriteByte('\n')
+	names := r.Rules.AttrNames()
+	for i := 0; i < r.Rules.K(); i++ {
+		b.WriteString(textplot.Histogram(fmt.Sprintf("RR%d coefficients", i+1), names, r.Rules.Rule(i), 30))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "interpretation checks (paper, Sec. 6.2):\n")
+	fmt.Fprintf(&b, "  RR1 'court action': minutes:points = %.2f:1 (paper ≈ 2:1)\n", r.MinutesPointsRatio)
+	fmt.Fprintf(&b, "  RR2 'field position': rebounds vs points opposed = %v, ratio %.2f:1 (paper ≈ 2.45:1)\n",
+		r.RR2Opposed, r.RR2ReboundsPointsRatio)
+	fmt.Fprintf(&b, "  RR3 'height': rebounds vs assists+steals opposed = %v\n", r.RR3Opposed)
+	return b.String()
+}

@@ -1,0 +1,288 @@
+package linsolve
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ratiorules/internal/matrix"
+)
+
+func TestSolveSquareKnown(t *testing.T) {
+	a := matrix.MustFromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveSquare(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApproxVec(x, []float64{1, 3}, 1e-12) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSquareNeedsPivoting(t *testing.T) {
+	// Zero in the (0,0) position forces a row swap.
+	a := matrix.MustFromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveSquare(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApproxVec(x, []float64{3, 2}, 1e-12) {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSquareSingular(t *testing.T) {
+	a := matrix.MustFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveSquare(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFactorLUShape(t *testing.T) {
+	if _, err := FactorLU(matrix.NewDense(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestLUSolveRHSLength(t *testing.T) {
+	f, err := FactorLU(matrix.Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	tests := []struct {
+		m    *matrix.Dense
+		want float64
+	}{
+		{matrix.Identity(3), 1},
+		{matrix.MustFromRows([][]float64{{2, 0}, {0, 3}}), 6},
+		{matrix.MustFromRows([][]float64{{0, 1}, {1, 0}}), -1},
+		{matrix.MustFromRows([][]float64{{1, 2}, {3, 4}}), -2},
+	}
+	for _, tc := range tests {
+		f, err := FactorLU(tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.Det(); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Det = %v, want %v", got, tc.want)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := matrix.MustFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.MustFromRows([][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	if !matrix.EqualApprox(inv, want, 1e-12) {
+		t.Errorf("Inverse = %v, want %v", inv, want)
+	}
+	if _, err := Inverse(matrix.NewDense(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+	if _, err := Inverse(matrix.NewDense(2, 2)); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestQRLeastSquaresLine(t *testing.T) {
+	// Fit y = a + b·t through (0,1), (1,3), (2,5): exact a=1, b=2.
+	a := matrix.MustFromRows([][]float64{{1, 0}, {1, 1}, {1, 2}})
+	x, err := SolveLeastSquares(a, []float64{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApproxVec(x, []float64{1, 2}, 1e-10) {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestQRLeastSquaresInconsistent(t *testing.T) {
+	// Constant fit through 1, 2, 6: mean 3.
+	a := matrix.MustFromRows([][]float64{{1}, {1}, {1}})
+	x, err := SolveLeastSquares(a, []float64{1, 2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApproxVec(x, []float64{3}, 1e-10) {
+		t.Errorf("x = %v, want [3]", x)
+	}
+}
+
+func TestQRShapeAndRank(t *testing.T) {
+	if _, err := FactorQR(matrix.NewDense(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("wide matrix: err = %v, want ErrShape", err)
+	}
+	// Rank-deficient tall matrix.
+	a := matrix.MustFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FullRank() {
+		t.Error("rank-deficient matrix reported full rank")
+	}
+	if _, err := f.Solve([]float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestQRSolveRHSLength(t *testing.T) {
+	f, err := FactorQR(matrix.Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+// Property: LU solves random well-conditioned systems to high accuracy.
+func TestLUSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randomDiagDominant(rng, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b, err := matrix.MulVec(a, xTrue)
+		if err != nil {
+			return false
+		}
+		x, err := SolveSquare(a, b)
+		if err != nil {
+			return false
+		}
+		return matrix.EqualApproxVec(x, xTrue, 1e-9*(1+matrix.Norm2(xTrue)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: QR least-squares residual is orthogonal to the column space.
+func TestQRResidualOrthogonalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := n + 1 + rng.Intn(6)
+		a := matrix.NewDense(m, n)
+		for i := 0; i < m; i++ {
+			row := a.RawRow(i)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLeastSquares(a, b)
+		if err != nil {
+			// Random Gaussian matrices are almost surely full rank; treat
+			// rank deficiency as a (vanishingly unlikely) skip.
+			return errors.Is(err, ErrSingular)
+		}
+		ax, err := matrix.MulVec(a, x)
+		if err != nil {
+			return false
+		}
+		r := matrix.SubVec(b, ax)
+		// Aᵗ·r must vanish.
+		atr, err := matrix.MulVec(a.T(), r)
+		if err != nil {
+			return false
+		}
+		return matrix.Norm2(atr) <= 1e-9*(1+matrix.Norm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LU and QR agree on square non-singular systems.
+func TestLUQRAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomDiagDominant(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1, err := SolveSquare(a, b)
+		if err != nil {
+			return false
+		}
+		x2, err := SolveLeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		return matrix.EqualApproxVec(x1, x2, 1e-8*(1+matrix.Norm2(x1)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomDiagDominant builds a well-conditioned random matrix by adding n to
+// the diagonal of a random Gaussian matrix.
+func randomDiagDominant(rng *rand.Rand, n int) *matrix.Dense {
+	a := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		row := a.RawRow(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		row[i] += float64(n) + 1
+	}
+	return a
+}
+
+func BenchmarkLUSolve50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDiagDominant(rng, 50)
+	rhs := make([]float64, 50)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveSquare(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQRSolve100x20(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := matrix.NewDense(100, 20)
+	for i := 0; i < 100; i++ {
+		row := a.RawRow(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	rhs := make([]float64, 100)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveLeastSquares(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

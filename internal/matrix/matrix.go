@@ -1,0 +1,404 @@
+// Package matrix provides dense matrix and vector algebra for the Ratio
+// Rules mining pipeline.
+//
+// The package is deliberately small and allocation-conscious: matrices are
+// stored in row-major order in a single backing slice, and every operation
+// documents whether it allocates. It implements exactly what the eigensystem
+// analysis of Korn et al. (VLDB 1998) needs — multiplication, transposition,
+// row/column selection, and norms — with dimension checks that return typed
+// errors on the fallible constructors and panic (with a clear message) on
+// programmer errors in hot-path accessors, following the convention of the
+// standard library's slice indexing.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrDimensionMismatch is returned (or wrapped) when the shapes of two
+// operands are incompatible.
+var ErrDimensionMismatch = errors.New("matrix: dimension mismatch")
+
+// Dense is a row-major dense matrix of float64 values.
+//
+// The zero value is an empty 0×0 matrix and is safe to use with Dims.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zeroed rows×cols matrix.
+// It panics if rows or cols is negative.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: NewDense with negative dimension %d×%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewDenseData returns a rows×cols matrix that adopts (does not copy) the
+// provided backing slice, which must have length rows*cols.
+func NewDenseData(rows, cols int, data []float64) (*Dense, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("matrix: negative dimension %d×%d: %w", rows, cols, ErrDimensionMismatch)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("matrix: data length %d does not match %d×%d: %w",
+			len(data), rows, cols, ErrDimensionMismatch)
+	}
+	return &Dense{rows: rows, cols: cols, data: data}, nil
+}
+
+// FromRows builds a matrix by copying the given rows, which must all have
+// equal length. An empty input yields a 0×0 matrix.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return NewDense(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewDense(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("matrix: row %d has length %d, want %d: %w",
+				i, len(r), cols, ErrDimensionMismatch)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// MustFromRows is FromRows that panics on ragged input. It is intended for
+// tests and literal fixtures.
+func MustFromRows(rows [][]float64) *Dense {
+	m, err := FromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diagonal returns a square matrix with d on the main diagonal.
+func Diagonal(d []float64) *Dense {
+	n := len(d)
+	m := NewDense(n, n)
+	for i, v := range d {
+		m.data[i*n+i] = v
+	}
+	return m
+}
+
+// Dims reports the number of rows and columns.
+func (m *Dense) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// Rows reports the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols reports the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the value at row i, column j. It panics on out-of-range
+// indices, mirroring slice indexing semantics.
+func (m *Dense) At(i, j int) float64 {
+	m.checkIndex(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the value at row i, column j. It panics on out-of-range
+// indices.
+func (m *Dense) Set(i, j int, v float64) {
+	m.checkIndex(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) checkIndex(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range for %d×%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// RawRow returns the i-th row as a slice aliasing the matrix storage.
+// Mutating the returned slice mutates the matrix.
+func (m *Dense) RawRow(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range for %d×%d matrix", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Row returns a copy of the i-th row.
+func (m *Dense) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.RawRow(i))
+	return out
+}
+
+// SetRow copies v into the i-th row. It panics if len(v) != Cols().
+func (m *Dense) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("matrix: SetRow length %d, want %d", len(v), m.cols))
+	}
+	copy(m.RawRow(i), v)
+}
+
+// Col returns a copy of the j-th column.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: column %d out of range for %d×%d matrix", j, m.rows, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := range out {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// T returns the transpose as a newly allocated matrix.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out.data[j*m.rows+i] = v
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product a·b. It returns ErrDimensionMismatch if the
+// inner dimensions disagree.
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("matrix: Mul %d×%d by %d×%d: %w",
+			a.rows, a.cols, b.rows, b.cols, ErrDimensionMismatch)
+	}
+	out := NewDense(a.rows, b.cols)
+	// ikj loop order: streams through b row-wise for cache friendliness.
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*b.cols : (i+1)*b.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MustMul is Mul that panics on dimension mismatch; for use when shapes are
+// known correct by construction.
+func MustMul(a, b *Dense) *Dense {
+	out, err := Mul(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·x.
+func MulVec(m *Dense, x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("matrix: MulVec %d×%d by vector %d: %w",
+			m.rows, m.cols, len(x), ErrDimensionMismatch)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Add returns a+b.
+func Add(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("matrix: Add %d×%d and %d×%d: %w",
+			a.rows, a.cols, b.rows, b.cols, ErrDimensionMismatch)
+	}
+	out := NewDense(a.rows, a.cols)
+	for i := range out.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns a−b.
+func Sub(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("matrix: Sub %d×%d and %d×%d: %w",
+			a.rows, a.cols, b.rows, b.cols, ErrDimensionMismatch)
+	}
+	out := NewDense(a.rows, a.cols)
+	for i := range out.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns s·m as a new matrix.
+func Scale(s float64, m *Dense) *Dense {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+// SelectRows returns a new matrix consisting of the given rows, in order.
+// Duplicate indices are allowed.
+func (m *Dense) SelectRows(idx []int) *Dense {
+	out := NewDense(len(idx), m.cols)
+	for r, i := range idx {
+		copy(out.RawRow(r), m.RawRow(i))
+	}
+	return out
+}
+
+// SelectCols returns a new matrix consisting of the given columns, in order.
+func (m *Dense) SelectCols(idx []int) *Dense {
+	out := NewDense(m.rows, len(idx))
+	for i := 0; i < m.rows; i++ {
+		src := m.RawRow(i)
+		dst := out.RawRow(i)
+		for c, j := range idx {
+			dst[c] = src[j]
+		}
+	}
+	return out
+}
+
+// ColMeans returns the per-column averages. For a 0-row matrix it returns
+// all zeros.
+func (m *Dense) ColMeans() []float64 {
+	means := make([]float64, m.cols)
+	if m.rows == 0 {
+		return means
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(m.rows)
+	}
+	return means
+}
+
+// CenterColumns returns a copy of m with the column means subtracted from
+// every cell, together with the means that were removed. This is the
+// "zero-mean" matrix Xc of the paper.
+func (m *Dense) CenterColumns() (centered *Dense, means []float64) {
+	means = m.ColMeans()
+	centered = m.Clone()
+	for i := 0; i < centered.rows; i++ {
+		row := centered.RawRow(i)
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+	return centered, means
+}
+
+// FrobeniusNorm returns the square root of the sum of squares of all cells.
+func (m *Dense) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute cell value, or 0 for an empty matrix.
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// EqualApprox reports whether a and b have the same shape and every pair of
+// cells differs by at most tol.
+func EqualApprox(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSymmetric reports whether m is square and symmetric to within tol.
+func (m *Dense) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix with one row per line, for debugging and small
+// fixture output. Large matrices are elided after 12 rows.
+func (m *Dense) String() string {
+	const maxRows = 12
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d×%d\n", m.rows, m.cols)
+	n := m.rows
+	if n > maxRows {
+		n = maxRows
+	}
+	for i := 0; i < n; i++ {
+		row := m.RawRow(i)
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%10.4g", v)
+		}
+		b.WriteByte('\n')
+	}
+	if m.rows > maxRows {
+		fmt.Fprintf(&b, "... (%d more rows)\n", m.rows-maxRows)
+	}
+	return b.String()
+}

@@ -1,0 +1,394 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	r, c := m.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("Dims() = %d,%d, want 3,4", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewDensePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDense(-1, 2) did not panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestNewDenseData(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	m, err := NewDenseData(2, 3, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(1, 2); got != 6 {
+		t.Errorf("At(1,2) = %v, want 6", got)
+	}
+	// Adopts, not copies.
+	d[5] = 60
+	if got := m.At(1, 2); got != 60 {
+		t.Errorf("after aliasing write, At(1,2) = %v, want 60", got)
+	}
+	if _, err := NewDenseData(2, 3, d[:5]); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("short data: err = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := NewDenseData(-1, 3, nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("negative dim: err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("dims = %d×%d, want 3×2", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	_, err := FromRows([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Errorf("dims = %d×%d, want 0×0", m.Rows(), m.Cols())
+	}
+}
+
+func TestIdentityAndDiagonal(t *testing.T) {
+	id := Identity(3)
+	d := Diagonal([]float64{1, 1, 1})
+	if !EqualApprox(id, d, 0) {
+		t.Error("Identity(3) != Diagonal(ones)")
+	}
+	if id.At(0, 1) != 0 || id.At(1, 1) != 1 {
+		t.Error("identity has wrong entries")
+	}
+}
+
+func TestAtSetPanics(t *testing.T) {
+	m := NewDense(2, 2)
+	for _, fn := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 1) },
+		func() { m.RawRow(5) },
+		func() { m.Col(9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range access")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRowColCopySemantics(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("Row must copy")
+	}
+	c := m.Col(1)
+	c[0] = 99
+	if m.At(0, 1) != 2 {
+		t.Error("Col must copy")
+	}
+	raw := m.RawRow(1)
+	raw[0] = 42
+	if m.At(1, 0) != 42 {
+		t.Error("RawRow must alias")
+	}
+}
+
+func TestSetRow(t *testing.T) {
+	m := NewDense(2, 3)
+	m.SetRow(1, []float64{7, 8, 9})
+	if m.At(1, 2) != 9 {
+		t.Errorf("At(1,2) = %v, want 9", m.At(1, 2))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetRow with wrong length must panic")
+		}
+	}()
+	m.SetRow(0, []float64{1})
+}
+
+func TestTranspose(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	want := MustFromRows([][]float64{{1, 4}, {2, 5}, {3, 6}})
+	if !EqualApprox(mt, want, 0) {
+		t.Errorf("T() = %v, want %v", mt, want)
+	}
+	if !EqualApprox(mt.T(), m, 0) {
+		t.Error("double transpose must round-trip")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MustFromRows([][]float64{{5, 6}, {7, 8}})
+	got := MustMul(a, b)
+	want := MustFromRows([][]float64{{19, 22}, {43, 50}})
+	if !EqualApprox(got, want, 1e-12) {
+		t.Errorf("a·b = %v, want %v", got, want)
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(2, 3)
+	if _, err := Mul(a, b); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 5, 5)
+	if got := MustMul(a, Identity(5)); !EqualApprox(got, a, 1e-12) {
+		t.Error("a·I != a")
+	}
+	if got := MustMul(Identity(5), a); !EqualApprox(got, a, 1e-12) {
+		t.Error("I·a != a")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got, err := MulVec(m, []float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, -1, -1}
+	if !EqualApproxVec(got, want, 1e-12) {
+		t.Errorf("MulVec = %v, want %v", got, want)
+	}
+	if _, err := MulVec(m, []float64{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MustFromRows([][]float64{{10, 20}, {30, 40}})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualApprox(sum, MustFromRows([][]float64{{11, 22}, {33, 44}}), 0) {
+		t.Error("Add wrong")
+	}
+	diff, err := Sub(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualApprox(diff, MustFromRows([][]float64{{9, 18}, {27, 36}}), 0) {
+		t.Error("Sub wrong")
+	}
+	if !EqualApprox(Scale(2, a), MustFromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Error("Scale wrong")
+	}
+	if _, err := Add(a, NewDense(1, 2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Error("Add shape check failed")
+	}
+	if _, err := Sub(a, NewDense(2, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Error("Sub shape check failed")
+	}
+}
+
+func TestSelectRowsCols(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	r := m.SelectRows([]int{2, 0})
+	if !EqualApprox(r, MustFromRows([][]float64{{7, 8, 9}, {1, 2, 3}}), 0) {
+		t.Errorf("SelectRows = %v", r)
+	}
+	c := m.SelectCols([]int{1})
+	if !EqualApprox(c, MustFromRows([][]float64{{2}, {5}, {8}}), 0) {
+		t.Errorf("SelectCols = %v", c)
+	}
+}
+
+func TestColMeansAndCenter(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 10}, {3, 30}})
+	means := m.ColMeans()
+	if !EqualApproxVec(means, []float64{2, 20}, 1e-12) {
+		t.Errorf("ColMeans = %v, want [2 20]", means)
+	}
+	centered, got := m.CenterColumns()
+	if !EqualApproxVec(got, means, 0) {
+		t.Error("CenterColumns means disagree with ColMeans")
+	}
+	if !EqualApproxVec(centered.ColMeans(), []float64{0, 0}, 1e-12) {
+		t.Error("centered matrix must have zero column means")
+	}
+	// Original untouched.
+	if m.At(0, 0) != 1 {
+		t.Error("CenterColumns must not mutate the receiver")
+	}
+}
+
+func TestColMeansEmpty(t *testing.T) {
+	m := NewDense(0, 3)
+	if got := m.ColMeans(); !EqualApproxVec(got, []float64{0, 0, 0}, 0) {
+		t.Errorf("ColMeans of empty = %v", got)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := MustFromRows([][]float64{{3, 0}, {0, 4}})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("FrobeniusNorm = %v, want 5", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Errorf("MaxAbs = %v, want 4", got)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := MustFromRows([][]float64{{1, 2}, {2, 1}})
+	if !s.IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	a := MustFromRows([][]float64{{1, 2}, {3, 1}})
+	if a.IsSymmetric(0.5) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	if NewDense(2, 3).IsSymmetric(1) {
+		t.Error("non-square matrix cannot be symmetric")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := MustFromRows([][]float64{{1, 2}}).String()
+	if !strings.Contains(s, "1×2") {
+		t.Errorf("String() = %q, want dims header", s)
+	}
+	big := NewDense(20, 1)
+	if !strings.Contains(big.String(), "more rows") {
+		t.Error("String() must elide large matrices")
+	}
+}
+
+// Property: (A·B)ᵗ == Bᵗ·Aᵗ for random shapes.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randomMatrix(rng, m, k)
+		b := randomMatrix(rng, k, n)
+		left := MustMul(a, b).T()
+		right := MustMul(b.T(), a.T())
+		return EqualApprox(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matrix multiplication is associative.
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 4, 3)
+		b := randomMatrix(rng, 3, 5)
+		c := randomMatrix(rng, 5, 2)
+		left := MustMul(MustMul(a, b), c)
+		right := MustMul(a, MustMul(b, c))
+		return EqualApprox(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		row := m.RawRow(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func TestSelectRowsColsPanics(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	for _, fn := range []func(){
+		func() { m.SelectRows([]int{5}) },
+		func() { m.SelectCols([]int{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range selection")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestMustMulPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMul with bad shapes must panic")
+		}
+	}()
+	MustMul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMustFromRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFromRows with ragged rows must panic")
+		}
+	}()
+	MustFromRows([][]float64{{1}, {1, 2}})
+}

@@ -1,0 +1,235 @@
+// Package quest is a synthetic market-basket data generator in the spirit
+// of the IBM Quest Synthetic Data Generation Tool, which the paper uses for
+// its scale-up experiment (Fig. 8: a 100,000 × 100 data matrix).
+//
+// The original tool (and its download URL) is long gone, so this package
+// re-implements the behaviour the experiment depends on: a stream of
+// customer rows over M products where each customer draws a handful of
+// "patterns" (correlated product bundles) and spends log-normally
+// distributed dollar amounts on the bundle's products. The result is a
+// sparse, positively correlated amounts matrix whose rows can be streamed
+// one at a time — exactly what a single-pass mining scale-up needs.
+package quest
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"ratiorules/internal/matrix"
+)
+
+// Config parameterizes the generator. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	// Rows is the number of customers N.
+	Rows int
+	// Cols is the number of products M.
+	Cols int
+	// Patterns is the number of latent product bundles (Quest's
+	// "potentially large itemsets").
+	Patterns int
+	// PatternLen is the average bundle size in products.
+	PatternLen int
+	// PatternsPerRow is the average number of bundles a customer buys.
+	PatternsPerRow float64
+	// MeanAmount is the average dollar amount per purchased product.
+	MeanAmount float64
+	// Seed fixes the generated data.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's scale-up setting: M=100 products with
+// bundle structure, dollar amounts.
+func DefaultConfig(rows int) Config {
+	return Config{
+		Rows:           rows,
+		Cols:           100,
+		Patterns:       25,
+		PatternLen:     6,
+		PatternsPerRow: 2.5,
+		MeanAmount:     12,
+		Seed:           98,
+	}
+}
+
+// Validate reports the first configuration problem, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Rows < 0:
+		return fmt.Errorf("quest: negative rows %d", c.Rows)
+	case c.Cols < 1:
+		return fmt.Errorf("quest: cols %d must be positive", c.Cols)
+	case c.Patterns < 1:
+		return fmt.Errorf("quest: patterns %d must be positive", c.Patterns)
+	case c.PatternLen < 1 || c.PatternLen > c.Cols:
+		return fmt.Errorf("quest: pattern length %d outside [1, %d]", c.PatternLen, c.Cols)
+	case c.PatternsPerRow <= 0:
+		return fmt.Errorf("quest: patterns per row %v must be positive", c.PatternsPerRow)
+	case c.MeanAmount <= 0:
+		return fmt.Errorf("quest: mean amount %v must be positive", c.MeanAmount)
+	}
+	return nil
+}
+
+// pattern is a product bundle with per-product weight (relative spend) and
+// a popularity that biases which bundles customers pick.
+type pattern struct {
+	products []int
+	weights  []float64
+	cum      float64 // cumulative popularity for roulette selection
+}
+
+// Source streams the rows of a synthetic basket matrix. It implements the
+// miner's RowSource contract (Width/Next) without ever materializing the
+// full matrix, so the Fig. 8 scale-up measures I/O-free generation plus
+// single-pass accumulation only.
+type Source struct {
+	cfg      Config
+	rng      *rand.Rand
+	patterns []pattern
+	row      []float64
+	emitted  int
+}
+
+// NewSource builds the latent bundles and returns a streaming source.
+func NewSource(cfg Config) (*Source, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pats := make([]pattern, cfg.Patterns)
+	var cum float64
+	for i := range pats {
+		// Bundle size: Poisson-ish around PatternLen, at least 1.
+		size := maxInt(1, int(float64(cfg.PatternLen)*(0.5+rng.Float64())))
+		if size > cfg.Cols {
+			size = cfg.Cols
+		}
+		prods := rng.Perm(cfg.Cols)[:size]
+		weights := make([]float64, size)
+		for j := range weights {
+			// Relative spend within the bundle: the "ratio" the rules later
+			// recover.
+			weights[j] = 0.3 + rng.Float64()*1.7
+		}
+		// Exponentially skewed popularity, like Quest's weighted itemsets.
+		cum += rng.ExpFloat64() + 0.1
+		pats[i] = pattern{products: prods, weights: weights, cum: cum}
+	}
+	return &Source{
+		cfg:      cfg,
+		rng:      rng,
+		patterns: pats,
+		row:      make([]float64, cfg.Cols),
+	}, nil
+}
+
+// Width implements the row-source contract.
+func (s *Source) Width() int { return s.cfg.Cols }
+
+// Next generates the next customer row, reusing an internal buffer.
+// It returns io.EOF after Rows rows.
+func (s *Source) Next() ([]float64, error) {
+	if s.emitted >= s.cfg.Rows {
+		return nil, io.EOF
+	}
+	s.emitted++
+	for j := range s.row {
+		s.row[j] = 0
+	}
+	// Number of bundles for this customer: geometric-ish around the mean.
+	n := 1 + s.rng.Intn(int(2*s.cfg.PatternsPerRow))
+	total := s.patterns[len(s.patterns)-1].cum
+	for b := 0; b < n; b++ {
+		p := s.pick(total)
+		// Bundle intensity: how big this purchase is overall.
+		intensity := s.cfg.MeanAmount * math.Exp(0.5*s.rng.NormFloat64())
+		for i, prod := range p.products {
+			// Per-product corruption: occasionally skip a product, like
+			// Quest's corruption levels.
+			if s.rng.Float64() < 0.1 {
+				continue
+			}
+			s.row[prod] += intensity * p.weights[i] * (1 + 0.05*s.rng.NormFloat64())
+		}
+	}
+	// Background noise purchases.
+	for b := 0; b < 2; b++ {
+		j := s.rng.Intn(s.cfg.Cols)
+		s.row[j] += s.cfg.MeanAmount * 0.2 * s.rng.Float64()
+	}
+	for j, v := range s.row {
+		if v < 0 {
+			s.row[j] = 0
+		}
+	}
+	return s.row, nil
+}
+
+// pick roulette-selects a pattern by popularity.
+func (s *Source) pick(total float64) *pattern {
+	r := s.rng.Float64() * total
+	for i := range s.patterns {
+		if r <= s.patterns[i].cum {
+			return &s.patterns[i]
+		}
+	}
+	return &s.patterns[len(s.patterns)-1]
+}
+
+// Emitted reports how many rows have been generated so far.
+func (s *Source) Emitted() int { return s.emitted }
+
+// SparseSource wraps a Source to emit rows in sparse form, for the sparse
+// single-pass miner. Basket rows are naturally sparse — a customer buys a
+// few bundles out of M products — so the conversion threshold is exact
+// zero.
+type SparseSource struct {
+	src *Source
+	idx []int
+	val []float64
+}
+
+// NewSparseSource builds a sparse-row generator with the same behaviour
+// (and, for a given config, the same data) as NewSource.
+func NewSparseSource(cfg Config) (*SparseSource, error) {
+	src, err := NewSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SparseSource{
+		src: src,
+		idx: make([]int, 0, cfg.Cols),
+		val: make([]float64, 0, cfg.Cols),
+	}, nil
+}
+
+// Width implements the sparse row-source contract.
+func (s *SparseSource) Width() int { return s.src.Width() }
+
+// NextSparse returns the next customer row in sparse form, reusing
+// internal buffers, or io.EOF.
+func (s *SparseSource) NextSparse() (matrix.SparseVec, error) {
+	row, err := s.src.Next()
+	if err != nil {
+		return matrix.SparseVec{}, err
+	}
+	s.idx = s.idx[:0]
+	s.val = s.val[:0]
+	for j, v := range row {
+		if v != 0 {
+			s.idx = append(s.idx, j)
+			s.val = append(s.val, v)
+		}
+	}
+	return matrix.SparseVec{Len: len(row), Idx: s.idx, Val: s.val}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

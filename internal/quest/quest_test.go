@@ -1,0 +1,235 @@
+package quest
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"ratiorules/internal/matrix"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig(10)
+	for name, mutate := range map[string]func(*Config){
+		"negative rows":        func(c *Config) { c.Rows = -1 },
+		"zero cols":            func(c *Config) { c.Cols = 0 },
+		"zero patterns":        func(c *Config) { c.Patterns = 0 },
+		"zero pattern len":     func(c *Config) { c.PatternLen = 0 },
+		"pattern len too big":  func(c *Config) { c.PatternLen = c.Cols + 1 },
+		"zero patterns/row":    func(c *Config) { c.PatternsPerRow = 0 },
+		"non-positive amounts": func(c *Config) { c.MeanAmount = 0 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := base
+			mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("want validation error, got nil")
+			}
+			if _, err := NewSource(c); err == nil {
+				t.Error("NewSource must reject an invalid config")
+			}
+		})
+	}
+}
+
+func TestSourceStreamsExactlyN(t *testing.T) {
+	cfg := DefaultConfig(57)
+	src, err := NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Width() != 100 {
+		t.Fatalf("Width = %d, want 100", src.Width())
+	}
+	count := 0
+	for {
+		row, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(row) != 100 {
+			t.Fatalf("row width %d", len(row))
+		}
+		for j, v := range row {
+			if v < 0 {
+				t.Fatalf("negative amount %v at column %d", v, j)
+			}
+		}
+		count++
+	}
+	if count != 57 {
+		t.Errorf("emitted %d rows, want 57", count)
+	}
+	if src.Emitted() != 57 {
+		t.Errorf("Emitted() = %d, want 57", src.Emitted())
+	}
+	// Exhausted source keeps returning EOF.
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	collect := func() *matrix.Dense {
+		src, err := NewSource(DefaultConfig(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := matrix.NewDense(30, 100)
+		for i := 0; ; i++ {
+			row, err := src.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out.SetRow(i, row)
+		}
+		return out
+	}
+	if !matrix.EqualApprox(collect(), collect(), 0) {
+		t.Error("same config must generate identical data")
+	}
+}
+
+func TestSourceRowsAreCorrelated(t *testing.T) {
+	// The bundles must induce real correlation structure: the top
+	// eigenvalue of the covariance should carry far more than 1/M of the
+	// energy. Checked indirectly via column cross-moments: at least one
+	// off-diagonal correlation above 0.5.
+	src, err := NewSource(DefaultConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := src.Width()
+	sums := make([]float64, m)
+	sq := make([]float64, m)
+	cross := matrix.NewDense(m, m)
+	n := 0
+	for {
+		row, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		for j, v := range row {
+			sums[j] += v
+			sq[j] += v * v
+			if v == 0 {
+				continue
+			}
+			r := cross.RawRow(j)
+			for l := j + 1; l < m; l++ {
+				r[l] += v * row[l]
+			}
+		}
+	}
+	nf := float64(n)
+	best := 0.0
+	for j := 0; j < m; j++ {
+		varJ := sq[j]/nf - (sums[j]/nf)*(sums[j]/nf)
+		for l := j + 1; l < m; l++ {
+			varL := sq[l]/nf - (sums[l]/nf)*(sums[l]/nf)
+			if varJ <= 0 || varL <= 0 {
+				continue
+			}
+			cov := cross.At(j, l)/nf - (sums[j]/nf)*(sums[l]/nf)
+			if r := cov / (sqrt(varJ) * sqrt(varL)); r > best {
+				best = r
+			}
+		}
+	}
+	if best < 0.5 {
+		t.Errorf("max pairwise correlation %v, want >= 0.5 from bundle structure", best)
+	}
+}
+
+func TestZeroRowSource(t *testing.T) {
+	src, err := NewSource(DefaultConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want immediate io.EOF", err)
+	}
+}
+
+func sqrt(v float64) float64 {
+	// Tiny wrapper so the test reads cleanly without importing math twice.
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+func BenchmarkSourceNext(b *testing.B) {
+	src, err := NewSource(DefaultConfig(1 << 30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSparseSourceMatchesDense(t *testing.T) {
+	cfg := DefaultConfig(40)
+	dense, err := NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSparseSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Width() != dense.Width() {
+		t.Fatalf("widths differ: %d vs %d", sparse.Width(), dense.Width())
+	}
+	for {
+		drow, derr := dense.Next()
+		srow, serr := sparse.NextSparse()
+		if errors.Is(derr, io.EOF) {
+			if !errors.Is(serr, io.EOF) {
+				t.Fatal("sparse source outlived dense source")
+			}
+			return
+		}
+		if derr != nil || serr != nil {
+			t.Fatalf("errs: %v / %v", derr, serr)
+		}
+		got := srow.ToDense()
+		for j := range drow {
+			if got[j] != drow[j] {
+				t.Fatalf("column %d: sparse %v vs dense %v", j, got[j], drow[j])
+			}
+		}
+	}
+}
+
+func TestNewSparseSourceRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.Cols = 0
+	if _, err := NewSparseSource(cfg); err == nil {
+		t.Error("invalid config must fail")
+	}
+}

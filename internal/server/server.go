@@ -1,0 +1,425 @@
+// Package server exposes Ratio Rules mining and reconstruction as a JSON
+// HTTP service, so non-Go clients can mine rules once and query them for
+// forecasting, what-if analysis and outlier detection. Models are held in
+// memory behind a named registry; persistence is the caller's concern
+// (rules serialize with Rules.Save / the GET endpoint).
+//
+// Endpoints (Go 1.22 pattern routing):
+//
+//	POST   /v1/rules                 mine a model from rows
+//	GET    /v1/rules                 list model names
+//	GET    /v1/rules/{name}          fetch a model (Rules JSON)
+//	PUT    /v1/rules/{name}          install a model from Rules JSON
+//	DELETE /v1/rules/{name}          drop a model
+//	POST   /v1/rules/{name}/fill     reconstruct holes in a record
+//	POST   /v1/rules/{name}/forecast predict one attribute from givens
+//	POST   /v1/rules/{name}/whatif   complete a scenario from pinned values
+//	POST   /v1/rules/{name}/project  map rows into RR space
+//	POST   /v1/rules/{name}/outliers score rows for cell outliers
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"ratiorules/internal/core"
+	"ratiorules/internal/matrix"
+)
+
+// Registry is a concurrency-safe named store of mined rule sets.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*core.Rules
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*core.Rules)}
+}
+
+// Put stores (or replaces) a model.
+func (r *Registry) Put(name string, rules *core.Rules) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[name] = rules
+}
+
+// Get fetches a model, reporting whether it exists.
+func (r *Registry) Get(name string) (*core.Rules, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Delete removes a model, reporting whether it existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.models[name]
+	delete(r.models, name)
+	return ok
+}
+
+// Names lists stored model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.models))
+	for n := range r.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler builds the HTTP handler over a registry.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	s := &service{reg: reg}
+	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("POST /v1/rules", s.mine)
+	mux.HandleFunc("GET /v1/rules", s.list)
+	mux.HandleFunc("GET /v1/rules/{name}", s.get)
+	mux.HandleFunc("PUT /v1/rules/{name}", s.put)
+	mux.HandleFunc("DELETE /v1/rules/{name}", s.del)
+	mux.HandleFunc("POST /v1/rules/{name}/fill", s.fill)
+	mux.HandleFunc("POST /v1/rules/{name}/forecast", s.forecast)
+	mux.HandleFunc("POST /v1/rules/{name}/whatif", s.whatIf)
+	mux.HandleFunc("POST /v1/rules/{name}/project", s.project)
+	mux.HandleFunc("POST /v1/rules/{name}/outliers", s.outliers)
+	return mux
+}
+
+type service struct {
+	reg *Registry
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// statusFor maps library sentinel errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrWidth), errors.Is(err, core.ErrBadHole), errors.Is(err, core.ErrNoRules):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// health answers liveness probes with the model count.
+func (s *service) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"models": len(s.reg.Names()),
+	})
+}
+
+// mineRequest is the POST /v1/rules body.
+type mineRequest struct {
+	Name   string      `json:"name"`
+	Attrs  []string    `json:"attrs,omitempty"`
+	Rows   [][]float64 `json:"rows"`
+	Energy float64     `json:"energy,omitempty"` // 0 = default 0.85
+	K      *int        `json:"k,omitempty"`      // fixed k override
+}
+
+// modelSummary is returned after mining and by GET /v1/rules.
+type modelSummary struct {
+	Name          string    `json:"name"`
+	K             int       `json:"k"`
+	M             int       `json:"m"`
+	TrainedRows   int       `json:"trained_rows"`
+	EnergyCovered float64   `json:"energy_covered"`
+	Eigenvalues   []float64 `json:"eigenvalues"`
+}
+
+func summarize(name string, r *core.Rules) modelSummary {
+	return modelSummary{
+		Name:          name,
+		K:             r.K(),
+		M:             r.M(),
+		TrainedRows:   r.TrainedRows(),
+		EnergyCovered: r.EnergyCovered(),
+		Eigenvalues:   r.Eigenvalues(),
+	}
+}
+
+func (s *service) mine(w http.ResponseWriter, req *http.Request) {
+	var body mineRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if body.Name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing model name"))
+		return
+	}
+	if len(body.Rows) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("missing rows"))
+		return
+	}
+	x, err := matrix.FromRows(body.Rows)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := []core.Option{}
+	if body.Attrs != nil {
+		opts = append(opts, core.WithAttrNames(body.Attrs))
+	}
+	if body.K != nil {
+		opts = append(opts, core.WithFixedK(*body.K))
+	} else if body.Energy > 0 {
+		opts = append(opts, core.WithEnergy(body.Energy))
+	}
+	miner, err := core.NewMiner(opts...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rules, err := miner.MineMatrix(x)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	s.reg.Put(body.Name, rules)
+	writeJSON(w, http.StatusCreated, summarize(body.Name, rules))
+}
+
+func (s *service) list(w http.ResponseWriter, _ *http.Request) {
+	names := s.reg.Names()
+	out := make([]modelSummary, 0, len(names))
+	for _, n := range names {
+		if m, ok := s.reg.Get(n); ok {
+			out = append(out, summarize(n, m))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *service) lookup(w http.ResponseWriter, req *http.Request) (*core.Rules, bool) {
+	name := req.PathValue("name")
+	rules, ok := s.reg.Get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
+		return nil, false
+	}
+	return rules, true
+}
+
+func (s *service) get(w http.ResponseWriter, req *http.Request) {
+	rules, ok := s.lookup(w, req)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := rules.Save(w); err != nil {
+		// Headers are gone; nothing more we can do than log-by-status.
+		writeErr(w, http.StatusInternalServerError, err)
+	}
+}
+
+// put installs a model from Rules JSON (as produced by GET or rrmine
+// -out), enabling offline mining with online serving.
+func (s *service) put(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing model name"))
+		return
+	}
+	rules, err := core.Load(req.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.reg.Put(name, rules)
+	writeJSON(w, http.StatusOK, summarize(name, rules))
+}
+
+func (s *service) del(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	if !s.reg.Delete(name) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// fillRequest is the POST fill body: record values with the hole indices
+// listed separately (JSON has no NaN).
+type fillRequest struct {
+	Record []float64 `json:"record"`
+	Holes  []int     `json:"holes"`
+}
+
+type fillResponse struct {
+	Filled []float64 `json:"filled"`
+}
+
+func (s *service) fill(w http.ResponseWriter, req *http.Request) {
+	rules, ok := s.lookup(w, req)
+	if !ok {
+		return
+	}
+	var body fillRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	filled, err := rules.FillRow(body.Record, body.Holes)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fillResponse{Filled: filled})
+}
+
+// forecastRequest is the POST forecast body.
+type forecastRequest struct {
+	Given  map[int]float64 `json:"given"`
+	Target int             `json:"target"`
+}
+
+type forecastResponse struct {
+	Value float64 `json:"value"`
+}
+
+func (s *service) forecast(w http.ResponseWriter, req *http.Request) {
+	rules, ok := s.lookup(w, req)
+	if !ok {
+		return
+	}
+	var body forecastRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	v, err := rules.Forecast(body.Given, body.Target)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, forecastResponse{Value: v})
+}
+
+// whatIfRequest is the POST whatif body: pinned attribute values.
+type whatIfRequest struct {
+	Given map[int]float64 `json:"given"`
+}
+
+type whatIfResponse struct {
+	Record []float64 `json:"record"`
+}
+
+func (s *service) whatIf(w http.ResponseWriter, req *http.Request) {
+	rules, ok := s.lookup(w, req)
+	if !ok {
+		return
+	}
+	var body whatIfRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	out, err := rules.WhatIf(core.Scenario{Given: body.Given})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, whatIfResponse{Record: out})
+}
+
+// projectRequest is the POST project body.
+type projectRequest struct {
+	Rows [][]float64 `json:"rows"`
+	Dims int         `json:"dims"`
+}
+
+type projectResponse struct {
+	Coords [][]float64 `json:"coords"`
+}
+
+func (s *service) project(w http.ResponseWriter, req *http.Request) {
+	rules, ok := s.lookup(w, req)
+	if !ok {
+		return
+	}
+	var body projectRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	x, err := matrix.FromRows(body.Rows)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	dims := body.Dims
+	if dims == 0 {
+		dims = 2
+	}
+	proj, err := rules.Project(x, dims)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	coords := make([][]float64, proj.Rows())
+	for i := range coords {
+		coords[i] = proj.Row(i)
+	}
+	writeJSON(w, http.StatusOK, projectResponse{Coords: coords})
+}
+
+// outliersRequest is the POST outliers body.
+type outliersRequest struct {
+	Rows  [][]float64 `json:"rows"`
+	Sigma float64     `json:"sigma,omitempty"`
+}
+
+type outliersResponse struct {
+	Outliers []core.CellOutlier `json:"outliers"`
+}
+
+func (s *service) outliers(w http.ResponseWriter, req *http.Request) {
+	rules, ok := s.lookup(w, req)
+	if !ok {
+		return
+	}
+	var body outliersRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	x, err := matrix.FromRows(body.Rows)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := rules.CellOutliers(x, body.Sigma)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	if out == nil {
+		out = []core.CellOutlier{}
+	}
+	writeJSON(w, http.StatusOK, outliersResponse{Outliers: out})
+}

@@ -1,0 +1,339 @@
+// Package stats implements the streaming statistics that make Ratio Rules
+// mining single-pass: the column-average and covariance accumulation of
+// Fig. 2(a) in Korn et al. (VLDB 1998), together with the helper statistics
+// (RMS, standard deviations, z-scores) the guessing-error and outlier
+// machinery needs.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ratiorules/internal/matrix"
+)
+
+// ErrNoData is returned when a statistic is requested from an accumulator
+// that has not seen any rows.
+var ErrNoData = errors.New("stats: no rows accumulated")
+
+// ErrWidth is returned when a row's width disagrees with the accumulator.
+var ErrWidth = errors.New("stats: row width mismatch")
+
+// ErrBadValue is returned when a pushed row contains NaN or ±Inf; such
+// cells would silently poison every covariance entry they touch.
+var ErrBadValue = errors.New("stats: row contains NaN or Inf")
+
+// CovAccumulator accumulates column sums and raw cross-products in a single
+// pass over the rows of an N×M matrix, exactly as the paper's Fig. 2(a)
+// pseudocode: after all rows are pushed, the centered scatter matrix is
+// recovered as C[j][l] = Σᵢ x[i][j]·x[i][l] − N·avg[j]·avg[l].
+//
+// The zero value is not usable; construct with NewCovAccumulator.
+type CovAccumulator struct {
+	m     int
+	n     int
+	sums  []float64
+	cross *matrix.Dense // upper triangle maintained, mirrored on demand
+}
+
+// NewCovAccumulator returns an accumulator for rows of width m.
+// It panics if m is negative.
+func NewCovAccumulator(m int) *CovAccumulator {
+	if m < 0 {
+		panic(fmt.Sprintf("stats: NewCovAccumulator with negative width %d", m))
+	}
+	return &CovAccumulator{
+		m:     m,
+		sums:  make([]float64, m),
+		cross: matrix.NewDense(m, m),
+	}
+}
+
+// Push folds one row into the running sums. This is the inner loop of the
+// paper's single-pass algorithm: O(M²) work per row, no retained rows.
+// Rows containing NaN or ±Inf are rejected with ErrBadValue.
+func (c *CovAccumulator) Push(row []float64) error {
+	if len(row) != c.m {
+		return fmt.Errorf("stats: row width %d, want %d: %w", len(row), c.m, ErrWidth)
+	}
+	for j, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("stats: column %d has value %v: %w", j, v, ErrBadValue)
+		}
+	}
+	c.n++
+	for j, v := range row {
+		c.sums[j] += v
+		if v == 0 {
+			continue
+		}
+		r := c.cross.RawRow(j)
+		for l := j; l < c.m; l++ {
+			r[l] += v * row[l]
+		}
+	}
+	return nil
+}
+
+// PushWeighted folds one row with an integer multiplicity — equivalent to
+// pushing the row `weight` times, in O(M²) instead of O(weight·M²). Sales
+// databases often store identical baskets with a count; this keeps the
+// single-pass property while honoring the multiplicities.
+func (c *CovAccumulator) PushWeighted(row []float64, weight int) error {
+	if weight <= 0 {
+		return fmt.Errorf("stats: weight %d must be positive: %w", weight, ErrBadValue)
+	}
+	if len(row) != c.m {
+		return fmt.Errorf("stats: row width %d, want %d: %w", len(row), c.m, ErrWidth)
+	}
+	for j, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("stats: column %d has value %v: %w", j, v, ErrBadValue)
+		}
+	}
+	c.n += weight
+	w := float64(weight)
+	for j, v := range row {
+		c.sums[j] += w * v
+		if v == 0 {
+			continue
+		}
+		r := c.cross.RawRow(j)
+		for l := j; l < c.m; l++ {
+			r[l] += w * v * row[l]
+		}
+	}
+	return nil
+}
+
+// PushSparse folds one sparse row into the running sums, touching only
+// the nonzero cells: O(nnz) for the column sums and O(nnz²) for the
+// cross-products, against O(M²) for the dense Push. For the paper's
+// market-basket matrices (a customer touches a handful of the M products)
+// this is the difference between tractable and not.
+func (c *CovAccumulator) PushSparse(row matrix.SparseVec) error {
+	if row.Len != c.m {
+		return fmt.Errorf("stats: sparse row width %d, want %d: %w", row.Len, c.m, ErrWidth)
+	}
+	for i, v := range row.Val {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("stats: column %d has value %v: %w", row.Idx[i], v, ErrBadValue)
+		}
+	}
+	c.n++
+	for i, j := range row.Idx {
+		v := row.Val[i]
+		c.sums[j] += v
+		r := c.cross.RawRow(j)
+		for p := i; p < len(row.Idx); p++ {
+			r[row.Idx[p]] += v * row.Val[p]
+		}
+	}
+	return nil
+}
+
+// Merge folds another accumulator of the same width into c. Because the
+// single-pass sums are plain additions, accumulators built on disjoint row
+// shards merge exactly — the basis for parallel mining over partitioned
+// data (cf. the parallel association-mining line of work the paper cites).
+func (c *CovAccumulator) Merge(other *CovAccumulator) error {
+	if other.m != c.m {
+		return fmt.Errorf("stats: merging accumulator of width %d into %d: %w",
+			other.m, c.m, ErrWidth)
+	}
+	c.n += other.n
+	for j := range c.sums {
+		c.sums[j] += other.sums[j]
+	}
+	for j := 0; j < c.m; j++ {
+		dst, src := c.cross.RawRow(j), other.cross.RawRow(j)
+		for l := j; l < c.m; l++ {
+			dst[l] += src[l]
+		}
+	}
+	return nil
+}
+
+// Count reports how many rows have been pushed.
+func (c *CovAccumulator) Count() int { return c.n }
+
+// Width reports the row width.
+func (c *CovAccumulator) Width() int { return c.m }
+
+// Means returns the column averages of the pushed rows.
+func (c *CovAccumulator) Means() ([]float64, error) {
+	if c.n == 0 {
+		return nil, ErrNoData
+	}
+	out := make([]float64, c.m)
+	for j, s := range c.sums {
+		out[j] = s / float64(c.n)
+	}
+	return out, nil
+}
+
+// Scatter returns the centered scatter matrix Xcᵗ·Xc (the paper's C,
+// Eq. 2): cross-products minus N·avg[j]·avg[l]. Eigenvectors of the scatter
+// matrix equal those of the covariance matrix; only the eigenvalue scale
+// differs by the 1/(N−1) factor.
+func (c *CovAccumulator) Scatter() (*matrix.Dense, error) {
+	if c.n == 0 {
+		return nil, ErrNoData
+	}
+	means, err := c.Means()
+	if err != nil {
+		return nil, err
+	}
+	out := matrix.NewDense(c.m, c.m)
+	nf := float64(c.n)
+	for j := 0; j < c.m; j++ {
+		for l := j; l < c.m; l++ {
+			v := c.cross.At(j, l) - nf*means[j]*means[l]
+			out.Set(j, l, v)
+			out.Set(l, j, v)
+		}
+	}
+	return out, nil
+}
+
+// Covariance returns the sample covariance matrix Scatter()/(N−1).
+// With a single row it returns ErrNoData since the sample covariance is
+// undefined.
+func (c *CovAccumulator) Covariance() (*matrix.Dense, error) {
+	if c.n < 2 {
+		return nil, fmt.Errorf("stats: covariance needs at least 2 rows, have %d: %w", c.n, ErrNoData)
+	}
+	s, err := c.Scatter()
+	if err != nil {
+		return nil, err
+	}
+	return matrix.Scale(1/float64(c.n-1), s), nil
+}
+
+// ScatterTwoPass computes the centered scatter matrix of x by first
+// computing column means and then accumulating centered cross-products.
+// It is the numerically safer textbook alternative to the paper's one-pass
+// formula, retained as an ablation baseline and a test oracle.
+func ScatterTwoPass(x *matrix.Dense) (*matrix.Dense, []float64) {
+	n, m := x.Dims()
+	means := x.ColMeans()
+	out := matrix.NewDense(m, m)
+	centered := make([]float64, m)
+	for i := 0; i < n; i++ {
+		row := x.RawRow(i)
+		for j := range centered {
+			centered[j] = row[j] - means[j]
+		}
+		for j := 0; j < m; j++ {
+			cj := centered[j]
+			if cj == 0 {
+				continue
+			}
+			r := out.RawRow(j)
+			for l := j; l < m; l++ {
+				r[l] += cj * centered[l]
+			}
+		}
+	}
+	for j := 0; j < m; j++ {
+		for l := j + 1; l < m; l++ {
+			out.Set(l, j, out.At(j, l))
+		}
+	}
+	return out, means
+}
+
+// ColStdDevs returns the per-column sample standard deviations of x.
+// Columns of a matrix with fewer than two rows get 0.
+func ColStdDevs(x *matrix.Dense) []float64 {
+	n, m := x.Dims()
+	out := make([]float64, m)
+	if n < 2 {
+		return out
+	}
+	scatter, _ := ScatterTwoPass(x)
+	for j := 0; j < m; j++ {
+		out[j] = math.Sqrt(scatter.At(j, j) / float64(n-1))
+	}
+	return out
+}
+
+// RMS returns the root-mean-square of the values, or 0 for an empty slice.
+func RMS(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(values)))
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// StdDev returns the sample standard deviation, or 0 with fewer than two
+// values.
+func StdDev(values []float64) float64 {
+	n := len(values)
+	if n < 2 {
+		return 0
+	}
+	mu := Mean(values)
+	var s float64
+	for _, v := range values {
+		d := v - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// ZScore returns (v − mean)/std, or 0 when std is 0.
+func ZScore(v, mean, std float64) float64 {
+	if std == 0 {
+		return 0
+	}
+	return (v - mean) / std
+}
+
+// Median returns the middle value (average of the two middles for even
+// lengths), or 0 for an empty slice. The input is not modified.
+func Median(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return 0.5 * (sorted[n/2-1] + sorted[n/2])
+}
+
+// MADScale returns the median absolute deviation from the median, scaled
+// by 1.4826 so it estimates the standard deviation for Gaussian data — a
+// robust scale immune to a minority of wild values.
+func MADScale(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	med := Median(values)
+	dev := make([]float64, len(values))
+	for i, v := range values {
+		dev[i] = math.Abs(v - med)
+	}
+	return 1.4826 * Median(dev)
+}

@@ -1,0 +1,221 @@
+// Package svd provides the singular value decomposition and the
+// Moore–Penrose pseudo-inverse used by the Ratio Rules hole-filling
+// algorithm (Eqs. 7–9 of Korn et al., VLDB 1998).
+//
+// The decomposition is computed by the one-sided Jacobi (Hestenes) method:
+// plane rotations repeatedly orthogonalize pairs of columns of the working
+// matrix until every pair is numerically orthogonal; the column norms are
+// then the singular values. One-sided Jacobi is simple, backward stable, and
+// notably accurate for the small, possibly rank-deficient systems that hole
+// filling produces ((M−h)×k with k rarely above a dozen).
+package svd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ratiorules/internal/matrix"
+)
+
+// ErrNoConvergence is returned when the Jacobi sweeps fail to orthogonalize
+// the columns within the iteration budget.
+var ErrNoConvergence = errors.New("svd: iteration did not converge")
+
+// SVD is a thin singular value decomposition A = U·diag(σ)·Vᵗ where A is
+// m×n, U is m×r, V is n×r, and r = min(m, n). Singular values appear in
+// descending order; U and V columns match that order.
+type SVD struct {
+	U      *matrix.Dense
+	Values []float64
+	V      *matrix.Dense
+}
+
+// Decompose computes the thin SVD of a. The input is not modified.
+func Decompose(a *matrix.Dense) (*SVD, error) {
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return &SVD{
+			U:      matrix.NewDense(m, 0),
+			Values: nil,
+			V:      matrix.NewDense(n, 0),
+		}, nil
+	}
+	if m < n {
+		// One-sided Jacobi wants at least as many rows as columns;
+		// decompose the transpose and swap the factors.
+		st, err := Decompose(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &SVD{U: st.V, Values: st.Values, V: st.U}, nil
+	}
+	return decomposeTall(a)
+}
+
+// decomposeTall runs one-sided Jacobi on an m×n matrix with m >= n.
+func decomposeTall(a *matrix.Dense) (*SVD, error) {
+	m, n := a.Dims()
+	// Work on columns: b[j] is the j-th column of the evolving matrix.
+	b := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		b[j] = a.Col(j)
+	}
+	v := matrix.Identity(n)
+
+	const (
+		maxSweeps = 60
+		tol       = 1e-13
+	)
+	// Columns whose norm collapses below zeroTol (relative to the overall
+	// matrix scale) belong to the null space; rotating against them only
+	// churns round-off and can stall convergence on exactly rank-deficient
+	// inputs, so they are frozen.
+	zeroTol := 1e-14 * a.FrobeniusNorm()
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha := matrix.Dot(b[p], b[p])
+				beta := matrix.Dot(b[q], b[q])
+				gamma := matrix.Dot(b[p], b[q])
+				if alpha <= zeroTol*zeroTol || beta <= zeroTol*zeroTol {
+					continue
+				}
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) {
+					continue
+				}
+				rotated = true
+				// Rotation that orthogonalizes columns p and q.
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta >= 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					bp, bq := b[p][i], b[q][i]
+					b[p][i] = c*bp - s*bq
+					b[q][i] = s*bp + c*bq
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if !rotated {
+			return assemble(m, n, b, v), nil
+		}
+	}
+	return nil, fmt.Errorf("svd: exceeded %d sweeps on %d×%d matrix: %w", maxSweeps, m, n, ErrNoConvergence)
+}
+
+// assemble extracts singular values from the orthogonalized columns, sorts
+// them in descending order and builds U and V.
+func assemble(m, n int, b [][]float64, v *matrix.Dense) *SVD {
+	sigma := make([]float64, n)
+	for j := 0; j < n; j++ {
+		sigma[j] = matrix.Norm2(b[j])
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, c int) bool { return sigma[idx[a]] > sigma[idx[c]] })
+
+	u := matrix.NewDense(m, n)
+	vOut := matrix.NewDense(n, n)
+	values := make([]float64, n)
+	for out, in := range idx {
+		values[out] = sigma[in]
+		col := b[in]
+		if sigma[in] > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, out, col[i]/sigma[in])
+			}
+		}
+		// Zero singular value: leave the U column zero; callers that need a
+		// full orthonormal basis should complete it themselves, but the
+		// pseudo-inverse (the only consumer here) ignores null directions.
+		for i := 0; i < n; i++ {
+			vOut.Set(i, out, v.At(i, in))
+		}
+	}
+	return &SVD{U: u, Values: values, V: vOut}
+}
+
+// DefaultRankTol is the relative singular-value cutoff used by Rank and
+// PseudoInverse when no tolerance is supplied. It is set well above the
+// residue the one-sided Jacobi sweeps leave on exactly null directions
+// (~1e-14 relative) and far below any variance direction a real dataset
+// produces.
+const DefaultRankTol = 1e-12
+
+// Rank returns the numerical rank: the number of singular values above
+// tol·σmax. If tol <= 0, DefaultRankTol is used.
+func (s *SVD) Rank(tol float64) int {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = DefaultRankTol
+	}
+	cut := tol * s.Values[0]
+	r := 0
+	for _, v := range s.Values {
+		if v > cut {
+			r++
+		}
+	}
+	return r
+}
+
+// PseudoInverse returns the Moore–Penrose pseudo-inverse A⁺ = V·diag(1/σ)·Uᵗ
+// (Eq. 8 of the paper), truncating singular values below tol·σmax (default
+// tolerance as in Rank).
+func PseudoInverse(a *matrix.Dense) (*matrix.Dense, error) {
+	s, err := Decompose(a)
+	if err != nil {
+		return nil, err
+	}
+	m, n := a.Dims()
+	r := s.Rank(0)
+	inv := matrix.NewDense(n, m)
+	// inv = Σ over the r leading singular triplets of (1/σj)·vj·ujᵗ.
+	for j := 0; j < r; j++ {
+		w := 1 / s.Values[j]
+		for i := 0; i < n; i++ {
+			vij := s.V.At(i, j)
+			if vij == 0 {
+				continue
+			}
+			row := inv.RawRow(i)
+			for k := 0; k < m; k++ {
+				row[k] += w * vij * s.U.At(k, j)
+			}
+		}
+	}
+	return inv, nil
+}
+
+// SolveLeastSquares returns the minimum-norm least-squares solution x of
+// A·x = b using the pseudo-inverse. It returns an error when dimensions
+// disagree or the decomposition fails.
+func SolveLeastSquares(a *matrix.Dense, b []float64) ([]float64, error) {
+	m, _ := a.Dims()
+	if m != len(b) {
+		return nil, fmt.Errorf("svd: solve %d×%d against vector %d: %w",
+			m, a.Cols(), len(b), matrix.ErrDimensionMismatch)
+	}
+	inv, err := PseudoInverse(a)
+	if err != nil {
+		return nil, err
+	}
+	return matrix.MulVec(inv, b)
+}

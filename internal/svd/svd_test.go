@@ -1,0 +1,306 @@
+package svd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ratiorules/internal/matrix"
+)
+
+func TestDecomposeKnown(t *testing.T) {
+	// diag(3, 2) has singular values 3, 2.
+	a := matrix.Diagonal([]float64{3, 2})
+	s, err := Decompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApproxVec(s.Values, []float64{3, 2}, 1e-12) {
+		t.Errorf("Values = %v, want [3 2]", s.Values)
+	}
+	assertSVD(t, a, s, 1e-10)
+}
+
+func TestDecomposeTall(t *testing.T) {
+	a := matrix.MustFromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	s, err := Decompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AᵗA = [[2,1],[1,2]] has eigenvalues 3, 1 → singular values √3, 1.
+	want := []float64{math.Sqrt(3), 1}
+	if !matrix.EqualApproxVec(s.Values, want, 1e-10) {
+		t.Errorf("Values = %v, want %v", s.Values, want)
+	}
+	assertSVD(t, a, s, 1e-10)
+}
+
+func TestDecomposeWide(t *testing.T) {
+	a := matrix.MustFromRows([][]float64{{1, 0, 1}, {0, 1, 1}})
+	s, err := Decompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{math.Sqrt(3), 1}
+	if !matrix.EqualApproxVec(s.Values, want, 1e-10) {
+		t.Errorf("Values = %v, want %v", s.Values, want)
+	}
+	assertSVD(t, a, s, 1e-10)
+}
+
+func TestDecomposeEmpty(t *testing.T) {
+	for _, dims := range [][2]int{{0, 0}, {0, 3}, {3, 0}} {
+		s, err := Decompose(matrix.NewDense(dims[0], dims[1]))
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if len(s.Values) != 0 {
+			t.Errorf("%v: Values = %v, want empty", dims, s.Values)
+		}
+	}
+}
+
+func TestDecomposeZeroMatrix(t *testing.T) {
+	a := matrix.NewDense(3, 2)
+	s, err := Decompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Values {
+		if v != 0 {
+			t.Errorf("zero matrix singular value %v, want 0", v)
+		}
+	}
+	if s.Rank(0) != 0 {
+		t.Errorf("Rank = %d, want 0", s.Rank(0))
+	}
+}
+
+func TestRank(t *testing.T) {
+	// Rank-1: outer product.
+	a := matrix.MustFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	s, err := Decompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Rank(0); got != 1 {
+		t.Errorf("Rank = %d, want 1", got)
+	}
+	if got := s.Rank(1e-3); got != 1 {
+		t.Errorf("Rank(1e-3) = %d, want 1", got)
+	}
+}
+
+func TestInputNotModified(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomMatrix(rng, 6, 4)
+	orig := a.Clone()
+	if _, err := Decompose(a); err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(a, orig, 0) {
+		t.Error("Decompose modified its input")
+	}
+}
+
+func TestPseudoInverseSquareInvertible(t *testing.T) {
+	a := matrix.MustFromRows([][]float64{{2, 0}, {0, 4}})
+	inv, err := PseudoInverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.MustFromRows([][]float64{{0.5, 0}, {0, 0.25}})
+	if !matrix.EqualApprox(inv, want, 1e-12) {
+		t.Errorf("PseudoInverse = %v, want %v", inv, want)
+	}
+}
+
+func TestPseudoInverseRankDeficient(t *testing.T) {
+	// A = [[1,1],[1,1]]: A⁺ = A/4.
+	a := matrix.MustFromRows([][]float64{{1, 1}, {1, 1}})
+	inv, err := PseudoInverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.Scale(0.25, a)
+	if !matrix.EqualApprox(inv, want, 1e-12) {
+		t.Errorf("PseudoInverse = %v, want %v", inv, want)
+	}
+}
+
+// Property: the four Moore–Penrose conditions hold for random matrices.
+func TestMoorePenroseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randomMatrix(rng, m, n)
+		if rng.Intn(3) == 0 && m > 1 {
+			// Make it rank-deficient: duplicate a row.
+			a.SetRow(m-1, a.Row(0))
+		}
+		p, err := PseudoInverse(a)
+		if err != nil {
+			return false
+		}
+		const tol = 1e-8
+		apa := matrix.MustMul(matrix.MustMul(a, p), a)
+		if !matrix.EqualApprox(apa, a, tol*(1+a.MaxAbs())) {
+			return false // A·A⁺·A = A
+		}
+		pap := matrix.MustMul(matrix.MustMul(p, a), p)
+		if !matrix.EqualApprox(pap, p, tol*(1+p.MaxAbs())) {
+			return false // A⁺·A·A⁺ = A⁺
+		}
+		ap := matrix.MustMul(a, p)
+		if !matrix.EqualApprox(ap, ap.T(), tol) {
+			return false // (A·A⁺)ᵗ = A·A⁺
+		}
+		pa := matrix.MustMul(p, a)
+		return matrix.EqualApprox(pa, pa.T(), tol) // (A⁺·A)ᵗ = A⁺·A
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: U·diag(σ)·Vᵗ reconstructs A; U, V have orthonormal columns on
+// the non-null space; singular values descend and are non-negative.
+func TestReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(10), 1+rng.Intn(10)
+		a := randomMatrix(rng, m, n)
+		s, err := Decompose(a)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(s.Values); i++ {
+			if s.Values[i] < 0 || s.Values[i] > s.Values[i-1]+1e-12 {
+				return false
+			}
+		}
+		recon := matrix.MustMul(matrix.MustMul(s.U, matrix.Diagonal(s.Values)), s.V.T())
+		return matrix.EqualApprox(a, recon, 1e-9*(1+a.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	a := matrix.MustFromRows([][]float64{{1, 0}, {0, 2}})
+	x, err := SolveLeastSquares(a, []float64{3, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApproxVec(x, []float64{3, 4}, 1e-10) {
+		t.Errorf("x = %v, want [3 4]", x)
+	}
+}
+
+func TestSolveLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = c to observations 1, 2, 3: least squares c = 2.
+	a := matrix.MustFromRows([][]float64{{1}, {1}, {1}})
+	x, err := SolveLeastSquares(a, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApproxVec(x, []float64{2}, 1e-10) {
+		t.Errorf("x = %v, want [2]", x)
+	}
+}
+
+func TestSolveLeastSquaresUnderdetermined(t *testing.T) {
+	// x + y = 2: minimum-norm solution is (1, 1).
+	a := matrix.MustFromRows([][]float64{{1, 1}})
+	x, err := SolveLeastSquares(a, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApproxVec(x, []float64{1, 1}, 1e-10) {
+		t.Errorf("x = %v, want [1 1]", x)
+	}
+}
+
+func TestSolveLeastSquaresDimensionMismatch(t *testing.T) {
+	a := matrix.NewDense(2, 2)
+	if _, err := SolveLeastSquares(a, []float64{1}); !errors.Is(err, matrix.ErrDimensionMismatch) {
+		t.Errorf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+// Property: for consistent systems, SolveLeastSquares recovers a solution.
+func TestSolveConsistentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 2+rng.Intn(6), 1+rng.Intn(4)
+		if n > m {
+			n = m
+		}
+		a := randomMatrix(rng, m, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b, err := matrix.MulVec(a, xTrue)
+		if err != nil {
+			return false
+		}
+		x, err := SolveLeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		// Residual must vanish (solution may differ if rank-deficient).
+		got, err := matrix.MulVec(a, x)
+		if err != nil {
+			return false
+		}
+		return matrix.EqualApproxVec(got, b, 1e-8*(1+matrix.Norm2(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func assertSVD(t *testing.T, a *matrix.Dense, s *SVD, tol float64) {
+	t.Helper()
+	recon := matrix.MustMul(matrix.MustMul(s.U, matrix.Diagonal(s.Values)), s.V.T())
+	if !matrix.EqualApprox(a, recon, tol*(1+a.MaxAbs())) {
+		t.Error("U·diag(σ)·Vᵗ does not reconstruct A")
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *matrix.Dense {
+	m := matrix.NewDense(r, c)
+	for i := 0; i < r; i++ {
+		row := m.RawRow(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func BenchmarkDecompose20x10(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 20, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPseudoInverse20x10(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 20, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PseudoInverse(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
