@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the race detector over the whole module; the obs registry and
+# the server model registry additionally have dedicated concurrent-scrape
+# stress tests (see internal/obs/race_test.go, internal/server).
+race:
+	$(GO) test -race ./...
+
+# verify is the gate for every change: vet, a full build, then the race
+# detector across all packages.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/rrbench -experiment all
+
+clean:
+	$(GO) clean ./...

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -115,5 +116,43 @@ func TestRunBadSizes(t *testing.T) {
 	var buf strings.Builder
 	if err := run([]string{"-experiment", "fig8", "-sizes", "x"}, &buf); err == nil {
 		t.Error("bad sizes must fail")
+	}
+}
+
+func TestRunJSONSummary(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "sec63", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "butter") {
+		t.Errorf("-json still printed the human table:\n%s", out)
+	}
+	var sum benchSummary
+	if err := json.Unmarshal([]byte(out), &sum); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(sum.Experiments) != 1 || sum.Experiments[0].Name != "sec63" {
+		t.Fatalf("experiments = %+v", sum.Experiments)
+	}
+	if sum.Experiments[0].Seconds <= 0 || sum.TotalSeconds <= 0 {
+		t.Errorf("timings not positive: %+v", sum)
+	}
+	// sec63 mines the basket data and reconstructs records, so the
+	// instrumented phases, throughput and fill ops must have moved.
+	for _, phase := range []string{"scan", "covariance", "eigensolve"} {
+		if sum.Miner.Phases[phase].Count < 1 {
+			t.Errorf("phase %q count = %v, want >= 1 (phases %+v)",
+				phase, sum.Miner.Phases[phase].Count, sum.Miner.Phases)
+		}
+	}
+	if sum.Miner.RowsScanned < 1 || sum.Miner.CellsScanned < sum.Miner.RowsScanned {
+		t.Errorf("throughput totals wrong: %+v", sum.Miner)
+	}
+	if sum.Miner.Mines["ok"] < 1 {
+		t.Errorf("mines = %v", sum.Miner.Mines)
+	}
+	if sum.Miner.Ops["fill_ok"] < 1 {
+		t.Errorf("ops = %v", sum.Miner.Ops)
 	}
 }

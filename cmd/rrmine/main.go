@@ -4,16 +4,22 @@
 //
 // Usage:
 //
-//	rrmine -in sales.csv [-energy 0.85 | -k 3] [-out rules.json]
+//	rrmine -in sales.csv [-energy 0.85 | -k 3] [-out rules.json] [-v]
+//
+// -v enables debug logging (RR_LOG_LEVEL/RR_LOG_FORMAT are honored,
+// see internal/obs); timings and throughput are logged to stderr so
+// stdout stays parseable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ratiorules"
 	"ratiorules/internal/dataset"
+	"ratiorules/internal/obs"
 )
 
 func main() {
@@ -26,14 +32,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rrmine", flag.ContinueOnError)
 	var (
-		in     = fs.String("in", "", "input CSV file (header + numeric rows); required")
-		out    = fs.String("out", "", "optional path to save the mined rules as JSON")
-		energy = fs.Float64("energy", ratiorules.DefaultEnergy, "Eq. 1 variance-coverage cutoff in (0, 1]")
-		k      = fs.Int("k", -1, "retain exactly k rules instead of the energy cutoff")
+		in      = fs.String("in", "", "input CSV file (header + numeric rows); required")
+		out     = fs.String("out", "", "optional path to save the mined rules as JSON")
+		energy  = fs.Float64("energy", ratiorules.DefaultEnergy, "Eq. 1 variance-coverage cutoff in (0, 1]")
+		k       = fs.Int("k", -1, "retain exactly k rules instead of the energy cutoff")
+		verbose = fs.Bool("v", false, "debug logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger := obs.Setup(*verbose)
 	if *in == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -in")
@@ -59,10 +67,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	rules, err := miner.Mine(src)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
+	logger.Info("mined",
+		"in", *in,
+		"rows", rules.TrainedRows(),
+		"attrs", rules.M(),
+		"k", rules.K(),
+		"seconds", elapsed.Seconds(),
+		"rows_per_second", obs.Rate(rules.TrainedRows(), elapsed),
+	)
 	fmt.Print(rules)
 	fmt.Println("\ninterpretation (Fig. 10 methodology):")
 	for _, reading := range rules.Interpret(0) {

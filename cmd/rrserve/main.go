@@ -1,40 +1,151 @@
 // Command rrserve runs the Ratio Rules HTTP service: mine models from
 // JSON row sets and query them for reconstruction, forecasting and outlier
-// detection.
+// detection. Prometheus metrics are exposed at GET /metrics, liveness at
+// GET /healthz, and the server drains in-flight requests for up to 10s on
+// SIGINT/SIGTERM before exiting.
 //
 // Usage:
 //
-//	rrserve -addr :8080
+//	rrserve -addr :8080 [-debug-addr :6060] [-v]
+//
+// Flags and environment:
+//
+//	-addr        listen address (default :8080)
+//	-debug-addr  optional side listener serving net/http/pprof under
+//	             /debug/pprof/ — keep it on localhost or a private
+//	             network, never the public service address
+//	-v           debug logging (overrides RR_LOG_LEVEL)
+//	RR_LOG_LEVEL  debug|info|warn|error (default info)
+//	RR_LOG_FORMAT text|json (default text)
 //
 // Example session:
 //
 //	curl -X POST localhost:8080/v1/rules -d '{"name":"sales","rows":[[1,2],[2,4],[3,6]]}'
 //	curl -X POST localhost:8080/v1/rules/sales/fill -d '{"record":[4,0],"holes":[1]}'
+//	curl localhost:8080/metrics
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"ratiorules/internal/obs"
 	"ratiorules/internal/server"
 )
 
+// drainTimeout bounds how long shutdown waits for in-flight requests.
+const drainTimeout = 10 * time.Second
+
+// notifyListening, when non-nil, receives each listener's bound
+// address ("main" or "debug") — a test seam for -addr :0.
+var notifyListening func(name, addr string)
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rrserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("rrserve", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		debugAddr = fs.String("debug-addr", "", "optional pprof side-listener address (e.g. localhost:6060)")
+		verbose   = fs.Bool("v", false, "debug logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := obs.Setup(*verbose)
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.Handler(server.NewRegistry()),
+		Handler:           server.Handler(server.NewRegistry(), server.WithLogger(logger)),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 	}
-	fmt.Printf("rrserve listening on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
 	}
+	logger.Info("rrserve listening", "addr", ln.Addr().String())
+	if notifyListening != nil {
+		notifyListening("main", ln.Addr().String())
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv, err = startDebugServer(*debugAddr, logger)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down, draining in-flight requests", "timeout", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err = srv.Shutdown(drainCtx)
+	if debugSrv != nil {
+		_ = debugSrv.Close()
+	}
+	if err != nil {
+		logger.Error("drain incomplete, closing remaining connections", "err", err)
+		_ = srv.Close()
+		return err
+	}
+	logger.Info("drained cleanly")
+	return nil
+}
+
+// startDebugServer serves net/http/pprof on its own listener so
+// profiling never shares a port (or an exposure surface) with the
+// public API.
+func startDebugServer(addr string, logger *slog.Logger) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	logger.Info("pprof debug listener up", "addr", ln.Addr().String())
+	if notifyListening != nil {
+		notifyListening("debug", ln.Addr().String())
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("debug listener failed", "err", err)
+		}
+	}()
+	return srv, nil
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServe runs the server on ephemeral ports and returns the bound
+// addresses plus a shutdown func that cancels and waits for run.
+func startServe(t *testing.T, args ...string) (addrs map[string]string, shutdown func() error) {
+	t.Helper()
+	addrCh := make(chan [2]string, 4)
+	notifyListening = func(name, addr string) { addrCh <- [2]string{name, addr} }
+	t.Cleanup(func() { notifyListening = nil })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, args) }()
+
+	addrs = make(map[string]string)
+	wantListeners := 1
+	for _, a := range args {
+		if strings.Contains(a, "debug-addr") {
+			wantListeners = 2
+		}
+	}
+	for len(addrs) < wantListeners {
+		select {
+		case na := <-addrCh:
+			addrs[na[0]] = na[1]
+		case err := <-errCh:
+			t.Fatalf("run exited early: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for listeners")
+		}
+	}
+	return addrs, func() error {
+		cancel()
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(drainTimeout + 5*time.Second):
+			t.Fatal("run did not return after cancel")
+			return nil
+		}
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestGracefulShutdown boots the full server, checks it serves, then
+// cancels the signal context and expects a clean drain.
+func TestGracefulShutdown(t *testing.T) {
+	addrs, shutdown := startServe(t, "-addr", "127.0.0.1:0")
+	base := "http://" + addrs["main"]
+	if code, _ := get(t, base+"/healthz"); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "rr_http_requests_total") {
+		t.Fatalf("metrics = %d, body %q", code, body)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The socket must actually be released.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still serving after shutdown")
+	}
+}
+
+// TestDebugListener checks the opt-in pprof side listener serves the
+// index on its own port and not on the API port.
+func TestDebugListener(t *testing.T) {
+	addrs, shutdown := startServe(t, "-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0")
+	if code, body := get(t, "http://"+addrs["debug"]+"/debug/pprof/"); code != 200 ||
+		!strings.Contains(body, "profile") {
+		t.Fatalf("pprof index = %d, body %.80q", code, body)
+	}
+	if code, _ := get(t, "http://"+addrs["main"]+"/debug/pprof/"); code == 200 {
+		t.Fatal("pprof exposed on the public API listener")
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}); err == nil {
+		t.Error("bad addr accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-debug-addr", "256.0.0.1:bad"}); err == nil {
+		t.Error("bad debug addr accepted")
+	}
+}

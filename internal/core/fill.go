@@ -58,13 +58,17 @@ type Estimator interface {
 // With k = 0 (or when every cell is a hole) the prediction degenerates to
 // the column averages, which is exactly the col-avgs competitor.
 func (r *Rules) FillRow(row []float64, holes []int) ([]float64, error) {
-	return r.fill(row, holes, SolvePseudoInverse)
+	out, err := r.fill(row, holes, SolvePseudoInverse)
+	fillOps.count(err)
+	return out, err
 }
 
 // FillRowWith is FillRow with an explicit solver for the over-specified
 // case, exposed for the solver ablation.
 func (r *Rules) FillRowWith(row []float64, holes []int, solver FillSolver) ([]float64, error) {
-	return r.fill(row, holes, solver)
+	out, err := r.fill(row, holes, solver)
+	fillOps.count(err)
+	return out, err
 }
 
 // Width implements Estimator.

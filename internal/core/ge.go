@@ -35,7 +35,9 @@ func GE1(est Estimator, test *matrix.Dense) (float64, error) {
 			sum += d * d
 		}
 	}
-	return math.Sqrt(sum / float64(n*m)), nil
+	ge := math.Sqrt(sum / float64(n*m))
+	recordGE("ge1", 1, ge)
+	return ge, nil
 }
 
 // GEhConfig controls the h-hole guessing error computation.
@@ -109,7 +111,9 @@ func GEh(est Estimator, test *matrix.Dense, cfg GEhConfig) (float64, error) {
 	if cells == 0 {
 		return 0, nil
 	}
-	return math.Sqrt(sum / float64(cells)), nil
+	ge := math.Sqrt(sum / float64(cells))
+	recordGE("geh", h, ge)
+	return ge, nil
 }
 
 // enumerateHoleSets returns every C(m,h) combination when that count fits

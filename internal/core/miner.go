@@ -8,6 +8,7 @@ import (
 
 	"ratiorules/internal/eigen"
 	"ratiorules/internal/matrix"
+	"ratiorules/internal/obs"
 	"ratiorules/internal/stats"
 )
 
@@ -165,30 +166,42 @@ func (m *Miner) Mine(src RowSource) (*Rules, error) {
 		return nil, fmt.Errorf("core: %d attribute names for width %d: %w", len(m.attrs), width, ErrWidth)
 	}
 	acc := stats.NewCovAccumulator(width)
+	scanTimer := obs.NewTimer(scanPhase)
 	for {
 		row, err := src.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
+			recordMine(0, width, 0, err)
 			return nil, fmt.Errorf("core: reading training rows: %w", err)
 		}
 		if err := acc.Push(row); err != nil {
+			recordMine(0, width, 0, err)
 			return nil, fmt.Errorf("core: accumulating row %d: %w", acc.Count(), err)
 		}
 	}
+	scanElapsed := scanTimer.ObserveDuration()
 	if acc.Count() < 2 {
-		return nil, fmt.Errorf("core: mining needs at least 2 rows, got %d", acc.Count())
+		err := fmt.Errorf("core: mining needs at least 2 rows, got %d", acc.Count())
+		recordMine(0, width, 0, err)
+		return nil, err
 	}
+	covTimer := obs.NewTimer(covariancePhase)
 	scatter, err := acc.Scatter()
 	if err != nil {
+		recordMine(0, width, 0, err)
 		return nil, fmt.Errorf("core: building covariance: %w", err)
 	}
 	means, err := acc.Means()
+	covTimer.ObserveDuration()
 	if err != nil {
+		recordMine(0, width, 0, err)
 		return nil, fmt.Errorf("core: computing column averages: %w", err)
 	}
-	return m.rulesFromScatter(scatter, means, acc.Count())
+	rules, err := m.rulesFromScatter(scatter, means, acc.Count())
+	recordMine(acc.Count(), width, scanElapsed, err)
+	return rules, err
 }
 
 // MineMatrix is a convenience wrapper for in-memory matrices.
@@ -204,6 +217,7 @@ func (m *Miner) rulesFromScatter(scatter *matrix.Dense, means []float64, n int) 
 		total float64
 		err   error
 	)
+	eigTimer := obs.NewTimer(eigensolvePhase)
 	if m.subspace {
 		sys, total, err = m.leadingPairs(scatter)
 	} else {
@@ -218,11 +232,13 @@ func (m *Miner) rulesFromScatter(scatter *matrix.Dense, means []float64, n int) 
 			}
 		}
 	}
+	eigTimer.ObserveDuration()
 	if err != nil {
 		return nil, fmt.Errorf("core: eigensystem of %d×%d covariance: %w",
 			scatter.Rows(), scatter.Cols(), err)
 	}
 	k := m.chooseK(sys.Values, total)
+	minerRulesRetained.Set(float64(k))
 	cols := make([]int, k)
 	for i := range cols {
 		cols[i] = i

@@ -32,6 +32,12 @@ const DefaultOutlierSigma = 2.0
 // of that column's residual distribution. A sigma of 0 selects
 // DefaultOutlierSigma. Results are sorted by descending score.
 func (r *Rules) CellOutliers(x *matrix.Dense, sigma float64) ([]CellOutlier, error) {
+	out, err := r.cellOutliers(x, sigma)
+	outlierOps.count(err)
+	return out, err
+}
+
+func (r *Rules) cellOutliers(x *matrix.Dense, sigma float64) ([]CellOutlier, error) {
 	n, m := x.Dims()
 	if m != r.M() {
 		return nil, fmt.Errorf("core: outliers on %d-wide matrix with %d-wide rules: %w",
@@ -47,7 +53,7 @@ func (r *Rules) CellOutliers(x *matrix.Dense, sigma float64) ([]CellOutlier, err
 		row := x.RawRow(i)
 		for j := 0; j < m; j++ {
 			hole[0] = j
-			filled, err := r.FillRow(row, hole)
+			filled, err := r.fill(row, hole, SolvePseudoInverse)
 			if err != nil {
 				return nil, fmt.Errorf("core: reconstructing cell (%d,%d): %w", i, j, err)
 			}
@@ -97,6 +103,12 @@ type RowOutlier struct {
 // exceeds sigma times the RMS distance. A sigma of 0 selects
 // DefaultOutlierSigma. Results are sorted by descending score.
 func (r *Rules) RowOutliers(x *matrix.Dense, sigma float64) ([]RowOutlier, error) {
+	out, err := r.rowOutliers(x, sigma)
+	outlierOps.count(err)
+	return out, err
+}
+
+func (r *Rules) rowOutliers(x *matrix.Dense, sigma float64) ([]RowOutlier, error) {
 	n, m := x.Dims()
 	if m != r.M() {
 		return nil, fmt.Errorf("core: outliers on %d-wide matrix with %d-wide rules: %w",

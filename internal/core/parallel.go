@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 
+	"ratiorules/internal/obs"
 	"ratiorules/internal/stats"
 )
 
@@ -41,10 +42,12 @@ func (m *Miner) MineSharded(shards []RowSource) (*Rules, error) {
 	accs := make([]*stats.CovAccumulator, len(shards))
 	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
+	scanTimer := obs.NewTimer(scanPhase)
 	for i, shard := range shards {
 		wg.Add(1)
 		go func(i int, shard RowSource) {
 			defer wg.Done()
+			defer obs.NewTimer(minerShardSeconds).ObserveDuration()
 			acc := stats.NewCovAccumulator(width)
 			for {
 				row, err := shard.Next()
@@ -64,28 +67,41 @@ func (m *Miner) MineSharded(shards []RowSource) (*Rules, error) {
 		}(i, shard)
 	}
 	wg.Wait()
+	scanElapsed := scanTimer.ObserveDuration()
 	for _, err := range errs {
 		if err != nil {
+			recordMine(0, width, 0, err)
 			return nil, err
 		}
 	}
 
+	mergeTimer := obs.NewTimer(mergePhase)
 	total := accs[0]
 	for _, acc := range accs[1:] {
 		if err := total.Merge(acc); err != nil {
+			recordMine(0, width, 0, err)
 			return nil, fmt.Errorf("core: merging shard accumulators: %w", err)
 		}
 	}
+	mergeTimer.ObserveDuration()
 	if total.Count() < 2 {
-		return nil, fmt.Errorf("core: mining needs at least 2 rows, got %d", total.Count())
+		err := fmt.Errorf("core: mining needs at least 2 rows, got %d", total.Count())
+		recordMine(0, width, 0, err)
+		return nil, err
 	}
+	covTimer := obs.NewTimer(covariancePhase)
 	scatter, err := total.Scatter()
 	if err != nil {
+		recordMine(0, width, 0, err)
 		return nil, fmt.Errorf("core: building covariance: %w", err)
 	}
 	means, err := total.Means()
+	covTimer.ObserveDuration()
 	if err != nil {
+		recordMine(0, width, 0, err)
 		return nil, fmt.Errorf("core: computing column averages: %w", err)
 	}
-	return m.rulesFromScatter(scatter, means, total.Count())
+	rules, err := m.rulesFromScatter(scatter, means, total.Count())
+	recordMine(total.Count(), width, scanElapsed, err)
+	return rules, err
 }

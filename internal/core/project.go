@@ -11,6 +11,12 @@ import (
 // primitive (Sec. 6.1): projecting onto the first two or three rules
 // reveals clusters, linear correlations and outliers (Figs. 9 and 11).
 func (r *Rules) Project(x *matrix.Dense, dims int) (*matrix.Dense, error) {
+	out, err := r.project(x, dims)
+	projectOps.count(err)
+	return out, err
+}
+
+func (r *Rules) project(x *matrix.Dense, dims int) (*matrix.Dense, error) {
 	n, m := x.Dims()
 	if m != r.M() {
 		return nil, fmt.Errorf("core: projecting %d-wide matrix with %d-wide rules: %w",

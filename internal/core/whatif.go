@@ -20,6 +20,14 @@ type Scenario struct {
 // the strongest rules drive the forecast — pinning one attribute moves the
 // prediction along RR1, which is the paper's Cheerios-doubling intuition.
 func (r *Rules) WhatIf(s Scenario) ([]float64, error) {
+	out, err := r.whatIf(s)
+	whatIfOps.count(err)
+	return out, err
+}
+
+// whatIf is the uncounted body of WhatIf, shared with Forecast so each
+// public operation books exactly one rr_ops_total sample.
+func (r *Rules) whatIf(s Scenario) ([]float64, error) {
 	m := r.M()
 	if len(s.Given) == 0 {
 		return nil, fmt.Errorf("core: what-if scenario with no given attributes: %w", ErrBadHole)
@@ -50,13 +58,19 @@ func (r *Rules) WhatIf(s Scenario) ([]float64, error) {
 				j, m, ErrBadHole)
 		}
 	}
-	return r.FillRow(row, holes)
+	return r.fill(row, holes, SolvePseudoInverse)
 }
 
 // Forecast answers the paper's forecasting question ("if a customer spends
 // $1 on bread and $2.50 on ham, how much on mayonnaise?"): given the known
 // attribute values, it returns the predicted value of the target attribute.
 func (r *Rules) Forecast(known map[int]float64, target int) (float64, error) {
+	v, err := r.forecast(known, target)
+	forecastOps.count(err)
+	return v, err
+}
+
+func (r *Rules) forecast(known map[int]float64, target int) (float64, error) {
 	if target < 0 || target >= r.M() {
 		return 0, fmt.Errorf("core: forecast target %d out of range [0,%d): %w",
 			target, r.M(), ErrBadHole)
@@ -64,7 +78,7 @@ func (r *Rules) Forecast(known map[int]float64, target int) (float64, error) {
 	if _, ok := known[target]; ok {
 		return 0, fmt.Errorf("core: forecast target %d is already given: %w", target, ErrBadHole)
 	}
-	full, err := r.WhatIf(Scenario{Given: known})
+	full, err := r.whatIf(Scenario{Given: known})
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every registered metric in the Prometheus
+// text exposition format (version 0.0.4), families and children in
+// sorted order so the output is deterministic for golden tests.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range children {
+			labels := labelString(f.labelNames, c.labelValues, "", "")
+			switch m := c.metric.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labels, formatValue(m.Value()))
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labels, formatValue(m.Value()))
+			case *Histogram:
+				bounds, cum := m.Buckets()
+				for i, b := range bounds {
+					le := "+Inf"
+					if !math.IsInf(b, 1) {
+						le = formatValue(b)
+					}
+					bl := labelString(f.labelNames, c.labelValues, "le", le)
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, bl, cum[i])
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labels, formatValue(m.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labels, m.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the exposition format, for
+// mounting at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Sample is one scraped value in a Gather result.
+type Sample struct {
+	// Name is the metric name; histograms gather as two samples with
+	// the _sum and _count suffixes (buckets are exposition-only).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Gather snapshots every counter, gauge and histogram into a flat
+// sample list — the in-process read path for tests and for rrbench's
+// JSON summary. Ordering matches the exposition format.
+func (r *Registry) Gather() []Sample {
+	var out []Sample
+	for _, f := range r.sortedFamilies() {
+		for _, c := range f.sortedChildren() {
+			labels := make(map[string]string, len(f.labelNames))
+			for i, n := range f.labelNames {
+				labels[n] = c.labelValues[i]
+			}
+			switch m := c.metric.(type) {
+			case *Counter:
+				out = append(out, Sample{f.name, labels, m.Value()})
+			case *Gauge:
+				out = append(out, Sample{f.name, labels, m.Value()})
+			case *Histogram:
+				out = append(out, Sample{f.name + "_sum", labels, m.Sum()})
+				out = append(out, Sample{f.name + "_count", labels, float64(m.Count())})
+			}
+		}
+	}
+	return out
+}
+
+// Snapshot flattens Gather into a map keyed by the canonical sample
+// line (`name` or `name{k="v",...}` with sorted label names), which
+// makes delta assertions in tests one map lookup.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range r.Gather() {
+		out[SampleKey(s.Name, s.Labels)] = s.Value
+	}
+	return out
+}
+
+// SampleKey builds the canonical Snapshot key for a metric name and
+// label set.
+func SampleKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelString renders the {k="v",...} label block, optionally with a
+// trailing extra label (used for histogram le), or "" when empty.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"ratiorules/internal/obs/obstest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full exposition output of a small
+// registry: family ordering, HELP/TYPE lines, label rendering,
+// cumulative histogram buckets with the implicit +Inf.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rr_b_total", "Counts b.").Add(3)
+	r.GaugeVec("rr_a_gauge", "Gauge with labels.", "route").With("/v1/rules").Set(1.5)
+	h := r.Histogram("rr_c_seconds", "Latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP rr_a_gauge Gauge with labels.
+# TYPE rr_a_gauge gauge
+rr_a_gauge{route="/v1/rules"} 1.5
+# HELP rr_b_total Counts b.
+# TYPE rr_b_total counter
+rr_b_total 3
+# HELP rr_c_seconds Latency.
+# TYPE rr_c_seconds histogram
+rr_c_seconds_bucket{le="0.01"} 1
+rr_c_seconds_bucket{le="0.1"} 2
+rr_c_seconds_bucket{le="+Inf"} 3
+rr_c_seconds_sum 5.055
+rr_c_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHandlerServesValidExposition(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("rr_http_requests_total", "Requests.", "route", "status").
+		With(`/v1/rules/{name}`, "2xx").Inc()
+	r.Histogram("rr_lat_seconds", "Latency.", DefBuckets).Observe(0.42)
+	r.Gauge("rr_inflight", "In flight.").Set(2)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); got != ContentType {
+		t.Fatalf("content type = %q, want %q", got, ContentType)
+	}
+	obstest.ValidateExposition(t, rec.Body.String())
+	if !strings.Contains(rec.Body.String(), `rr_http_requests_total{route="/v1/rules/{name}",status="2xx"} 1`) {
+		t.Errorf("missing labeled counter sample in:\n%s", rec.Body.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "Escapes.", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped sample %q missing from:\n%s", want, b.String())
+	}
+	obstest.ValidateExposition(t, b.String())
+}
+
+func TestGatherHistogramSamples(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("phase_seconds", "Phases.", []float64{1}, "phase")
+	h.With("scan").Observe(0.25)
+	h.With("scan").Observe(0.75)
+
+	var sum, count float64
+	for _, s := range r.Gather() {
+		switch s.Name {
+		case "phase_seconds_sum":
+			sum = s.Value
+			if s.Labels["phase"] != "scan" {
+				t.Errorf("sum labels = %v", s.Labels)
+			}
+		case "phase_seconds_count":
+			count = s.Value
+		}
+	}
+	if sum != 1.0 || count != 2 {
+		t.Fatalf("gathered sum=%v count=%v, want 1.0 and 2", sum, count)
+	}
+}

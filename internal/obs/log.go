@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Environment variables honored by Setup, shared by every rr command:
+//
+//	RR_LOG_LEVEL  debug | info | warn | error   (default info)
+//	RR_LOG_FORMAT text | json                   (default text)
+const (
+	EnvLogLevel  = "RR_LOG_LEVEL"
+	EnvLogFormat = "RR_LOG_FORMAT"
+)
+
+// ParseLevel maps a level name (case-insensitive) to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger returns a structured logger writing to w at the given
+// level, as logfmt-style text or JSON.
+func NewLogger(w io.Writer, level slog.Level, json bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// NopLogger returns a logger that discards everything — the default
+// for library code when the caller does not supply one.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}
+
+// Setup builds the process logger for a command-line tool: stderr
+// output, level from RR_LOG_LEVEL overridden to debug by verbose (the
+// -v flag), JSON when RR_LOG_FORMAT=json. It installs the logger as
+// the slog default and returns it. An unknown level falls back to
+// info with a warning rather than failing the command.
+func Setup(verbose bool) *slog.Logger {
+	level, err := ParseLevel(os.Getenv(EnvLogLevel))
+	if err != nil {
+		level = slog.LevelInfo
+	}
+	if verbose {
+		level = slog.LevelDebug
+	}
+	json := strings.EqualFold(os.Getenv(EnvLogFormat), "json")
+	logger := NewLogger(os.Stderr, level, json)
+	if err != nil {
+		logger.Warn("ignoring bad log level", "env", EnvLogLevel, "value", os.Getenv(EnvLogLevel))
+	}
+	slog.SetDefault(logger)
+	return logger
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":  slog.LevelDebug,
+		"":       slog.LevelInfo,
+		"Info":   slog.LevelInfo,
+		"WARN":   slog.LevelWarn,
+		"error":  slog.LevelError,
+		" warn ": slog.LevelWarn,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = (%v, %v), want (%v, nil)", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) succeeded, want error")
+	}
+}
+
+func TestNewLoggerLevelsAndFormats(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, slog.LevelWarn, false)
+	l.Info("hidden")
+	l.Warn("shown", "k", "v")
+	out := b.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") || !strings.Contains(out, "k=v") {
+		t.Errorf("text logger output wrong: %q", out)
+	}
+
+	b.Reset()
+	jl := NewLogger(&b, slog.LevelDebug, true)
+	jl.Debug("structured", "n", 3)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("json logger emitted invalid JSON %q: %v", b.String(), err)
+	}
+	if rec["msg"] != "structured" || rec["n"] != float64(3) {
+		t.Errorf("json record = %v", rec)
+	}
+}
+
+func TestSetupHonorsEnv(t *testing.T) {
+	t.Setenv(EnvLogLevel, "error")
+	t.Setenv(EnvLogFormat, "json")
+	l := Setup(false)
+	if l.Enabled(nil, slog.LevelWarn) {
+		t.Error("RR_LOG_LEVEL=error still enables warn")
+	}
+	// -v overrides the env level down to debug.
+	lv := Setup(true)
+	if !lv.Enabled(nil, slog.LevelDebug) {
+		t.Error("-v did not enable debug")
+	}
+
+	t.Setenv(EnvLogLevel, "not-a-level")
+	if l := Setup(false); !l.Enabled(nil, slog.LevelInfo) {
+		t.Error("bad env level did not fall back to info")
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	l := NopLogger()
+	if l.Enabled(nil, slog.LevelError) {
+		t.Error("nop logger claims error level is enabled")
+	}
+	l.Error("goes nowhere") // must not panic
+}
+
+func TestTimerObservesSeconds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "t", DefBuckets)
+	timer := NewTimer(h)
+	time.Sleep(2 * time.Millisecond)
+	d := timer.ObserveDuration()
+	if d <= 0 {
+		t.Fatalf("elapsed = %v", d)
+	}
+	if h.Count() != 1 || h.Sum() <= 0 || h.Sum() > 10 {
+		t.Fatalf("histogram after timer: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	// A nil observer only returns the elapsed time.
+	if NewTimer(nil).ObserveDuration() < 0 {
+		t.Fatal("nil-observer timer went backwards")
+	}
+}
+
+func TestTimerFeedsGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("last_run_seconds", "t")
+	tm := NewTimer(g)
+	tm.ObserveDuration()
+	if g.Value() < 0 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(100, 2*time.Second); got != 50 {
+		t.Fatalf("Rate = %v, want 50", got)
+	}
+	if got := Rate(100, 0); got != 0 {
+		t.Fatalf("Rate with zero elapsed = %v, want 0", got)
+	}
+}

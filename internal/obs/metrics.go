@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// addFloat atomically adds v to the float64 stored as bits in u.
+func addFloat(u *atomic.Uint64, v float64) {
+	for {
+		old := u.Load()
+		nu := math.Float64bits(math.Float64frombits(old) + v)
+		if u.CompareAndSwap(old, nu) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing value. The zero value is ready
+// to use, but counters should be obtained from a Registry so they are
+// scraped.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v, which must not be negative.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic(fmt.Sprintf("obs: counter decreased by %v", v))
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (negative to subtract).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets and tracks their
+// sum, in the Prometheus cumulative-bucket model. Observations are
+// lock-free; a scrape concurrent with observations may see a sum, a
+// count and bucket fills that differ by the in-flight observations,
+// which Prometheus tolerates by design.
+type Histogram struct {
+	upper   []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	sumBits atomic.Uint64
+	total   atomic.Uint64
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{
+		upper:  upper,
+		counts: make([]atomic.Uint64, len(upper)),
+	}
+}
+
+// validateBuckets checks bounds are finite and strictly ascending,
+// returning a defensive copy (DefBuckets when empty).
+func validateBuckets(upper []float64) []float64 {
+	if len(upper) == 0 {
+		upper = DefBuckets
+	}
+	out := append([]float64(nil), upper...)
+	for i, b := range out {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: non-finite histogram bucket %v", b))
+		}
+		if i > 0 && out[i-1] >= b {
+			panic(fmt.Sprintf("obs: histogram buckets not ascending at %v", b))
+		}
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	if i < len(h.upper) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	addFloat(&h.sumBits, v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the upper bounds and the cumulative counts at each
+// bound, ending with the +Inf bucket (whose bound is math.Inf(1)).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	bounds = make([]float64, len(h.upper)+1)
+	cumulative = make([]uint64, len(h.upper)+1)
+	var acc uint64
+	for i := range h.upper {
+		bounds[i] = h.upper[i]
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	bounds[len(h.upper)] = math.Inf(1)
+	cumulative[len(h.upper)] = acc + h.inf.Load()
+	return bounds, cumulative
+}
+
+// DefBuckets are latency buckets covering 100µs to 10s, suited to both
+// in-process mining phases and HTTP request service times.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets are decade buckets for row/cell counts and payload sizes.
+var SizeBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7}
+
+// ExponentialBuckets returns n buckets starting at start (> 0), each
+// factor (> 1) times the previous.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: bad exponential buckets (%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRecordAndScrape is the registry's race-detector stress
+// test: 8 goroutines hammer counters, gauges and histograms (including
+// racing child creation in the vecs) while 2 goroutines scrape the
+// exposition format and Gather continuously. Run with -race.
+func TestConcurrentRecordAndScrape(t *testing.T) {
+	r := NewRegistry()
+	ctr := r.Counter("stress_total", "stress")
+	vec := r.CounterVec("stress_ops_total", "stress", "op")
+	g := r.Gauge("stress_gauge", "stress")
+	h := r.HistogramVec("stress_seconds", "stress", DefBuckets, "phase")
+
+	const (
+		writers = 8
+		scrapes = 2
+		iters   = 2000
+	)
+	var writeWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			op := "op" + strconv.Itoa(w%3)
+			for i := 0; i < iters; i++ {
+				ctr.Inc()
+				vec.With(op).Add(2)
+				g.Set(float64(i))
+				h.With("scan").Observe(float64(i) * 1e-4)
+				// Occasionally create fresh children to race the
+				// family map against the scrapers.
+				if i%500 == 0 {
+					vec.With("op" + strconv.Itoa(w) + "_" + strconv.Itoa(i)).Inc()
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for s := 0; s < scrapes; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				_ = r.Gather()
+			}
+		}()
+	}
+	writeWG.Wait()
+	close(done)
+	scrapeWG.Wait()
+
+	if got, want := ctr.Value(), float64(writers*iters); got != want {
+		t.Fatalf("counter = %v, want %v", got, want)
+	}
+	hist := h.With("scan")
+	if got := hist.Count(); got != uint64(writers*iters) {
+		t.Fatalf("histogram count = %d, want %d", got, writers*iters)
+	}
+	_, cum := hist.Buckets()
+	if last := cum[len(cum)-1]; last != uint64(writers*iters) {
+		t.Fatalf("+Inf cumulative = %d, want %d", last, writers*iters)
+	}
+}

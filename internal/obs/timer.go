@@ -1,0 +1,50 @@
+package obs
+
+import "time"
+
+// Observer is anything that accepts a float64 observation — both
+// Histogram and Gauge satisfy it, so a Timer can feed either a latency
+// distribution or a "seconds of last run" gauge.
+type Observer interface {
+	Observe(float64)
+}
+
+// Observe implements Observer on Gauge by setting the value.
+func (g *Gauge) Observe(v float64) { g.Set(v) }
+
+// Timer measures a duration and reports it, in seconds, to an
+// Observer. Typical use:
+//
+//	t := obs.NewTimer(phaseSeconds.With("scan"))
+//	... work ...
+//	t.ObserveDuration()
+type Timer struct {
+	start time.Time
+	obs   Observer
+}
+
+// NewTimer starts a timer that will report to o (which may be nil, in
+// which case ObserveDuration only returns the elapsed time).
+func NewTimer(o Observer) *Timer {
+	return &Timer{start: time.Now(), obs: o}
+}
+
+// ObserveDuration reports the elapsed time since NewTimer to the
+// observer and returns it. It may be called multiple times; each call
+// observes the total elapsed time so far.
+func (t *Timer) ObserveDuration() time.Duration {
+	d := time.Since(t.start)
+	if t.obs != nil {
+		t.obs.Observe(d.Seconds())
+	}
+	return d
+}
+
+// Rate returns n/elapsed in events per second, or 0 for non-positive
+// elapsed — the rows/sec and cells/sec throughput helper.
+func Rate(n int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+
+	"ratiorules/internal/obs"
+)
+
+// handlerConfig carries the observability wiring for Handler.
+type handlerConfig struct {
+	metrics *obs.Registry
+	logger  *slog.Logger
+}
+
+// HandlerOption customizes Handler.
+type HandlerOption func(*handlerConfig)
+
+// WithObs records HTTP and miner metrics into r instead of the
+// process-wide obs.Default() registry (tests use this for isolation;
+// note the miner's own metrics always go to the default registry).
+func WithObs(r *obs.Registry) HandlerOption {
+	return func(c *handlerConfig) { c.metrics = r }
+}
+
+// WithLogger routes request and service logs to l. Without it the
+// handler is silent.
+func WithLogger(l *slog.Logger) HandlerOption {
+	return func(c *handlerConfig) { c.logger = l }
+}
+
+// httpMetrics is the per-handler request accounting: counts by route,
+// method and status class, per-route latency histograms, and an
+// in-flight gauge.
+type httpMetrics struct {
+	requests *obs.CounterVec   // route, method, status
+	latency  *obs.HistogramVec // route
+	inflight *obs.Gauge
+	logger   *slog.Logger
+}
+
+func newHTTPMetrics(reg *obs.Registry, logger *slog.Logger) *httpMetrics {
+	return &httpMetrics{
+		requests: reg.CounterVec("rr_http_requests_total",
+			"HTTP requests by route pattern, method and status class.",
+			"route", "method", "status"),
+		latency: reg.HistogramVec("rr_http_request_seconds",
+			"HTTP request service time by route pattern.", obs.DefBuckets, "route"),
+		inflight: reg.Gauge("rr_http_in_flight_requests",
+			"HTTP requests currently being served."),
+		logger: logger,
+	}
+}
+
+// statusWriter records the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps h with request accounting under the given route
+// label (the registered pattern path, keeping label cardinality fixed
+// no matter what paths clients send).
+func (m *httpMetrics) instrument(route string, h http.Handler) http.Handler {
+	hist := m.latency.With(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Inc()
+		defer m.inflight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		timer := obs.NewTimer(hist)
+		h.ServeHTTP(sw, r)
+		elapsed := timer.ObserveDuration()
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		m.requests.With(route, methodLabel(r.Method), statusClass(sw.status)).Inc()
+		level, msg := slog.LevelDebug, "request"
+		switch {
+		case sw.status >= 500:
+			level, msg = slog.LevelError, "request failed"
+		case sw.status >= 400:
+			level, msg = slog.LevelWarn, "request rejected"
+		}
+		m.logger.Log(r.Context(), level, msg,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration", elapsed,
+		)
+	})
+}
+
+// statusClass buckets a status code into 1xx..5xx.
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// methodLabel clamps the method label to the standard set so clients
+// cannot grow metric cardinality with invented methods.
+func methodLabel(m string) string {
+	switch m {
+	case http.MethodGet, http.MethodHead, http.MethodPost, http.MethodPut,
+		http.MethodPatch, http.MethodDelete, http.MethodOptions:
+		return m
+	}
+	return "OTHER"
+}
+
+// methodNotAllowed answers wrong-method hits on a known path with 405,
+// the Allow header, and the JSON error envelope (the instrument
+// wrapper logs it at warn).
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeErr(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("method %s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allow))
+	}
+}

@@ -16,18 +16,26 @@
 //	POST   /v1/rules/{name}/whatif   complete a scenario from pinned values
 //	POST   /v1/rules/{name}/project  map rows into RR space
 //	POST   /v1/rules/{name}/outliers score rows for cell outliers
+//	GET    /healthz                  liveness probe
+//	GET    /metrics                  Prometheus text exposition
+//
+// Wrong-method requests to the /v1/rules paths return 405 with an
+// Allow header. All routes are wrapped in the obs middleware; see
+// docs/observability.md for the metric and label conventions.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
 
 	"ratiorules/internal/core"
 	"ratiorules/internal/matrix"
+	"ratiorules/internal/obs"
 )
 
 // Registry is a concurrency-safe named store of mined rule sets.
@@ -77,26 +85,51 @@ func (r *Registry) Names() []string {
 	return out
 }
 
-// Handler builds the HTTP handler over a registry.
-func Handler(reg *Registry) http.Handler {
+// Handler builds the HTTP handler over a registry. Every route is
+// wrapped in the obs middleware (request counters, latency histograms,
+// in-flight gauge — see middleware.go), the metrics registry itself is
+// exposed at GET /metrics in Prometheus text format, and wrong-method
+// hits on known paths answer 405 with an Allow header instead of the
+// generic 404 fallthrough.
+func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
+	cfg := handlerConfig{metrics: obs.Default(), logger: obs.NopLogger()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := newHTTPMetrics(cfg.metrics, cfg.logger)
+	s := &service{reg: reg, logger: cfg.logger}
 	mux := http.NewServeMux()
-	s := &service{reg: reg}
-	mux.HandleFunc("GET /healthz", s.health)
-	mux.HandleFunc("POST /v1/rules", s.mine)
-	mux.HandleFunc("GET /v1/rules", s.list)
-	mux.HandleFunc("GET /v1/rules/{name}", s.get)
-	mux.HandleFunc("PUT /v1/rules/{name}", s.put)
-	mux.HandleFunc("DELETE /v1/rules/{name}", s.del)
-	mux.HandleFunc("POST /v1/rules/{name}/fill", s.fill)
-	mux.HandleFunc("POST /v1/rules/{name}/forecast", s.forecast)
-	mux.HandleFunc("POST /v1/rules/{name}/whatif", s.whatIf)
-	mux.HandleFunc("POST /v1/rules/{name}/project", s.project)
-	mux.HandleFunc("POST /v1/rules/{name}/outliers", s.outliers)
+	handle := func(method, path string, h http.HandlerFunc) {
+		mux.Handle(method+" "+path, m.instrument(path, h))
+	}
+	handle("GET", "/healthz", s.health)
+	handle("GET", "/metrics", cfg.metrics.Handler().ServeHTTP)
+	handle("POST", "/v1/rules", s.mine)
+	handle("GET", "/v1/rules", s.list)
+	handle("GET", "/v1/rules/{name}", s.get)
+	handle("PUT", "/v1/rules/{name}", s.put)
+	handle("DELETE", "/v1/rules/{name}", s.del)
+	handle("POST", "/v1/rules/{name}/fill", s.fill)
+	handle("POST", "/v1/rules/{name}/forecast", s.forecast)
+	handle("POST", "/v1/rules/{name}/whatif", s.whatIf)
+	handle("POST", "/v1/rules/{name}/project", s.project)
+	handle("POST", "/v1/rules/{name}/outliers", s.outliers)
+	// Wrong-method fallbacks: the method-specific patterns above take
+	// precedence, so these catch everything else on known paths.
+	fallback := func(path, allow string) {
+		mux.Handle(path, m.instrument(path, methodNotAllowed(allow)))
+	}
+	fallback("/v1/rules", "GET, POST")
+	fallback("/v1/rules/{name}", "GET, PUT, DELETE")
+	for _, sub := range []string{"fill", "forecast", "whatif", "project", "outliers"} {
+		fallback("/v1/rules/{name}/"+sub, "POST")
+	}
 	return mux
 }
 
 type service struct {
-	reg *Registry
+	reg    *Registry
+	logger *slog.Logger
 }
 
 // errorBody is the uniform error envelope.
@@ -201,6 +234,8 @@ func (s *service) mine(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s.reg.Put(body.Name, rules)
+	s.logger.Info("model mined",
+		"model", body.Name, "rows", rules.TrainedRows(), "k", rules.K(), "attrs", rules.M())
 	writeJSON(w, http.StatusCreated, summarize(body.Name, rules))
 }
 
@@ -251,6 +286,7 @@ func (s *service) put(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s.reg.Put(name, rules)
+	s.logger.Info("model installed", "model", name, "k", rules.K(), "attrs", rules.M())
 	writeJSON(w, http.StatusOK, summarize(name, rules))
 }
 
@@ -260,6 +296,7 @@ func (s *service) del(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
 		return
 	}
+	s.logger.Info("model deleted", "model", name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
