@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify bench clean
+.PHONY: all build vet test race verify verify-store fuzz bench clean
 
 all: build
 
@@ -19,12 +20,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify is the gate for every change: vet, a full build, then the race
-# detector across all packages.
+# verify-store hammers the durable model store: race detector plus
+# -count=3 so every run re-exercises open/recover/compact on fresh
+# temp dirs (WAL truncation tests are offset-exhaustive and cheap).
+verify-store:
+	$(GO) test -race -count=3 ./internal/store
+
+# verify is the gate for every change: vet, a full build, the race
+# detector across all packages, then the store persistence gauntlet.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) verify-store
+
+# fuzz runs each core fuzz target for FUZZTIME (default 10s). Go allows
+# one -fuzz pattern per invocation, hence the separate runs.
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzFillRow$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzWhatIf$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzWALDecode$$' -fuzztime=$(FUZZTIME) ./internal/store
 
 bench:
 	$(GO) run ./cmd/rrbench -experiment all

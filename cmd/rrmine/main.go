@@ -1,25 +1,33 @@
 // Command rrmine mines Ratio Rules from a CSV data matrix (header row of
 // attribute names, numeric rows) in a single pass and prints the rule
-// table; optionally it saves the rules as JSON for later use with rrguess.
+// table; optionally it saves the rules as JSON for later use with
+// rrguess, or mines straight into a durable model store that rrserve
+// -data-dir serves (offline mining, online serving).
 //
 // Usage:
 //
-//	rrmine -in sales.csv [-energy 0.85 | -k 3] [-out rules.json] [-v]
+//	rrmine -in sales.csv [-energy 0.85 | -k 3] [-out rules.json]
+//	       [-store ./models [-name sales]] [-v]
 //
-// -v enables debug logging (RR_LOG_LEVEL/RR_LOG_FORMAT are honored,
-// see internal/obs); timings and throughput are logged to stderr so
-// stdout stays parseable.
+// -store journals the mined model into the store directory as a new
+// version (creating the store if needed); -name defaults to the input
+// file's base name without extension. -v enables debug logging
+// (RR_LOG_LEVEL/RR_LOG_FORMAT are honored, see internal/obs); timings
+// and throughput are logged to stderr so stdout stays parseable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"ratiorules"
 	"ratiorules/internal/dataset"
 	"ratiorules/internal/obs"
+	"ratiorules/internal/store"
 )
 
 func main() {
@@ -32,11 +40,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rrmine", flag.ContinueOnError)
 	var (
-		in      = fs.String("in", "", "input CSV file (header + numeric rows); required")
-		out     = fs.String("out", "", "optional path to save the mined rules as JSON")
-		energy  = fs.Float64("energy", ratiorules.DefaultEnergy, "Eq. 1 variance-coverage cutoff in (0, 1]")
-		k       = fs.Int("k", -1, "retain exactly k rules instead of the energy cutoff")
-		verbose = fs.Bool("v", false, "debug logging")
+		in       = fs.String("in", "", "input CSV file (header + numeric rows); required")
+		out      = fs.String("out", "", "optional path to save the mined rules as JSON")
+		storeDir = fs.String("store", "", "optional model store directory to mine into (see rrserve -data-dir)")
+		name     = fs.String("name", "", "model name in the store (default: input file base name)")
+		energy   = fs.Float64("energy", ratiorules.DefaultEnergy, "Eq. 1 variance-coverage cutoff in (0, 1]")
+		k        = fs.Int("k", -1, "retain exactly k rules instead of the energy cutoff")
+		verbose  = fs.Bool("v", false, "debug logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +107,27 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("\nrules saved to %s\n", *out)
+	}
+
+	if *storeDir != "" {
+		modelName := *name
+		if modelName == "" {
+			base := filepath.Base(*in)
+			modelName = strings.TrimSuffix(base, filepath.Ext(base))
+		}
+		st, err := store.Open(*storeDir, store.WithLogger(logger))
+		if err != nil {
+			return err
+		}
+		version, err := st.Put(modelName, rules)
+		if err != nil {
+			st.Close()
+			return err
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nmodel %q v%d stored in %s\n", modelName, version, *storeDir)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ratiorules"
+	"ratiorules/internal/store"
 )
 
 func writeSalesCSV(t *testing.T) string {
@@ -72,5 +73,32 @@ func TestMineBadOptions(t *testing.T) {
 	csvPath := writeSalesCSV(t)
 	if err := run([]string{"-in", csvPath, "-energy", "2"}); err == nil {
 		t.Error("energy > 1 must fail")
+	}
+}
+
+func TestMineIntoStore(t *testing.T) {
+	csvPath := writeSalesCSV(t)
+	dir := filepath.Join(t.TempDir(), "models")
+	if err := run([]string{"-in", csvPath, "-k", "1", "-store", dir}); err != nil {
+		t.Fatal(err)
+	}
+	// Default model name is the CSV base name; a second run makes v2.
+	if err := run([]string{"-in", csvPath, "-k", "1", "-store", dir, "-name", "groceries"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rules, version, ok := st.Get("sales")
+	if !ok || version != 1 {
+		t.Fatalf("store model sales: v%d ok=%v", version, ok)
+	}
+	if rules.K() != 1 || rules.M() != 3 || rules.AttrName(1) != "milk" {
+		t.Errorf("stored rules: K=%d M=%d attr1=%q", rules.K(), rules.M(), rules.AttrName(1))
+	}
+	if _, _, ok := st.Get("groceries"); !ok {
+		t.Error("named model missing from store")
 	}
 }

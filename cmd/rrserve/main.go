@@ -1,20 +1,28 @@
 // Command rrserve runs the Ratio Rules HTTP service: mine models from
 // JSON row sets and query them for reconstruction, forecasting and outlier
-// detection. Prometheus metrics are exposed at GET /metrics, liveness at
+// detection. With -data-dir every model mutation is journaled to an
+// embedded write-ahead-log store (see docs/persistence.md), so mined
+// models — and their version history — survive restarts and crashes.
+// Prometheus metrics are exposed at GET /metrics, liveness at
 // GET /healthz, and the server drains in-flight requests for up to 10s on
 // SIGINT/SIGTERM before exiting.
 //
 // Usage:
 //
-//	rrserve -addr :8080 [-debug-addr :6060] [-v]
+//	rrserve -addr :8080 [-data-dir ./models] [-debug-addr :6060] [-v]
 //
 // Flags and environment:
 //
-//	-addr        listen address (default :8080)
-//	-debug-addr  optional side listener serving net/http/pprof under
-//	             /debug/pprof/ — keep it on localhost or a private
-//	             network, never the public service address
-//	-v           debug logging (overrides RR_LOG_LEVEL)
+//	-addr            listen address (default :8080)
+//	-data-dir        model store directory; empty (the default) keeps
+//	                 models in memory only. Opened (or created) at boot
+//	                 with crash recovery, flushed on graceful shutdown
+//	-snapshot-every  store events between automatic snapshots (default 64)
+//	-max-body-bytes  request body cap, 413 beyond it (default 32 MiB)
+//	-debug-addr      optional side listener serving net/http/pprof under
+//	                 /debug/pprof/ — keep it on localhost or a private
+//	                 network, never the public service address
+//	-v               debug logging (overrides RR_LOG_LEVEL)
 //	RR_LOG_LEVEL  debug|info|warn|error (default info)
 //	RR_LOG_FORMAT text|json (default text)
 //
@@ -22,6 +30,8 @@
 //
 //	curl -X POST localhost:8080/v1/rules -d '{"name":"sales","rows":[[1,2],[2,4],[3,6]]}'
 //	curl -X POST localhost:8080/v1/rules/sales/fill -d '{"record":[4,0],"holes":[1]}'
+//	curl localhost:8080/v1/rules/sales/versions
+//	curl -X POST localhost:8080/v1/rules/sales/rollback -d '{"version":1}'
 //	curl localhost:8080/metrics
 package main
 
@@ -41,6 +51,7 @@ import (
 
 	"ratiorules/internal/obs"
 	"ratiorules/internal/server"
+	"ratiorules/internal/store"
 )
 
 // drainTimeout bounds how long shutdown waits for in-flight requests.
@@ -62,17 +73,41 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rrserve", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		debugAddr = fs.String("debug-addr", "", "optional pprof side-listener address (e.g. localhost:6060)")
-		verbose   = fs.Bool("v", false, "debug logging")
+		addr          = fs.String("addr", ":8080", "listen address")
+		dataDir       = fs.String("data-dir", "", "model store directory (empty = in-memory only)")
+		snapshotEvery = fs.Int("snapshot-every", 64, "store events between automatic snapshots (<= 0 disables)")
+		maxBodyBytes  = fs.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "request body cap in bytes (<= 0 disables)")
+		debugAddr     = fs.String("debug-addr", "", "optional pprof side-listener address (e.g. localhost:6060)")
+		verbose       = fs.Bool("v", false, "debug logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := obs.Setup(*verbose)
 
+	reg := server.NewRegistry()
+	closeStore := func() {}
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir,
+			store.WithLogger(logger), store.WithSnapshotEvery(*snapshotEvery))
+		if err != nil {
+			return fmt.Errorf("opening model store: %w", err)
+		}
+		reg = server.NewRegistryWithStore(st)
+		logger.Info("model store open", "dir", *dataDir, "models", st.Len())
+		closeStore = func() {
+			if err := st.Close(); err != nil {
+				logger.Error("closing model store", "err", err)
+			} else {
+				logger.Info("model store flushed and closed", "dir", *dataDir)
+			}
+		}
+	}
+	defer closeStore()
+
 	srv := &http.Server{
-		Handler:           server.Handler(server.NewRegistry(), server.WithLogger(logger)),
+		Handler: server.Handler(reg,
+			server.WithLogger(logger), server.WithMaxBodyBytes(*maxBodyBytes)),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,

@@ -9,10 +9,11 @@ import (
 	"ratiorules/internal/obs"
 )
 
-// handlerConfig carries the observability wiring for Handler.
+// handlerConfig carries the observability and limit wiring for Handler.
 type handlerConfig struct {
-	metrics *obs.Registry
-	logger  *slog.Logger
+	metrics      *obs.Registry
+	logger       *slog.Logger
+	maxBodyBytes int64
 }
 
 // HandlerOption customizes Handler.
@@ -29,6 +30,13 @@ func WithObs(r *obs.Registry) HandlerOption {
 // handler is silent.
 func WithLogger(l *slog.Logger) HandlerOption {
 	return func(c *handlerConfig) { c.logger = l }
+}
+
+// WithMaxBodyBytes caps request bodies at n bytes (default
+// DefaultMaxBodyBytes); oversized bodies answer 413 with the uniform
+// error envelope. n <= 0 disables the cap.
+func WithMaxBodyBytes(n int64) HandlerOption {
+	return func(c *handlerConfig) { c.maxBodyBytes = n }
 }
 
 // httpMetrics is the per-handler request accounting: counts by route,

@@ -1,27 +1,36 @@
 // Package server exposes Ratio Rules mining and reconstruction as a JSON
 // HTTP service, so non-Go clients can mine rules once and query them for
-// forecasting, what-if analysis and outlier detection. Models are held in
-// memory behind a named registry; persistence is the caller's concern
-// (rules serialize with Rules.Save / the GET endpoint).
+// forecasting, what-if analysis and outlier detection. Models live in a
+// named, versioned registry backed by internal/store: purely in memory
+// by default, or journaled to a write-ahead log with snapshots when the
+// registry is built over a durable store (rrserve -data-dir). Every
+// mutation — mine, install, delete — is versioned, and durable
+// registries survive restarts with full version history.
 //
 // Endpoints (Go 1.22 pattern routing):
 //
-//	POST   /v1/rules                 mine a model from rows
-//	GET    /v1/rules                 list model names
-//	GET    /v1/rules/{name}          fetch a model (Rules JSON)
-//	PUT    /v1/rules/{name}          install a model from Rules JSON
-//	DELETE /v1/rules/{name}          drop a model
-//	POST   /v1/rules/{name}/fill     reconstruct holes in a record
-//	POST   /v1/rules/{name}/forecast predict one attribute from givens
-//	POST   /v1/rules/{name}/whatif   complete a scenario from pinned values
-//	POST   /v1/rules/{name}/project  map rows into RR space
-//	POST   /v1/rules/{name}/outliers score rows for cell outliers
-//	GET    /healthz                  liveness probe
-//	GET    /metrics                  Prometheus text exposition
+//	POST   /v1/rules                   mine a model from rows
+//	GET    /v1/rules                   list model names
+//	GET    /v1/rules/{name}            fetch a model (Rules JSON; ETag/304)
+//	PUT    /v1/rules/{name}            install a model from Rules JSON
+//	DELETE /v1/rules/{name}            drop a model
+//	GET    /v1/rules/{name}/versions   list retained versions
+//	POST   /v1/rules/{name}/rollback   restore a version as the new head
+//	POST   /v1/rules/{name}/fill       reconstruct holes in a record
+//	POST   /v1/rules/{name}/forecast   predict one attribute from givens
+//	POST   /v1/rules/{name}/whatif     complete a scenario from pinned values
+//	POST   /v1/rules/{name}/project    map rows into RR space
+//	POST   /v1/rules/{name}/outliers   score rows for cell outliers
+//	GET    /healthz                    liveness probe
+//	GET    /metrics                    Prometheus text exposition
 //
-// Wrong-method requests to the /v1/rules paths return 405 with an
-// Allow header. All routes are wrapped in the obs middleware; see
-// docs/observability.md for the metric and label conventions.
+// GET /v1/rules/{name} carries an ETag derived from the model version
+// and honors If-None-Match with 304, so pollers do not re-download
+// unchanged rule sets. Request bodies are capped (default 32 MiB,
+// WithMaxBodyBytes) and oversized bodies answer 413 with the uniform
+// error envelope. Wrong-method requests to the /v1/rules paths return
+// 405 with an Allow header. All routes are wrapped in the obs
+// middleware; see docs/observability.md and docs/persistence.md.
 package server
 
 import (
@@ -30,60 +39,81 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"sort"
-	"sync"
+	"strings"
 
 	"ratiorules/internal/core"
 	"ratiorules/internal/matrix"
 	"ratiorules/internal/obs"
+	"ratiorules/internal/store"
 )
 
-// Registry is a concurrency-safe named store of mined rule sets.
+// Registry is a concurrency-safe named, versioned store of mined rule
+// sets. It is a thin façade over internal/store: NewRegistry backs it
+// with a memory-only store (full versioning, zero durability), while
+// NewRegistryWithStore journals every mutation to disk.
 type Registry struct {
-	mu     sync.RWMutex
-	models map[string]*core.Rules
+	st *store.Store
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns a registry backed by a memory-only store.
 func NewRegistry() *Registry {
-	return &Registry{models: make(map[string]*core.Rules)}
+	return &Registry{st: store.OpenMemory()}
 }
 
-// Put stores (or replaces) a model.
-func (r *Registry) Put(name string, rules *core.Rules) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.models[name] = rules
+// NewRegistryWithStore returns a registry over an opened durable store;
+// models recovered at store open are immediately served.
+func NewRegistryWithStore(st *store.Store) *Registry {
+	return &Registry{st: st}
 }
 
-// Get fetches a model, reporting whether it exists.
+// Put stores (or replaces) a model, returning its new version. With a
+// durable store the mutation is journaled and fsynced before Put
+// returns.
+func (r *Registry) Put(name string, rules *core.Rules) (int, error) {
+	return r.st.Put(name, rules)
+}
+
+// Get fetches the head revision of a model, reporting whether it exists.
 func (r *Registry) Get(name string) (*core.Rules, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	m, ok := r.models[name]
-	return m, ok
+	rules, _, ok := r.st.Get(name)
+	return rules, ok
+}
+
+// GetWithVersion fetches the head revision and its version number.
+func (r *Registry) GetWithVersion(name string) (*core.Rules, int, bool) {
+	return r.st.Get(name)
+}
+
+// GetRaw fetches the head revision's canonical Rules JSON and version.
+func (r *Registry) GetRaw(name string) ([]byte, int, bool) {
+	return r.st.GetRaw(name)
 }
 
 // Delete removes a model, reporting whether it existed.
-func (r *Registry) Delete(name string) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	_, ok := r.models[name]
-	delete(r.models, name)
-	return ok
+func (r *Registry) Delete(name string) (bool, error) {
+	return r.st.Delete(name)
 }
 
 // Names lists stored model names, sorted.
 func (r *Registry) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.models))
-	for n := range r.models {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return r.st.Names()
 }
+
+// Versions lists the retained revisions of a model.
+func (r *Registry) Versions(name string) ([]store.VersionInfo, bool) {
+	return r.st.Versions(name)
+}
+
+// Rollback restores a retained version as the new head, returning the
+// new head version.
+func (r *Registry) Rollback(name string, version int) (int, error) {
+	return r.st.Rollback(name, version)
+}
+
+// DefaultMaxBodyBytes caps request bodies unless WithMaxBodyBytes says
+// otherwise: 32 MiB comfortably fits millions of cells per mine request
+// while stopping accidental (or hostile) unbounded uploads.
+const DefaultMaxBodyBytes = 32 << 20
 
 // Handler builds the HTTP handler over a registry. Every route is
 // wrapped in the obs middleware (request counters, latency histograms,
@@ -92,7 +122,11 @@ func (r *Registry) Names() []string {
 // hits on known paths answer 405 with an Allow header instead of the
 // generic 404 fallthrough.
 func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
-	cfg := handlerConfig{metrics: obs.Default(), logger: obs.NopLogger()}
+	cfg := handlerConfig{
+		metrics:      obs.Default(),
+		logger:       obs.NopLogger(),
+		maxBodyBytes: DefaultMaxBodyBytes,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -100,6 +134,9 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	s := &service{reg: reg, logger: cfg.logger}
 	mux := http.NewServeMux()
 	handle := func(method, path string, h http.HandlerFunc) {
+		if cfg.maxBodyBytes > 0 {
+			h = limitBody(cfg.maxBodyBytes, h)
+		}
 		mux.Handle(method+" "+path, m.instrument(path, h))
 	}
 	handle("GET", "/healthz", s.health)
@@ -109,6 +146,8 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	handle("GET", "/v1/rules/{name}", s.get)
 	handle("PUT", "/v1/rules/{name}", s.put)
 	handle("DELETE", "/v1/rules/{name}", s.del)
+	handle("GET", "/v1/rules/{name}/versions", s.versions)
+	handle("POST", "/v1/rules/{name}/rollback", s.rollback)
 	handle("POST", "/v1/rules/{name}/fill", s.fill)
 	handle("POST", "/v1/rules/{name}/forecast", s.forecast)
 	handle("POST", "/v1/rules/{name}/whatif", s.whatIf)
@@ -121,10 +160,22 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	}
 	fallback("/v1/rules", "GET, POST")
 	fallback("/v1/rules/{name}", "GET, PUT, DELETE")
-	for _, sub := range []string{"fill", "forecast", "whatif", "project", "outliers"} {
+	fallback("/v1/rules/{name}/versions", "GET")
+	for _, sub := range []string{"rollback", "fill", "forecast", "whatif", "project", "outliers"} {
 		fallback("/v1/rules/{name}/"+sub, "POST")
 	}
 	return mux
+}
+
+// limitBody caps the request body; reads past the cap fail with
+// *http.MaxBytesError, which the decode helpers map to 413.
+func limitBody(limit int64, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		h(w, r)
+	}
 }
 
 type service struct {
@@ -147,11 +198,35 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// bodyErr writes the envelope for a request-body read/decode failure,
+// distinguishing oversized bodies (413) from malformed ones (400).
+func bodyErr(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+		return
+	}
+	writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+}
+
+// decodeBody decodes the JSON request body into v, answering 413/400
+// itself on failure; callers bail out when it returns false.
+func decodeBody(w http.ResponseWriter, req *http.Request, v any) bool {
+	if err := json.NewDecoder(req.Body).Decode(v); err != nil {
+		bodyErr(w, err)
+		return false
+	}
+	return true
+}
+
 // statusFor maps library sentinel errors onto HTTP statuses.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, core.ErrWidth), errors.Is(err, core.ErrBadHole), errors.Is(err, core.ErrNoRules):
 		return http.StatusBadRequest
+	case errors.Is(err, store.ErrNotFound), errors.Is(err, store.ErrVersionNotFound):
+		return http.StatusNotFound
 	default:
 		return http.StatusInternalServerError
 	}
@@ -177,6 +252,7 @@ type mineRequest struct {
 // modelSummary is returned after mining and by GET /v1/rules.
 type modelSummary struct {
 	Name          string    `json:"name"`
+	Version       int       `json:"version"`
 	K             int       `json:"k"`
 	M             int       `json:"m"`
 	TrainedRows   int       `json:"trained_rows"`
@@ -184,9 +260,10 @@ type modelSummary struct {
 	Eigenvalues   []float64 `json:"eigenvalues"`
 }
 
-func summarize(name string, r *core.Rules) modelSummary {
+func summarize(name string, version int, r *core.Rules) modelSummary {
 	return modelSummary{
 		Name:          name,
+		Version:       version,
 		K:             r.K(),
 		M:             r.M(),
 		TrainedRows:   r.TrainedRows(),
@@ -197,8 +274,7 @@ func summarize(name string, r *core.Rules) modelSummary {
 
 func (s *service) mine(w http.ResponseWriter, req *http.Request) {
 	var body mineRequest
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, req, &body) {
 		return
 	}
 	if body.Name == "" {
@@ -233,18 +309,23 @@ func (s *service) mine(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, statusFor(err), err)
 		return
 	}
-	s.reg.Put(body.Name, rules)
+	version, err := s.reg.Put(body.Name, rules)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("persisting model: %w", err))
+		return
+	}
 	s.logger.Info("model mined",
-		"model", body.Name, "rows", rules.TrainedRows(), "k", rules.K(), "attrs", rules.M())
-	writeJSON(w, http.StatusCreated, summarize(body.Name, rules))
+		"model", body.Name, "version", version,
+		"rows", rules.TrainedRows(), "k", rules.K(), "attrs", rules.M())
+	writeJSON(w, http.StatusCreated, summarize(body.Name, version, rules))
 }
 
 func (s *service) list(w http.ResponseWriter, _ *http.Request) {
 	names := s.reg.Names()
 	out := make([]modelSummary, 0, len(names))
 	for _, n := range names {
-		if m, ok := s.reg.Get(n); ok {
-			out = append(out, summarize(n, m))
+		if m, version, ok := s.reg.GetWithVersion(n); ok {
+			out = append(out, summarize(n, version, m))
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -260,16 +341,41 @@ func (s *service) lookup(w http.ResponseWriter, req *http.Request) (*core.Rules,
 	return rules, true
 }
 
+// etagFor renders the strong ETag of a model version.
+func etagFor(version int) string { return fmt.Sprintf("%q", fmt.Sprintf("v%d", version)) }
+
+// etagMatch reports whether an If-None-Match header matches etag,
+// honoring the `*` wildcard and weak-validator prefixes.
+func etagMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "W/"))
+		if part != "" && (part == "*" || part == etag) {
+			return true
+		}
+	}
+	return false
+}
+
+// get serves the head revision's canonical Rules JSON. The body is the
+// pre-encoded canonical bytes held by the store, so encoding can never
+// fail after headers are written (the old streaming Save risked a
+// second WriteHeader on mid-body errors). The ETag is the model
+// version; If-None-Match answers 304 so pollers skip the download.
 func (s *service) get(w http.ResponseWriter, req *http.Request) {
-	rules, ok := s.lookup(w, req)
+	name := req.PathValue("name")
+	raw, version, ok := s.reg.GetRaw(name)
 	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
+		return
+	}
+	etag := etagFor(version)
+	w.Header().Set("ETag", etag)
+	if etagMatch(req.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := rules.Save(w); err != nil {
-		// Headers are gone; nothing more we can do than log-by-status.
-		writeErr(w, http.StatusInternalServerError, err)
-	}
+	_, _ = w.Write(raw)
 }
 
 // put installs a model from Rules JSON (as produced by GET or rrmine
@@ -282,22 +388,86 @@ func (s *service) put(w http.ResponseWriter, req *http.Request) {
 	}
 	rules, err := core.Load(req.Body)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		bodyErr(w, err)
 		return
 	}
-	s.reg.Put(name, rules)
-	s.logger.Info("model installed", "model", name, "k", rules.K(), "attrs", rules.M())
-	writeJSON(w, http.StatusOK, summarize(name, rules))
+	version, err := s.reg.Put(name, rules)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("persisting model: %w", err))
+		return
+	}
+	s.logger.Info("model installed",
+		"model", name, "version", version, "k", rules.K(), "attrs", rules.M())
+	writeJSON(w, http.StatusOK, summarize(name, version, rules))
 }
 
 func (s *service) del(w http.ResponseWriter, req *http.Request) {
 	name := req.PathValue("name")
-	if !s.reg.Delete(name) {
+	ok, err := s.reg.Delete(name)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("deleting model: %w", err))
+		return
+	}
+	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
 		return
 	}
 	s.logger.Info("model deleted", "model", name)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// versionsResponse is the GET /v1/rules/{name}/versions body.
+type versionsResponse struct {
+	Name     string              `json:"name"`
+	Head     int                 `json:"head"`
+	Versions []store.VersionInfo `json:"versions"`
+}
+
+func (s *service) versions(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	infos, ok := s.reg.Versions(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
+		return
+	}
+	head := 0
+	if len(infos) > 0 {
+		head = infos[len(infos)-1].Version
+	}
+	writeJSON(w, http.StatusOK, versionsResponse{Name: name, Head: head, Versions: infos})
+}
+
+// rollbackRequest is the POST /v1/rules/{name}/rollback body.
+type rollbackRequest struct {
+	Version int `json:"version"`
+}
+
+// rollback restores a retained version as the new head. The restored
+// revision gets a fresh version number, so history stays linear and
+// ETags keep advancing.
+func (s *service) rollback(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	var body rollbackRequest
+	if !decodeBody(w, req, &body) {
+		return
+	}
+	if body.Version <= 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("missing or invalid version"))
+		return
+	}
+	newVersion, err := s.reg.Rollback(name, body.Version)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	rules, _, ok := s.reg.GetWithVersion(name)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("model %q vanished during rollback", name))
+		return
+	}
+	s.logger.Info("model rolled back",
+		"model", name, "restored", body.Version, "head", newVersion)
+	writeJSON(w, http.StatusOK, summarize(name, newVersion, rules))
 }
 
 // fillRequest is the POST fill body: record values with the hole indices
@@ -317,8 +487,7 @@ func (s *service) fill(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var body fillRequest
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, req, &body) {
 		return
 	}
 	filled, err := rules.FillRow(body.Record, body.Holes)
@@ -345,8 +514,7 @@ func (s *service) forecast(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var body forecastRequest
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, req, &body) {
 		return
 	}
 	v, err := rules.Forecast(body.Given, body.Target)
@@ -372,8 +540,7 @@ func (s *service) whatIf(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var body whatIfRequest
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, req, &body) {
 		return
 	}
 	out, err := rules.WhatIf(core.Scenario{Given: body.Given})
@@ -400,8 +567,7 @@ func (s *service) project(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var body projectRequest
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, req, &body) {
 		return
 	}
 	x, err := matrix.FromRows(body.Rows)
@@ -441,8 +607,7 @@ func (s *service) outliers(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var body outliersRequest
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, req, &body) {
 		return
 	}
 	x, err := matrix.FromRows(body.Rows)

@@ -8,7 +8,12 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+
+	"ratiorules/internal/core"
+	"ratiorules/internal/matrix"
+	"ratiorules/internal/store"
 )
 
 // newTestServer returns a started test server plus a JSON helper.
@@ -249,22 +254,47 @@ func TestMethodRouting(t *testing.T) {
 
 func TestRegistryConcurrency(t *testing.T) {
 	reg := NewRegistry()
+	rules := mineTestRules(t)
 	done := make(chan struct{})
 	for g := 0; g < 8; g++ {
 		go func(g int) {
 			defer func() { done <- struct{}{} }()
 			for i := 0; i < 100; i++ {
 				name := fmt.Sprintf("m%d", g)
-				reg.Put(name, nil)
+				if _, err := reg.Put(name, rules); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
 				reg.Get(name)
 				reg.Names()
-				reg.Delete(name)
+				if _, err := reg.Delete(name); err != nil {
+					t.Errorf("delete: %v", err)
+					return
+				}
 			}
 		}(g)
 	}
 	for g := 0; g < 8; g++ {
 		<-done
 	}
+}
+
+// mineTestRules mines a small in-process rule set for registry tests.
+func mineTestRules(t testing.TB) *core.Rules {
+	t.Helper()
+	x, err := matrix.FromRows(ratioRows(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	miner, err := core.NewMiner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := miner.MineMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rules
 }
 
 func TestWhatIfEndpoint(t *testing.T) {
@@ -369,5 +399,228 @@ func TestHealthz(t *testing.T) {
 	}
 	if out["status"] != "ok" || out["models"] != float64(1) {
 		t.Errorf("health = %v", out)
+	}
+}
+
+// reMineModel mines a replacement model (different slope) under an
+// existing name, creating the next version.
+func reMineModel(t *testing.T, ts *httptest.Server, name string) modelSummary {
+	t.Helper()
+	rows := make([][]float64, 50)
+	for i := range rows {
+		v := 1 + float64(i)*0.1
+		rows[i] = []float64{v, 3 * v}
+	}
+	var sum modelSummary
+	status := doJSON(t, http.MethodPost, ts.URL+"/v1/rules", mineRequest{
+		Name: name, Attrs: []string{"bread", "butter"}, Rows: rows,
+	}, &sum)
+	if status != http.StatusCreated {
+		t.Fatalf("re-mine status = %d", status)
+	}
+	return sum
+}
+
+func TestMineReportsVersion(t *testing.T) {
+	ts := newTestServer(t)
+	if sum := mineModel(t, ts, "sales"); sum.Version != 1 {
+		t.Errorf("first mine version = %d, want 1", sum.Version)
+	}
+	if sum := reMineModel(t, ts, "sales"); sum.Version != 2 {
+		t.Errorf("second mine version = %d, want 2", sum.Version)
+	}
+}
+
+func TestETagConditionalGet(t *testing.T) {
+	ts := newTestServer(t)
+	mineModel(t, ts, "sales")
+
+	resp, err := http.Get(ts.URL + "/v1/rules/sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != http.StatusOK || etag != `"v1"` {
+		t.Fatalf("GET: status %d, ETag %q; want 200, \"v1\"", resp.StatusCode, etag)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/rules/sales", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("conditional GET: status %d, %d body bytes; want 304 and empty", resp.StatusCode, len(body))
+	}
+
+	// A new version invalidates the cached ETag.
+	reMineModel(t, ts, "sales")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("ETag") != `"v2"` {
+		t.Fatalf("stale-ETag GET: status %d, ETag %q; want 200, \"v2\"",
+			resp.StatusCode, resp.Header.Get("ETag"))
+	}
+
+	// Wildcard and weak validators match too.
+	req.Header.Set("If-None-Match", `W/"v2", "zzz"`)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("weak-validator GET: status %d, want 304", resp.StatusCode)
+	}
+}
+
+func TestMaxBodyBytes(t *testing.T) {
+	reg := NewRegistry()
+	ts := httptest.NewServer(Handler(reg, WithMaxBodyBytes(256)))
+	t.Cleanup(ts.Close)
+
+	big := mineRequest{Name: "x", Rows: ratioRows(500)}
+	var errBody errorBody
+	if got := doJSON(t, http.MethodPost, ts.URL+"/v1/rules", big, &errBody); got != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized mine status = %d, want 413", got)
+	}
+	if !strings.Contains(errBody.Error, "256") {
+		t.Errorf("413 envelope missing the limit: %q", errBody.Error)
+	}
+	// The cap applies to PUT's streaming Load path as well.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/rules/x",
+		bytes.NewReader(bytes.Repeat([]byte(" "), 1024)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized put status = %d, want 413", resp.StatusCode)
+	}
+	// Small requests still pass.
+	if got := doJSON(t, http.MethodPost, ts.URL+"/v1/rules/x/fill",
+		fillRequest{Record: []float64{1, 2}}, nil); got != http.StatusNotFound {
+		t.Errorf("small body under cap status = %d, want 404 (no model)", got)
+	}
+}
+
+func TestVersionsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	mineModel(t, ts, "sales")
+	reMineModel(t, ts, "sales")
+
+	var out versionsResponse
+	if got := doJSON(t, http.MethodGet, ts.URL+"/v1/rules/sales/versions", nil, &out); got != http.StatusOK {
+		t.Fatalf("versions status = %d", got)
+	}
+	if out.Name != "sales" || out.Head != 2 || len(out.Versions) != 2 {
+		t.Fatalf("versions = %+v", out)
+	}
+	if out.Versions[0].Version != 1 || out.Versions[0].Head ||
+		out.Versions[1].Version != 2 || !out.Versions[1].Head {
+		t.Errorf("version flags wrong: %+v", out.Versions)
+	}
+	if got := doJSON(t, http.MethodGet, ts.URL+"/v1/rules/nope/versions", nil, nil); got != http.StatusNotFound {
+		t.Errorf("unknown model versions status = %d", got)
+	}
+}
+
+func TestRollbackEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	mineModel(t, ts, "sales")   // v1: butter = 2×bread
+	reMineModel(t, ts, "sales") // v2: butter = 3×bread
+
+	var sum modelSummary
+	if got := doJSON(t, http.MethodPost, ts.URL+"/v1/rules/sales/rollback",
+		rollbackRequest{Version: 1}, &sum); got != http.StatusOK {
+		t.Fatalf("rollback status = %d", got)
+	}
+	if sum.Version != 3 {
+		t.Errorf("rollback head = v%d, want v3", sum.Version)
+	}
+	// The head must now behave like v1 again.
+	var out forecastResponse
+	if got := doJSON(t, http.MethodPost, ts.URL+"/v1/rules/sales/forecast", forecastRequest{
+		Given: map[int]float64{0: 3}, Target: 1,
+	}, &out); got != http.StatusOK {
+		t.Fatalf("forecast after rollback status = %d", got)
+	}
+	if math.Abs(out.Value-6) > 0.2 {
+		t.Errorf("forecast after rollback = %v, want ≈ 6 (v1 behavior)", out.Value)
+	}
+
+	if got := doJSON(t, http.MethodPost, ts.URL+"/v1/rules/sales/rollback",
+		rollbackRequest{Version: 42}, nil); got != http.StatusNotFound {
+		t.Errorf("rollback to unknown version status = %d", got)
+	}
+	if got := doJSON(t, http.MethodPost, ts.URL+"/v1/rules/nope/rollback",
+		rollbackRequest{Version: 1}, nil); got != http.StatusNotFound {
+		t.Errorf("rollback of unknown model status = %d", got)
+	}
+	if got := doJSON(t, http.MethodPost, ts.URL+"/v1/rules/sales/rollback",
+		rollbackRequest{}, nil); got != http.StatusBadRequest {
+		t.Errorf("rollback without version status = %d", got)
+	}
+}
+
+// TestDurableRegistryRestart proves the registry façade over a durable
+// store round-trips through a cold reopen with history intact.
+func TestDurableRegistryRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(Handler(NewRegistryWithStore(st)))
+	mineModel(t, ts, "sales")
+	reMineModel(t, ts, "sales")
+	resp, err := http.Get(ts.URL + "/v1/rules/sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	ts.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ts2 := httptest.NewServer(Handler(NewRegistryWithStore(st2)))
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/v1/rules/sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := io.ReadAll(resp.Body)
+	etag := resp.Header.Get("ETag")
+	resp.Body.Close()
+	if !bytes.Equal(before, after) {
+		t.Error("served Rules JSON changed across restart")
+	}
+	if etag != `"v2"` {
+		t.Errorf("ETag after restart = %q, want \"v2\"", etag)
+	}
+	var vers versionsResponse
+	if got := doJSON(t, http.MethodGet, ts2.URL+"/v1/rules/sales/versions", nil, &vers); got != http.StatusOK {
+		t.Fatalf("versions after restart status = %d", got)
+	}
+	if vers.Head != 2 || len(vers.Versions) != 2 {
+		t.Errorf("history after restart = %+v", vers)
 	}
 }

@@ -1,0 +1,49 @@
+package store
+
+import "ratiorules/internal/obs"
+
+// storeMetrics is the durability-layer instrumentation, registered on
+// whichever obs.Registry the store was opened with (the process-wide
+// default unless WithObs was given). All names carry the rr_store_
+// prefix; registration is idempotent so reopening a store — or running
+// several — is safe.
+type storeMetrics struct {
+	appends          *obs.CounterVec // op: put | delete
+	walWrittenBytes  *obs.Counter
+	walSizeBytes     *obs.Gauge
+	fsyncs           *obs.Counter
+	snapshots        *obs.Counter
+	snapshotErrors   *obs.Counter
+	snapshotSeconds  *obs.Histogram
+	recoveredRecords *obs.Counter
+	recoveredModels  *obs.Gauge
+	tornRecords      *obs.Counter
+	models           *obs.Gauge
+}
+
+func newStoreMetrics(r *obs.Registry) *storeMetrics {
+	return &storeMetrics{
+		appends: r.CounterVec("rr_store_wal_appends_total",
+			"WAL records committed, by operation.", "op"),
+		walWrittenBytes: r.Counter("rr_store_wal_written_bytes_total",
+			"Bytes appended to the WAL (headers included)."),
+		walSizeBytes: r.Gauge("rr_store_wal_size_bytes",
+			"Current WAL size; drops to zero after compaction."),
+		fsyncs: r.Counter("rr_store_fsyncs_total",
+			"fsync calls issued by the store (WAL commits and resets)."),
+		snapshots: r.Counter("rr_store_snapshots_total",
+			"Snapshots successfully written and compacted."),
+		snapshotErrors: r.Counter("rr_store_snapshot_errors_total",
+			"Snapshot attempts that failed (the WAL still holds the data)."),
+		snapshotSeconds: r.Histogram("rr_store_snapshot_seconds",
+			"Snapshot write + WAL compaction duration.", obs.DefBuckets),
+		recoveredRecords: r.Counter("rr_store_recovered_records_total",
+			"WAL records replayed during recovery at open."),
+		recoveredModels: r.Gauge("rr_store_recovered_models",
+			"Models restored by the most recent open."),
+		tornRecords: r.Counter("rr_store_torn_records_total",
+			"Torn or corrupt WAL tails truncated during recovery."),
+		models: r.Gauge("rr_store_models",
+			"Live models currently in the store."),
+	}
+}

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// snapshotFormat versions the snapshot schema for forward compatibility.
+const snapshotFormat = 1
+
+const (
+	walFileName      = "wal.log"
+	snapshotFileName = "snapshot.json"
+)
+
+// snapRev is one retained revision of a model inside a snapshot.
+type snapRev struct {
+	Version int             `json:"version"`
+	Rules   json.RawMessage `json:"rules"`
+}
+
+// snapshotFile is the on-disk snapshot: the full store state as of Seq.
+// WAL events with seq <= Seq are already folded in and are skipped on
+// replay. LastVersion outlives deletes so a re-created model continues
+// its version counter and ETags never repeat.
+type snapshotFile struct {
+	Format      int                  `json:"format"`
+	Seq         uint64               `json:"seq"`
+	Models      map[string][]snapRev `json:"models"`
+	LastVersion map[string]int       `json:"last_version,omitempty"`
+}
+
+// loadSnapshot reads the snapshot if present; a missing file yields an
+// empty state. A corrupt snapshot is a hard error: snapshot writes are
+// atomic (temp + rename), so damage here means real disk trouble and
+// silently starting empty would discard committed data.
+func loadSnapshot(path string) (*snapshotFile, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &snapshotFile{Format: snapshotFormat}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("store: corrupt snapshot %s: %w", path, err)
+	}
+	if snap.Format != snapshotFormat {
+		return nil, fmt.Errorf("store: snapshot format %d, want %d", snap.Format, snapshotFormat)
+	}
+	return &snap, nil
+}
+
+// writeSnapshot atomically replaces the snapshot: write to a temp file
+// in the same directory, fsync it, rename over the target, then fsync
+// the directory so the rename itself is durable.
+func writeSnapshot(dir string, snap *snapshotFile) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	path := filepath.Join(dir, snapshotFileName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot temp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: closing snapshot temp: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+// Not all platforms support fsync on directories; that is best-effort.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
