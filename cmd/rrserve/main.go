@@ -18,6 +18,7 @@
 //	                 models in memory only. Opened (or created) at boot
 //	                 with crash recovery, flushed on graceful shutdown
 //	-snapshot-every  store events between automatic snapshots (default 64)
+//	-max-versions    retained revisions per model (default 32, <= 0 all)
 //	-max-body-bytes  request body cap, 413 beyond it (default 32 MiB)
 //	-debug-addr      optional side listener serving net/http/pprof under
 //	                 /debug/pprof/ — keep it on localhost or a private
@@ -76,6 +77,7 @@ func run(ctx context.Context, args []string) error {
 		addr          = fs.String("addr", ":8080", "listen address")
 		dataDir       = fs.String("data-dir", "", "model store directory (empty = in-memory only)")
 		snapshotEvery = fs.Int("snapshot-every", 64, "store events between automatic snapshots (<= 0 disables)")
+		maxVersions   = fs.Int("max-versions", 32, "retained revisions per model (<= 0 keeps all)")
 		maxBodyBytes  = fs.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "request body cap in bytes (<= 0 disables)")
 		debugAddr     = fs.String("debug-addr", "", "optional pprof side-listener address (e.g. localhost:6060)")
 		verbose       = fs.Bool("v", false, "debug logging")
@@ -89,7 +91,8 @@ func run(ctx context.Context, args []string) error {
 	closeStore := func() {}
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir,
-			store.WithLogger(logger), store.WithSnapshotEvery(*snapshotEvery))
+			store.WithLogger(logger), store.WithSnapshotEvery(*snapshotEvery),
+			store.WithMaxVersions(*maxVersions))
 		if err != nil {
 			return fmt.Errorf("opening model store: %w", err)
 		}

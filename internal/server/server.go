@@ -105,8 +105,8 @@ func (r *Registry) Versions(name string) ([]store.VersionInfo, bool) {
 }
 
 // Rollback restores a retained version as the new head, returning the
-// new head version.
-func (r *Registry) Rollback(name string, version int) (int, error) {
+// restored rules and the new head version.
+func (r *Registry) Rollback(name string, version int) (*core.Rules, int, error) {
 	return r.st.Rollback(name, version)
 }
 
@@ -455,14 +455,12 @@ func (s *service) rollback(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("missing or invalid version"))
 		return
 	}
-	newVersion, err := s.reg.Rollback(name, body.Version)
+	// The store returns the restored rules from under its lock, so the
+	// summary always matches newVersion even when a concurrent Put lands
+	// a newer head before we respond.
+	rules, newVersion, err := s.reg.Rollback(name, body.Version)
 	if err != nil {
 		writeErr(w, statusFor(err), err)
-		return
-	}
-	rules, _, ok := s.reg.GetWithVersion(name)
-	if !ok {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("model %q vanished during rollback", name))
 		return
 	}
 	s.logger.Info("model rolled back",

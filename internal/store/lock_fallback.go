@@ -1,0 +1,12 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockDir is a no-op where flock is unavailable: concurrent opens of
+// the same directory are then the operator's responsibility (see
+// docs/persistence.md).
+func lockDir(dir string) (*os.File, error) {
+	return nil, nil
+}

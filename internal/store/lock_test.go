@@ -1,0 +1,34 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestOpenLocksDirectory: two concurrent opens of one directory — the
+// shape of rrmine -store pointed at a live rrserve -data-dir — must
+// fail fast with ErrLocked instead of interleaving WAL appends and
+// snapshot writes. flock is per file description, so a second open in
+// the same process exercises the same path as a second process.
+func TestOpenLocksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second open = %v, want ErrLocked", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

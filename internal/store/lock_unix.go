@@ -1,0 +1,34 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes the advisory exclusive lock guarding a store directory
+// against concurrent opens. Without it, rrmine -store pointed at a live
+// rrserve -data-dir would interleave WAL appends and snapshot writes
+// with the server's, and whichever process compacts last would silently
+// destroy the other's committed models. The lock is released by closing
+// the returned file (Store.Close, or process exit — flock dies with the
+// file description, so a crashed holder never wedges the directory).
+func lockDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+		}
+		return nil, fmt.Errorf("store: locking %s: %w", dir, err)
+	}
+	return f, nil
+}

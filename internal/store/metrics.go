@@ -12,6 +12,7 @@ type storeMetrics struct {
 	walWrittenBytes  *obs.Counter
 	walSizeBytes     *obs.Gauge
 	fsyncs           *obs.Counter
+	walFailures      *obs.Counter
 	snapshots        *obs.Counter
 	snapshotErrors   *obs.Counter
 	snapshotSeconds  *obs.Histogram
@@ -31,6 +32,8 @@ func newStoreMetrics(r *obs.Registry) *storeMetrics {
 			"Current WAL size; drops to zero after compaction."),
 		fsyncs: r.Counter("rr_store_fsyncs_total",
 			"fsync calls issued by the store (WAL commits and resets)."),
+		walFailures: r.Counter("rr_store_wal_rollback_failures_total",
+			"WAL commit failures whose rollback truncation also failed, wedging the store."),
 		snapshots: r.Counter("rr_store_snapshots_total",
 			"Snapshots successfully written and compacted."),
 		snapshotErrors: r.Counter("rr_store_snapshot_errors_total",

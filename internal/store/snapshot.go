@@ -14,6 +14,7 @@ const snapshotFormat = 1
 const (
 	walFileName      = "wal.log"
 	snapshotFileName = "snapshot.json"
+	lockFileName     = "lock"
 )
 
 // snapRev is one retained revision of a model inside a snapshot.

@@ -21,7 +21,24 @@
 // — the signature of a crash mid-append — is truncated with a warning;
 // the store never fails to open because of a torn tail. Corruption of
 // the snapshot itself is a hard error, since snapshots are installed
-// atomically and damage there means the disk lied.
+// atomically and damage there means the disk lied. A failed WAL append
+// or fsync at runtime (disk full, I/O error) is rolled back by
+// truncating the log to the last committed record, so torn bytes never
+// sit mid-log ahead of acknowledged writes; if even that truncation
+// fails, the store wedges itself (mutations return ErrFailed, reads
+// keep working) rather than risk journaling past damage.
+//
+// Open takes an exclusive flock on a lock file in the directory, so a
+// second process (say, rrmine -store against a live rrserve -data-dir)
+// fails fast with ErrLocked instead of corrupting the log. The lock is
+// tied to the file description and vanishes with the process, crashed
+// or not.
+//
+// Mutations commit — and periodically snapshot — while holding the
+// store mutex, so concurrent reads wait out each commit's fsync (and,
+// rarely, a whole-store snapshot). Models change rarely and reads
+// dominate, so that simplicity wins at this scale; revisit with
+// copy-then-write snapshots if puts ever become hot.
 //
 // OpenMemory returns the same store without any files behind it: the
 // rrserve registry uses that when no -data-dir is given, so versioning
@@ -48,6 +65,13 @@ var (
 	ErrClosed          = errors.New("store: closed")
 	ErrNotFound        = errors.New("store: model not found")
 	ErrVersionNotFound = errors.New("store: version not found")
+	// ErrLocked: the directory is already open in another process.
+	ErrLocked = errors.New("store: directory locked by another process")
+	// ErrFailed: a WAL commit failed AND the rollback truncation failed,
+	// so the on-disk log may hold torn or unacknowledged bytes. The
+	// store refuses further mutations (reads still work); reopening
+	// recovers to the last committed state.
+	ErrFailed = errors.New("store: failed, reopen to recover")
 )
 
 // options collects the Open/OpenMemory knobs.
@@ -117,11 +141,13 @@ type Store struct {
 
 	mu          sync.RWMutex
 	wal         *walWriter // nil in memory mode
+	lock        *os.File   // flock guarding dir against other processes
 	seq         uint64     // last committed sequence number
 	models      map[string]*model
 	lastVersion map[string]int // survives Delete; never decreases
 	sinceSnap   int            // events since the last snapshot
 	closed      bool
+	failed      error // non-nil wedges mutations (wraps ErrFailed)
 }
 
 func newStore(dir string, opts []Option) *Store {
@@ -146,12 +172,25 @@ func OpenMemory(opts ...Option) *Store {
 
 // Open opens (or creates) a store directory, recovering state from the
 // snapshot and WAL. A torn final WAL record is truncated with a warning
-// and never prevents opening.
+// and never prevents opening. The directory is flock-guarded: a second
+// Open — from this or any other process — fails with ErrLocked until
+// the holder closes (or dies).
 func Open(dir string, opts ...Option) (*Store, error) {
 	s := newStore(dir, opts)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.lock = lock
+	opened := false
+	defer func() {
+		if !opened && s.lock != nil {
+			s.lock.Close()
+		}
+	}()
 	// A leftover temp file means a snapshot died before rename; the WAL
 	// still has everything, so just discard it.
 	os.Remove(filepath.Join(dir, snapshotFileName+".tmp"))
@@ -231,6 +270,7 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	s.met.walSizeBytes.Set(float64(valid))
 	s.opts.logger.Info("store open",
 		"dir", dir, "models", len(s.models), "snapshot_seq", snap.Seq, "replayed", replayed)
+	opened = true
 	return s, nil
 }
 
@@ -288,19 +328,34 @@ func (s *Store) install(name string, r rev) {
 }
 
 // journal commits one event to the WAL (no-op in memory mode) and
-// advances the sequence counter. Callers hold s.mu.
+// advances the sequence counter. On append or fsync failure the log is
+// truncated back to its pre-append size, so the file always ends at the
+// last acknowledged record and the caller can simply retry (reusing the
+// same seq and version, since neither advanced). If the truncation
+// itself fails the store wedges: every later mutation returns ErrFailed
+// rather than appending past torn bytes that recovery would stop at.
+// Callers hold s.mu.
 func (s *Store) journal(ev walEvent) error {
 	if s.wal != nil {
 		payload, err := json.Marshal(ev)
 		if err != nil {
 			return fmt.Errorf("store: encoding WAL event: %w", err)
 		}
+		prevSize := s.wal.size
 		n, err := s.wal.append(payload)
-		if err != nil {
-			return fmt.Errorf("store: appending to WAL: %w", err)
+		if err == nil {
+			err = s.wal.commit()
 		}
-		if err := s.wal.commit(); err != nil {
-			return fmt.Errorf("store: syncing WAL: %w", err)
+		if err != nil {
+			if rbErr := s.wal.rollback(prevSize); rbErr != nil {
+				s.failed = fmt.Errorf("%w: WAL rollback: %v (after commit error: %v)", ErrFailed, rbErr, err)
+				s.opts.logger.Error("store failed: torn WAL could not be rolled back",
+					"dir", s.dir, "commit_err", err, "rollback_err", rbErr)
+				s.met.walFailures.Inc()
+				return fmt.Errorf("store: committing WAL record: %w", err)
+			}
+			s.met.walSizeBytes.Set(float64(s.wal.size))
+			return fmt.Errorf("store: committing WAL record: %w", err)
 		}
 		if s.wal.sync {
 			s.met.fsyncs.Inc()
@@ -335,6 +390,9 @@ func (s *Store) Put(name string, rules *core.Rules) (int, error) {
 	if s.closed {
 		return 0, ErrClosed
 	}
+	if s.failed != nil {
+		return 0, s.failed
+	}
 	version := s.lastVersion[name] + 1
 	if err := s.journal(walEvent{Seq: s.seq + 1, Op: opPut, Name: name, Version: version, Rules: raw}); err != nil {
 		return 0, err
@@ -354,6 +412,9 @@ func (s *Store) Delete(name string) (bool, error) {
 	if s.closed {
 		return false, ErrClosed
 	}
+	if s.failed != nil {
+		return false, s.failed
+	}
 	if _, ok := s.models[name]; !ok {
 		return false, nil
 	}
@@ -367,18 +428,22 @@ func (s *Store) Delete(name string) (bool, error) {
 }
 
 // Rollback re-installs retained version v of name as a new head
-// version and returns the new head's number. It is journaled as a
-// plain put, so history stays linear: rolling back never erases
-// revisions.
-func (s *Store) Rollback(name string, version int) (int, error) {
+// version, returning the restored rules and the new head's number (the
+// pair is taken under the store lock, so it cannot mix revisions with a
+// concurrent Put). It is journaled as a plain put, so history stays
+// linear: rolling back never erases revisions.
+func (s *Store) Rollback(name string, version int) (*core.Rules, int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return 0, ErrClosed
+		return nil, 0, ErrClosed
+	}
+	if s.failed != nil {
+		return nil, 0, s.failed
 	}
 	m := s.models[name]
 	if m == nil {
-		return 0, fmt.Errorf("model %q: %w", name, ErrNotFound)
+		return nil, 0, fmt.Errorf("model %q: %w", name, ErrNotFound)
 	}
 	var target rev
 	found := false
@@ -389,15 +454,15 @@ func (s *Store) Rollback(name string, version int) (int, error) {
 		}
 	}
 	if !found {
-		return 0, fmt.Errorf("model %q version %d: %w", name, version, ErrVersionNotFound)
+		return nil, 0, fmt.Errorf("model %q version %d: %w", name, version, ErrVersionNotFound)
 	}
 	newVersion := s.lastVersion[name] + 1
 	if err := s.journal(walEvent{Seq: s.seq + 1, Op: opPut, Name: name, Version: newVersion, Rules: target.raw}); err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	s.install(name, rev{version: newVersion, rules: target.rules, raw: target.raw})
 	s.maybeSnapshot()
-	return newVersion, nil
+	return target.rules, newVersion, nil
 }
 
 // Get returns the head revision of a model and its version.
@@ -571,5 +636,11 @@ func (s *Store) Close() error {
 		firstErr = err
 	}
 	s.wal = nil
+	if s.lock != nil {
+		if err := s.lock.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.lock = nil
+	}
 	return firstErr
 }

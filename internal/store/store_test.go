@@ -127,9 +127,12 @@ func TestRollback(t *testing.T) {
 	r1, r2 := testRules(t, 2), testRules(t, 3)
 	st.Put("m", r1)
 	st.Put("m", r2)
-	newV, err := st.Rollback("m", 1)
+	restored, newV, err := st.Rollback("m", 1)
 	if err != nil || newV != 3 {
 		t.Fatalf("rollback = v%d, %v; want v3", newV, err)
+	}
+	if !bytes.Equal(rawOf(t, restored), rawOf(t, r1)) {
+		t.Error("rollback did not return the restored revision")
 	}
 	raw, version, ok := st.GetRaw("m")
 	if !ok || version != 3 || !bytes.Equal(raw, rawOf(t, r1)) {
@@ -139,10 +142,10 @@ func TestRollback(t *testing.T) {
 		t.Errorf("rollback must extend history, got %d revisions", len(infos))
 	}
 
-	if _, err := st.Rollback("nope", 1); !errors.Is(err, ErrNotFound) {
+	if _, _, err := st.Rollback("nope", 1); !errors.Is(err, ErrNotFound) {
 		t.Errorf("rollback of unknown model: %v", err)
 	}
-	if _, err := st.Rollback("m", 42); !errors.Is(err, ErrVersionNotFound) {
+	if _, _, err := st.Rollback("m", 42); !errors.Is(err, ErrVersionNotFound) {
 		t.Errorf("rollback to unknown version: %v", err)
 	}
 }
@@ -223,7 +226,7 @@ func TestMemoryStore(t *testing.T) {
 	if v, err := st.Put("m", testRules(t, 2)); err != nil || v != 1 {
 		t.Fatalf("memory put = v%d, %v", v, err)
 	}
-	if _, err := st.Rollback("m", 1); err != nil {
+	if _, _, err := st.Rollback("m", 1); err != nil {
 		t.Fatalf("memory rollback: %v", err)
 	}
 	if err := st.Snapshot(); err != nil {
@@ -267,7 +270,7 @@ func TestMaxVersionsPruning(t *testing.T) {
 	if _, ok := st.GetVersion("m", 1); ok {
 		t.Error("pruned version still retrievable")
 	}
-	if _, err := st.Rollback("m", 1); !errors.Is(err, ErrVersionNotFound) {
+	if _, _, err := st.Rollback("m", 1); !errors.Is(err, ErrVersionNotFound) {
 		t.Errorf("rollback to pruned version: %v", err)
 	}
 }

@@ -4,7 +4,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"hash/crc32"
-	"os"
+	"io"
 )
 
 // WAL record layout (all integers big-endian):
@@ -84,10 +84,21 @@ func decodeRecords(buf []byte) (events []walEvent, valid int) {
 	}
 }
 
+// walFile is the file surface walWriter needs; *os.File satisfies it.
+// Tests substitute failing implementations to drive the append/commit
+// error paths.
+type walFile interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
+
 // walWriter appends framed records to the open log file, fsyncing each
 // commit unless the store was opened with WithNoSync.
 type walWriter struct {
-	f    *os.File
+	f    walFile
 	sync bool
 	size int64 // bytes currently in the log
 }
@@ -108,6 +119,24 @@ func (w *walWriter) commit() error {
 		return nil
 	}
 	return w.f.Sync()
+}
+
+// rollback restores the log to prevSize after a failed append or
+// commit. A partial write (ENOSPC, I/O error) leaves torn bytes at the
+// tail, and a failed fsync leaves an unacknowledged full record; either
+// way, later appends would land after the bad bytes and recovery would
+// stop at the tear — silently discarding every subsequently
+// acknowledged write. Truncating back to the last committed record
+// keeps the log identical to what callers were told is durable.
+func (w *walWriter) rollback(prevSize int64) error {
+	if err := w.f.Truncate(prevSize); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(prevSize, io.SeekStart); err != nil {
+		return err
+	}
+	w.size = prevSize
+	return nil
 }
 
 // reset discards the log contents after a successful snapshot.
