@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify verify-store fuzz bench clean
+.PHONY: all build vet test race verify verify-api verify-store fuzz bench clean
 
 all: build
 
@@ -26,13 +26,23 @@ race:
 verify-store:
 	$(GO) test -race -count=3 ./internal/store
 
+# verify-api checks the v1 HTTP contract (docs/api.md): the route-walking
+# contract test plus vet and the race detector over the server and the
+# core batch engine it fronts.
+verify-api:
+	$(GO) vet ./internal/server ./internal/core
+	$(GO) test -run 'TestV1Contract' -count=1 ./internal/server
+	$(GO) test -race ./internal/server ./internal/core
+
 # verify is the gate for every change: vet, a full build, the race
-# detector across all packages, then the store persistence gauntlet.
+# detector across all packages, then the store persistence gauntlet and
+# the HTTP API contract.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) verify-store
+	$(MAKE) verify-api
 
 # fuzz runs each core fuzz target for FUZZTIME (default 10s). Go allows
 # one -fuzz pattern per invocation, hence the separate runs.

@@ -7,6 +7,7 @@
 //	rrbench -experiment fig6 -dataset baseball
 //	rrbench -experiment fig8 -sizes 10000,50000,100000
 //	rrbench -experiment table2 | fig7 | fig9 | fig11 | fig12 | cutoff
+//	rrbench -experiment batch -batch-rows 10000 -batch-patterns 8
 //	rrbench -experiment fig8 -json > BENCH_fig8.json
 //
 // With -json the human-readable tables are suppressed and a single
@@ -40,12 +41,15 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rrbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve or all")
-		ds         = fs.String("dataset", "nba", "dataset for fig6/cutoff: nba, baseball or abalone")
-		sizes      = fs.String("sizes", "", "comma-separated row counts for fig8 (default: the paper's sweep)")
-		datDir     = fs.String("datdir", "", "also write the paper's gnuplot data files (nba.d2, scaleup.dat, ...) into this directory")
-		jsonOut    = fs.Bool("json", false, "suppress tables and print a machine-readable timing/throughput summary")
-		verbose    = fs.Bool("v", false, "debug logging")
+		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch or all")
+		batchRows     = fs.Int("batch-rows", 10000, "rows for the batch experiment")
+		batchPatterns = fs.Int("batch-patterns", 8, "distinct hole patterns for the batch experiment")
+		batchWorkers  = fs.Int("batch-workers", 0, "worker pool width for the batch experiment (<= 0 = one per CPU)")
+		ds            = fs.String("dataset", "nba", "dataset for fig6/cutoff: nba, baseball or abalone")
+		sizes         = fs.String("sizes", "", "comma-separated row counts for fig8 (default: the paper's sweep)")
+		datDir        = fs.String("datdir", "", "also write the paper's gnuplot data files (nba.d2, scaleup.dat, ...) into this directory")
+		jsonOut       = fs.Bool("json", false, "suppress tables and print a machine-readable timing/throughput summary")
+		verbose       = fs.Bool("v", false, "debug logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,6 +145,12 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 			fmt.Fprintln(w, res)
+		case "batch":
+			res, err := experiments.RunBatch(*batchRows, *batchPatterns, *batchWorkers)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, res)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -163,7 +173,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "fig8"} {
+		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "fig8"} {
 			fmt.Fprintf(w, "==================== %s ====================\n", name)
 			if err := timedRun(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -209,6 +219,7 @@ type minerSummary struct {
 	CellsPerSecond float64              `json:"cells_per_second"`
 	Mines          map[string]float64   `json:"mines"`
 	Ops            map[string]float64   `json:"ops"`
+	FillCache      map[string]float64   `json:"fill_cache"`
 }
 
 // writeJSONSummary snapshots the obs registry into the -json document.
@@ -216,9 +227,10 @@ func writeJSONSummary(w io.Writer, timings []benchExperiment) error {
 	sum := benchSummary{
 		Experiments: timings,
 		Miner: minerSummary{
-			Phases: make(map[string]phaseStat),
-			Mines:  make(map[string]float64),
-			Ops:    make(map[string]float64),
+			Phases:    make(map[string]phaseStat),
+			Mines:     make(map[string]float64),
+			Ops:       make(map[string]float64),
+			FillCache: make(map[string]float64),
 		},
 	}
 	for _, e := range timings {
@@ -250,6 +262,12 @@ func writeJSONSummary(w io.Writer, timings []benchExperiment) error {
 			sum.Miner.Mines[s.Labels["result"]] = s.Value
 		case "rr_ops_total":
 			sum.Miner.Ops[s.Labels["op"]+"_"+s.Labels["result"]] = s.Value
+		case "rr_fill_cache_hits_total":
+			sum.Miner.FillCache["hits"] = s.Value
+		case "rr_fill_cache_misses_total":
+			sum.Miner.FillCache["misses"] = s.Value
+		case "rr_fill_cache_evictions_total":
+			sum.Miner.FillCache["evictions"] = s.Value
 		}
 	}
 	enc := json.NewEncoder(w)

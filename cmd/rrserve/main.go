@@ -19,7 +19,10 @@
 //	                 with crash recovery, flushed on graceful shutdown
 //	-snapshot-every  store events between automatic snapshots (default 64)
 //	-max-versions    retained revisions per model (default 32, <= 0 all)
-//	-max-body-bytes  request body cap, 413 beyond it (default 32 MiB)
+//	-max-body-bytes  request body cap, 413 beyond it (default 32 MiB);
+//	                 the streaming /batch endpoints are exempt
+//	-batch-workers   worker pool width per /batch request (default:
+//	                 one worker per CPU)
 //	-debug-addr      optional side listener serving net/http/pprof under
 //	                 /debug/pprof/ — keep it on localhost or a private
 //	                 network, never the public service address
@@ -79,6 +82,7 @@ func run(ctx context.Context, args []string) error {
 		snapshotEvery = fs.Int("snapshot-every", 64, "store events between automatic snapshots (<= 0 disables)")
 		maxVersions   = fs.Int("max-versions", 32, "retained revisions per model (<= 0 keeps all)")
 		maxBodyBytes  = fs.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "request body cap in bytes (<= 0 disables)")
+		batchWorkers  = fs.Int("batch-workers", 0, "worker pool width per /batch request (<= 0 = one per CPU)")
 		debugAddr     = fs.String("debug-addr", "", "optional pprof side-listener address (e.g. localhost:6060)")
 		verbose       = fs.Bool("v", false, "debug logging")
 	)
@@ -110,7 +114,8 @@ func run(ctx context.Context, args []string) error {
 
 	srv := &http.Server{
 		Handler: server.Handler(reg,
-			server.WithLogger(logger), server.WithMaxBodyBytes(*maxBodyBytes)),
+			server.WithLogger(logger), server.WithMaxBodyBytes(*maxBodyBytes),
+			server.WithBatchWorkers(*batchWorkers)),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,

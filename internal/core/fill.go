@@ -1,14 +1,11 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
 
-	"ratiorules/internal/linsolve"
 	"ratiorules/internal/matrix"
-	"ratiorules/internal/svd"
 )
 
 // Hole is the paper's "?" marker: place it in a record passed to
@@ -87,6 +84,10 @@ func (r *Rules) FillRecord(record []float64) ([]float64, error) {
 	return r.FillRow(record, holes)
 }
 
+// fill runs one uncached solve: the case analysis and V′ factorization
+// of buildPlan followed by a single applyPlan. The batch engine takes
+// the same two steps through the hole-pattern plan cache (fillCached),
+// amortizing buildPlan across every row that shares a pattern.
 func (r *Rules) fill(row []float64, holes []int, solver FillSolver) ([]float64, error) {
 	m := r.M()
 	if len(row) != m {
@@ -95,105 +96,11 @@ func (r *Rules) fill(row []float64, holes []int, solver FillSolver) ([]float64, 
 	if err := validateHoles(holes, m); err != nil {
 		return nil, err
 	}
-	out := make([]float64, m)
-	copy(out, row)
-	h := len(holes)
-	if h == 0 {
-		return out, nil
-	}
-	isHole := make([]bool, m)
-	for _, j := range holes {
-		isHole[j] = true
-	}
-
-	k := r.K()
-	known := m - h
-	// Degenerate cases: no rules retained, or nothing known. Both collapse
-	// to xconcept = 0, i.e. the column averages.
-	if k == 0 || known == 0 {
-		for _, j := range holes {
-			out[j] = r.means[j]
-		}
-		return out, nil
-	}
-
-	// Under-specified (Case 3): ignore the (k+h)−M weakest rules so that
-	// the system becomes exactly specified.
-	kEff := k
-	if known < k {
-		kEff = known
-	}
-
-	// V′ = E_H·V: rows of V at the known attributes, first kEff columns.
-	// b′ = E_H·(b − mean): centered known values.
-	vPrime := matrix.NewDense(known, kEff)
-	bPrime := make([]float64, known)
-	ki := 0
-	for j := 0; j < m; j++ {
-		if isHole[j] {
-			continue
-		}
-		for c := 0; c < kEff; c++ {
-			vPrime.Set(ki, c, r.v.At(j, c))
-		}
-		bPrime[ki] = row[j] - r.means[j]
-		ki++
-	}
-
-	xConcept, err := solveConcept(vPrime, bPrime, known, kEff, solver)
+	plan, err := r.buildPlan(SortedHoles(holes), solver)
 	if err != nil {
 		return nil, err
 	}
-
-	// x̂ = V·xconcept + mean, taken only at the hole positions (step 5 of
-	// Fig. 3: known cells keep their given values).
-	for _, j := range holes {
-		var s float64
-		for c := 0; c < kEff; c++ {
-			s += r.v.At(j, c) * xConcept[c]
-		}
-		out[j] = s + r.means[j]
-	}
-	return out, nil
-}
-
-// solveConcept solves V′·x = b′ per the case analysis of Sec. 4.4.
-func solveConcept(vPrime *matrix.Dense, bPrime []float64, known, kEff int, solver FillSolver) ([]float64, error) {
-	switch {
-	case known == kEff:
-		// Exactly-specified (Case 1, and Case 3 after rule dropping):
-		// square solve; fall back to the pseudo-inverse when the selected
-		// rows of V happen to be singular.
-		x, err := linsolve.SolveSquare(vPrime, bPrime)
-		if err == nil {
-			return x, nil
-		}
-		if !errors.Is(err, linsolve.ErrSingular) {
-			return nil, fmt.Errorf("core: exactly-specified solve: %w", err)
-		}
-		x, err = svd.SolveLeastSquares(vPrime, bPrime)
-		if err != nil {
-			return nil, fmt.Errorf("core: singular exactly-specified solve: %w", err)
-		}
-		return x, nil
-	case solver == SolveQR:
-		x, err := linsolve.SolveLeastSquares(vPrime, bPrime)
-		if err == nil {
-			return x, nil
-		}
-		if !errors.Is(err, linsolve.ErrSingular) {
-			return nil, fmt.Errorf("core: QR least-squares solve: %w", err)
-		}
-		fallthrough
-	default:
-		// Over-specified (Case 2): minimum-norm least squares through the
-		// Moore–Penrose pseudo-inverse, as in Eqs. 7–9.
-		x, err := svd.SolveLeastSquares(vPrime, bPrime)
-		if err != nil {
-			return nil, fmt.Errorf("core: pseudo-inverse solve: %w", err)
-		}
-		return x, nil
-	}
+	return r.applyPlan(plan, row)
 }
 
 // validateHoles rejects out-of-range and duplicate hole indices.

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ratiorules/internal/linsolve"
+	"ratiorules/internal/matrix"
+	"ratiorules/internal/svd"
+)
+
+// DefaultFillCacheCap is the per-rule-set bound on cached hole-pattern
+// solver plans. A plan costs O(M·k) floats (the explicit V′ factor), so
+// 256 plans of a k=12, M=100 model stay around 2.5 MB while easily
+// covering every single-hole pattern of wide models plus the handful of
+// multi-hole patterns real batches carry.
+const DefaultFillCacheCap = 256
+
+// fillPlan is the row-independent part of a hole-filling solve: the
+// Sec. 4.4 case analysis and the V′ factorization for one (hole pattern,
+// solver) pair. The factorization depends only on the hole index set and
+// the rules — never on the row values — so a batch with few distinct
+// patterns pays the O(M·k²) factorization once per pattern and every row
+// reuses it with an O(M·k) apply.
+type fillPlan struct {
+	// holes is the sorted hole pattern the plan was built for.
+	holes []int
+	// isHole flags the hole positions over the M attributes.
+	isHole []bool
+	// known is M minus the number of holes.
+	known int
+	// kEff is the effective rule count after Case-3 rule dropping.
+	kEff int
+	// degenerate marks the k == 0 / known == 0 collapse to column means.
+	degenerate bool
+	// solve maps the centered known values b′ to the concept-space
+	// solution xconcept. It is safe for concurrent use.
+	solve func(b []float64) ([]float64, error)
+}
+
+// buildPlan runs the case analysis of Sec. 4.4 once for a hole pattern,
+// factoring V′ so the per-row work reduces to a gather and a
+// substitution/mat-vec. holes must be validated and sorted.
+func (r *Rules) buildPlan(holes []int, solver FillSolver) (*fillPlan, error) {
+	m := r.M()
+	p := &fillPlan{
+		holes:  holes,
+		isHole: make([]bool, m),
+		known:  m - len(holes),
+	}
+	for _, j := range holes {
+		p.isHole[j] = true
+	}
+	k := r.K()
+	// Degenerate cases: no rules retained, or nothing known. Both collapse
+	// to xconcept = 0, i.e. the column averages.
+	if k == 0 || p.known == 0 {
+		p.degenerate = true
+		return p, nil
+	}
+	// Under-specified (Case 3): ignore the (k+h)−M weakest rules so that
+	// the system becomes exactly specified.
+	p.kEff = k
+	if p.known < k {
+		p.kEff = p.known
+	}
+
+	// V′ = E_H·V: rows of V at the known attributes, first kEff columns.
+	vPrime := matrix.NewDense(p.known, p.kEff)
+	ki := 0
+	for j := 0; j < m; j++ {
+		if p.isHole[j] {
+			continue
+		}
+		for c := 0; c < p.kEff; c++ {
+			vPrime.Set(ki, c, r.v.At(j, c))
+		}
+		ki++
+	}
+
+	switch {
+	case p.known == p.kEff:
+		// Exactly-specified (Case 1, and Case 3 after rule dropping):
+		// LU factor; fall back to the pseudo-inverse when the selected
+		// rows of V happen to be singular.
+		lu, err := linsolve.FactorLU(vPrime)
+		if err == nil {
+			p.solve = lu.Solve
+			return p, nil
+		}
+		if !errors.Is(err, linsolve.ErrSingular) {
+			return nil, fmt.Errorf("core: exactly-specified solve: %w", err)
+		}
+	case solver == SolveQR:
+		qr, err := linsolve.FactorQR(vPrime)
+		if err != nil {
+			return nil, fmt.Errorf("core: QR least-squares solve: %w", err)
+		}
+		if qr.FullRank() {
+			p.solve = qr.Solve
+			return p, nil
+		}
+		// Rank-deficient: fall through to the pseudo-inverse, matching
+		// the one-shot solveConcept path.
+	}
+	// Over-specified (Case 2) and all singular fallbacks: minimum-norm
+	// least squares through the explicit Moore–Penrose pseudo-inverse
+	// (Eqs. 7–9), applied per row as a kEff×known mat-vec.
+	pinv, err := svd.PseudoInverse(vPrime)
+	if err != nil {
+		return nil, fmt.Errorf("core: pseudo-inverse solve: %w", err)
+	}
+	p.solve = func(b []float64) ([]float64, error) { return matrix.MulVec(pinv, b) }
+	return p, nil
+}
+
+// applyPlan is the per-row half of a planned fill: gather the centered
+// known cells, solve for xconcept with the cached factorization, and
+// expand the holes (step 5 of Fig. 3: known cells keep their values).
+func (r *Rules) applyPlan(p *fillPlan, row []float64) ([]float64, error) {
+	m := r.M()
+	out := make([]float64, m)
+	copy(out, row)
+	if len(p.holes) == 0 {
+		return out, nil
+	}
+	if p.degenerate {
+		for _, j := range p.holes {
+			out[j] = r.means[j]
+		}
+		return out, nil
+	}
+	bPrime := make([]float64, p.known)
+	ki := 0
+	for j := 0; j < m; j++ {
+		if p.isHole[j] {
+			continue
+		}
+		bPrime[ki] = row[j] - r.means[j]
+		ki++
+	}
+	xConcept, err := p.solve(bPrime)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range p.holes {
+		var s float64
+		for c := 0; c < p.kEff; c++ {
+			s += r.v.At(j, c) * xConcept[c]
+		}
+		out[j] = s + r.means[j]
+	}
+	return out, nil
+}
+
+// patternKey canonically encodes a sorted hole pattern plus the solver
+// choice as a cache key.
+func patternKey(sortedHoles []int, solver FillSolver) string {
+	b := make([]byte, 0, 1+3*len(sortedHoles))
+	b = append(b, byte(solver))
+	for _, j := range sortedHoles {
+		b = binary.AppendUvarint(b, uint64(j))
+	}
+	return string(b)
+}
+
+// planCache is a small mutex-guarded LRU of fillPlans, embedded in each
+// Rules value. Because the cache lives on the (immutable) rule set, the
+// "rules version" component of the key is implicit: a re-mined or
+// rolled-back model is a fresh *Rules with an empty cache, so plans can
+// never be applied across rule versions.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int // 0 = DefaultFillCacheCap
+	entries map[string]*list.Element
+	order   list.List // front = most recently used
+}
+
+// cacheEntry is the LRU list payload.
+type cacheEntry struct {
+	key  string
+	plan *fillPlan
+}
+
+// get returns the cached plan for key, promoting it to most recent.
+func (c *planCache) get(key string) (*fillPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// put inserts a plan, evicting the least recently used beyond capacity.
+func (c *planCache) put(key string, p *fillPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[string]*list.Element)
+	}
+	if el, ok := c.entries[key]; ok {
+		// A concurrent miss built the same plan; keep the winner fresh.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, plan: p})
+	capacity := c.cap
+	if capacity <= 0 {
+		capacity = DefaultFillCacheCap
+	}
+	for len(c.entries) > capacity {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		fillCacheEvictions.Inc()
+	}
+}
+
+// len reports the resident plan count (test hook).
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// fillCached is fill with the hole-pattern plan cache: the batch engine's
+// hot path. Semantics match fill exactly; only the factorization reuse
+// differs.
+func (r *Rules) fillCached(row []float64, holes []int, solver FillSolver) ([]float64, error) {
+	m := r.M()
+	if len(row) != m {
+		return nil, fmt.Errorf("core: record width %d, want %d: %w", len(row), m, ErrWidth)
+	}
+	if err := validateHoles(holes, m); err != nil {
+		return nil, err
+	}
+	sorted := SortedHoles(holes)
+	key := patternKey(sorted, solver)
+	plan, ok := r.plans.get(key)
+	if ok {
+		fillCacheHits.Inc()
+	} else {
+		fillCacheMisses.Inc()
+		var err error
+		plan, err = r.buildPlan(sorted, solver)
+		if err != nil {
+			return nil, err
+		}
+		r.plans.put(key, plan)
+	}
+	return r.applyPlan(plan, row)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFillCachedMatchesFill drives the cached path over every Sec. 4.4
+// case (exact, over- and under-specified, both solvers) and checks it
+// agrees with the one-shot fill.
+func TestFillCachedMatchesFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := planeData(rng, 200, 8, 3)
+	rules := mineK(t, x, 3)
+	patterns := [][]int{
+		{0},                      // over-specified
+		{6, 2},                   // over-specified, unsorted on purpose
+		{0, 1, 2, 3, 4},          // exactly specified (known = k = 3)
+		{0, 1, 2, 3, 4, 5},       // under-specified (Case 3)
+		{7, 6, 5, 4, 3, 2, 1, 0}, // everything hidden -> column means
+		{},                       // no holes
+	}
+	for _, solver := range []FillSolver{SolvePseudoInverse, SolveQR} {
+		for _, holes := range patterns {
+			for trial := 0; trial < 5; trial++ {
+				row := x.Row(rng.Intn(200))
+				want, err := rules.fill(row, holes, solver)
+				if err != nil {
+					t.Fatalf("fill(%v): %v", holes, err)
+				}
+				got, err := rules.fillCached(row, holes, solver)
+				if err != nil {
+					t.Fatalf("fillCached(%v): %v", holes, err)
+				}
+				for j := range want {
+					if math.Abs(want[j]-got[j]) > 1e-9*(1+math.Abs(want[j])) {
+						t.Fatalf("solver %v holes %v cell %d: cached %g, one-shot %g",
+							solver, holes, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFillCachedReusesPlans checks that repeated patterns share one plan,
+// that hole order does not fragment the cache, and that the two solvers
+// get distinct entries.
+func TestFillCachedReusesPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := planeData(rng, 100, 6, 2)
+	rules := mineK(t, x, 2)
+	row := x.Row(0)
+	for i := 0; i < 10; i++ {
+		if _, err := rules.fillCached(row, []int{1, 4}, SolvePseudoInverse); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rules.fillCached(row, []int{4, 1}, SolvePseudoInverse); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rules.plans.len(); got != 1 {
+		t.Fatalf("one pattern in two orders produced %d plans, want 1", got)
+	}
+	if _, err := rules.fillCached(row, []int{1, 4}, SolveQR); err != nil {
+		t.Fatal(err)
+	}
+	if got := rules.plans.len(); got != 2 {
+		t.Fatalf("QR solver should get its own plan: %d plans, want 2", got)
+	}
+}
+
+// TestPlanCacheEvicts bounds the LRU and checks eviction order.
+func TestPlanCacheEvicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := planeData(rng, 100, 6, 2)
+	rules := mineK(t, x, 2)
+	rules.plans.cap = 2
+	row := x.Row(0)
+	for _, holes := range [][]int{{0}, {1}, {2}} {
+		if _, err := rules.fillCached(row, holes, SolvePseudoInverse); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rules.plans.len(); got != 2 {
+		t.Fatalf("cache holds %d plans, want cap 2", got)
+	}
+	// {0} was least recently used and must be gone; {2} must be resident.
+	if _, ok := rules.plans.get(patternKey([]int{0}, SolvePseudoInverse)); ok {
+		t.Error("LRU pattern {0} still resident after eviction")
+	}
+	if _, ok := rules.plans.get(patternKey([]int{2}, SolvePseudoInverse)); !ok {
+		t.Error("most recent pattern {2} evicted")
+	}
+}
+
+// TestFillCachedValidation mirrors fill's error contract.
+func TestFillCachedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := planeData(rng, 50, 4, 2)
+	rules := mineK(t, x, 2)
+	if _, err := rules.fillCached([]float64{1, 2}, []int{0}, SolvePseudoInverse); !errors.Is(err, ErrWidth) {
+		t.Errorf("short record: got %v, want ErrWidth", err)
+	}
+	if _, err := rules.fillCached(make([]float64, 4), []int{4}, SolvePseudoInverse); !errors.Is(err, ErrBadHole) {
+		t.Errorf("out-of-range hole: got %v, want ErrBadHole", err)
+	}
+	if _, err := rules.fillCached(make([]float64, 4), []int{1, 1}, SolvePseudoInverse); !errors.Is(err, ErrBadHole) {
+		t.Errorf("duplicate hole: got %v, want ErrBadHole", err)
+	}
+	if got := rules.plans.len(); got != 0 {
+		t.Errorf("invalid requests cached %d plans, want 0", got)
+	}
+}

@@ -44,6 +44,16 @@ var (
 
 	geGauge = obs.Default().GaugeVec("rr_guessing_error",
 		"Most recent guessing error by definition and hole count.", "def", "holes")
+
+	// Hole-pattern solver cache traffic (see fillcache.go): hits reuse a
+	// V′ factorization, misses pay the O(M·k²) build, evictions count
+	// LRU pressure beyond DefaultFillCacheCap.
+	fillCacheHits = obs.Default().Counter("rr_fill_cache_hits_total",
+		"Batch fills served from a cached hole-pattern factorization.")
+	fillCacheMisses = obs.Default().Counter("rr_fill_cache_misses_total",
+		"Batch fills that had to factor V' for a new hole pattern.")
+	fillCacheEvictions = obs.Default().Counter("rr_fill_cache_evictions_total",
+		"Hole-pattern plans evicted from the LRU cache.")
 )
 
 // Phase children and op counters are resolved once so hot paths pay a

@@ -67,6 +67,12 @@ type Rules struct {
 	// RR-hyperplane along attribute j, and hence the uncertainty of a
 	// reconstructed cell. Nil for rule sets loaded from pre-band formats.
 	residStd []float64
+	// plans caches hole-pattern solver factorizations for the batch
+	// inference engine (see fillcache.go). Living on the rule set makes
+	// the cache version-safe: a re-mined or rolled-back model is a fresh
+	// *Rules with an empty cache. The zero value is ready to use, so the
+	// rule constructors need no extra wiring.
+	plans planCache
 }
 
 // K reports the number of retained rules.

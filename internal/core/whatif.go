@@ -28,12 +28,23 @@ func (r *Rules) WhatIf(s Scenario) ([]float64, error) {
 // whatIf is the uncounted body of WhatIf, shared with Forecast so each
 // public operation books exactly one rr_ops_total sample.
 func (r *Rules) whatIf(s Scenario) ([]float64, error) {
+	row, holes, err := r.scenarioRow(s)
+	if err != nil {
+		return nil, err
+	}
+	return r.fill(row, holes, SolvePseudoInverse)
+}
+
+// scenarioRow validates a what-if scenario and expands it into the
+// (row, holes) form the fill paths consume; shared by the one-shot and
+// batch engines.
+func (r *Rules) scenarioRow(s Scenario) ([]float64, []int, error) {
 	m := r.M()
 	if len(s.Given) == 0 {
-		return nil, fmt.Errorf("core: what-if scenario with no given attributes: %w", ErrBadHole)
+		return nil, nil, fmt.Errorf("core: what-if scenario with no given attributes: %w", ErrBadHole)
 	}
 	row := make([]float64, m)
-	holes := make([]int, 0, m-len(s.Given))
+	holes := make([]int, 0, m)
 	for j := 0; j < m; j++ {
 		v, ok := s.Given[j]
 		if !ok {
@@ -49,16 +60,16 @@ func (r *Rules) whatIf(s Scenario) ([]float64, error) {
 			keys = append(keys, k)
 		}
 		sort.Ints(keys)
-		return nil, fmt.Errorf("core: what-if given attributes %v out of range [0,%d): %w",
+		return nil, nil, fmt.Errorf("core: what-if given attributes %v out of range [0,%d): %w",
 			keys, m, ErrBadHole)
 	}
 	for j := range s.Given {
 		if j < 0 || j >= m {
-			return nil, fmt.Errorf("core: what-if given attribute %d out of range [0,%d): %w",
+			return nil, nil, fmt.Errorf("core: what-if given attribute %d out of range [0,%d): %w",
 				j, m, ErrBadHole)
 		}
 	}
-	return r.fill(row, holes, SolvePseudoInverse)
+	return row, holes, nil
 }
 
 // Forecast answers the paper's forecasting question ("if a customer spends

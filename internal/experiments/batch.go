@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"ratiorules/internal/core"
+	"ratiorules/internal/matrix"
+	"ratiorules/internal/obs"
+	"ratiorules/internal/quest"
+)
+
+// BatchResult measures the batch inference engine against the one-shot
+// per-row path on Quest basket data: the same fills run three ways —
+// a sequential FillRow loop (each row re-factorizes its hole pattern),
+// the batch engine pinned to one worker (isolates the plan-cache win),
+// and the batch engine at full width (adds the parallel win).
+type BatchResult struct {
+	Rows     int
+	Cols     int
+	Patterns int
+	Workers  int
+	K        int
+
+	Sequential time.Duration // per-row FillRow loop, no plan cache
+	CachedSeq  time.Duration // BatchFillSlice, Workers = 1
+	Parallel   time.Duration // BatchFillSlice, Workers = Workers
+
+	// CacheSpeedup is Sequential/CachedSeq — the factorization reuse
+	// alone, no concurrency. TotalSpeedup is Sequential/Parallel.
+	CacheSpeedup float64
+	TotalSpeedup float64
+
+	// Plan-cache counter deltas across the two batch runs, from the obs
+	// registry (rr_fill_cache_{hits,misses}_total).
+	CacheHits   float64
+	CacheMisses float64
+
+	// MaxRelDiff is the worst relative disagreement between the batch
+	// and sequential fills — reuse must not change the numbers.
+	MaxRelDiff float64
+}
+
+// fillCacheCounters snapshots the plan-cache counters.
+func fillCacheCounters() (hits, misses float64) {
+	for _, s := range obs.Default().Gather() {
+		switch s.Name {
+		case "rr_fill_cache_hits_total":
+			hits = s.Value
+		case "rr_fill_cache_misses_total":
+			misses = s.Value
+		}
+	}
+	return hits, misses
+}
+
+// RunBatch mines a model over Quest data, then fills every row with a
+// hole set drawn from a small cycle of patterns — the pattern-skewed
+// workload the hole-pattern plan cache is built for. rows <= 0 selects
+// 10,000, patterns <= 0 selects 8, workers <= 0 one per CPU.
+func RunBatch(rows, patterns, workers int) (*BatchResult, error) {
+	if rows <= 0 {
+		rows = 10000
+	}
+	if patterns <= 0 {
+		patterns = 8
+	}
+	if workers <= 0 {
+		workers = core.DefaultBatchWorkers()
+	}
+	cfg := quest.DefaultConfig(rows)
+	src, err := quest.NewSource(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: quest source: %w", err)
+	}
+	data := make([][]float64, 0, rows)
+	for {
+		row, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generating rows: %w", err)
+		}
+		data = append(data, append([]float64(nil), row...))
+	}
+	x, err := matrix.FromRows(data)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: assembling matrix: %w", err)
+	}
+	miner, err := core.NewMiner()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: configuring miner: %w", err)
+	}
+	rules, err := miner.MineMatrix(x)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mining: %w", err)
+	}
+
+	out := &BatchResult{
+		Rows: len(data), Cols: cfg.Cols, Patterns: patterns, Workers: workers,
+		K: rules.K(),
+	}
+
+	// A cycle of three-hole patterns spread over the columns.
+	pats := make([][]int, patterns)
+	for p := range pats {
+		base := (p * 7) % cfg.Cols
+		pats[p] = []int{base, (base + 13) % cfg.Cols, (base + 29) % cfg.Cols}
+	}
+	holes := make([][]int, len(data))
+	for i := range holes {
+		holes[i] = pats[i%patterns]
+	}
+
+	// Baseline: the pre-batch API, one factorization per row.
+	baseline := make([][]float64, len(data))
+	start := time.Now()
+	for i, row := range data {
+		baseline[i], err = rules.FillRow(row, holes[i])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sequential fill row %d: %w", i, err)
+		}
+	}
+	out.Sequential = time.Since(start)
+
+	hits0, misses0 := fillCacheCounters()
+
+	// Cache only: one worker, so any win is factorization reuse.
+	start = time.Now()
+	cached := rules.BatchFillSlice(data, holes, core.BatchOptions{Workers: 1})
+	out.CachedSeq = time.Since(start)
+
+	// Cache + concurrency at the requested width.
+	start = time.Now()
+	parallel := rules.BatchFillSlice(data, holes, core.BatchOptions{Workers: workers})
+	out.Parallel = time.Since(start)
+
+	hits1, misses1 := fillCacheCounters()
+	out.CacheHits = hits1 - hits0
+	out.CacheMisses = misses1 - misses0
+
+	for i := range data {
+		if cached[i].Err != nil {
+			return nil, fmt.Errorf("experiments: batch fill row %d: %w", i, cached[i].Err)
+		}
+		if parallel[i].Err != nil {
+			return nil, fmt.Errorf("experiments: parallel fill row %d: %w", i, parallel[i].Err)
+		}
+		for j, want := range baseline[i] {
+			for _, got := range []float64{cached[i].Filled[j], parallel[i].Filled[j]} {
+				diff := abs(got-want) / (1 + abs(want))
+				if diff > out.MaxRelDiff {
+					out.MaxRelDiff = diff
+				}
+			}
+		}
+	}
+	if out.CachedSeq > 0 {
+		out.CacheSpeedup = out.Sequential.Seconds() / out.CachedSeq.Seconds()
+	}
+	if out.Parallel > 0 {
+		out.TotalSpeedup = out.Sequential.Seconds() / out.Parallel.Seconds()
+	}
+	return out, nil
+}
+
+// String renders the three timings, the speedups and the cache
+// counters.
+func (r *BatchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Batch inference: %d rows x %d cols, %d hole patterns, k=%d\n\n",
+		r.Rows, r.Cols, r.Patterns, r.K)
+	fmt.Fprintf(&b, "%-34s %12s\n", "path", "time")
+	fmt.Fprintf(&b, "%-34s %12s\n", "per-row FillRow (no cache)", r.Sequential.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-34s %12s\n", "batch, 1 worker (cache only)", r.CachedSeq.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-34s %12s\n", fmt.Sprintf("batch, %d workers", r.Workers), r.Parallel.Round(time.Millisecond))
+	fmt.Fprintf(&b, "\ncache speedup %.2fx, total speedup %.2fx\n", r.CacheSpeedup, r.TotalSpeedup)
+	fmt.Fprintf(&b, "plan cache: %.0f hits, %.0f misses over %d fills (%d patterns -> one factorization each)\n",
+		r.CacheHits, r.CacheMisses, 2*r.Rows, r.Patterns)
+	fmt.Fprintf(&b, "max relative deviation from sequential fills: %.2g\n", r.MaxRelDiff)
+	return b.String()
+}

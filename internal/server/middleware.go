@@ -14,6 +14,7 @@ type handlerConfig struct {
 	metrics      *obs.Registry
 	logger       *slog.Logger
 	maxBodyBytes int64
+	batchWorkers int
 }
 
 // HandlerOption customizes Handler.
@@ -34,9 +35,16 @@ func WithLogger(l *slog.Logger) HandlerOption {
 
 // WithMaxBodyBytes caps request bodies at n bytes (default
 // DefaultMaxBodyBytes); oversized bodies answer 413 with the uniform
-// error envelope. n <= 0 disables the cap.
+// error envelope. n <= 0 disables the cap. The streaming batch
+// endpoints are exempt (they bound memory per row, not per body).
 func WithMaxBodyBytes(n int64) HandlerOption {
 	return func(c *handlerConfig) { c.maxBodyBytes = n }
+}
+
+// WithBatchWorkers bounds the worker pool each batch request runs on
+// (rrserve -batch-workers). n <= 0 selects core.DefaultBatchWorkers().
+func WithBatchWorkers(n int) HandlerOption {
+	return func(c *handlerConfig) { c.batchWorkers = n }
 }
 
 // httpMetrics is the per-handler request accounting: counts by route,
@@ -84,6 +92,18 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	w.bytes += n
 	return n, err
 }
+
+// Flush forwards to the underlying writer so the streaming batch
+// endpoints can push each NDJSON line out as it is produced.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController, which
+// the batch endpoints use to enable full-duplex streaming.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps h with request accounting under the given route
 // label (the registered pattern path, keeping label cardinality fixed
@@ -144,7 +164,7 @@ func methodLabel(m string) string {
 func methodNotAllowed(allow string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", allow)
-		writeErr(w, http.StatusMethodNotAllowed,
+		writeErr(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
 			fmt.Errorf("method %s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allow))
 	}
 }

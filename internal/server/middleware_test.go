@@ -119,6 +119,9 @@ func TestMethodNotAllowed(t *testing.T) {
 		if err := jsonDecode(resp.Body, &body); err != nil {
 			t.Errorf("%s %s: body not the JSON error envelope: %v", tc.method, tc.path, err)
 		}
+		if body.Error.Code != CodeMethodNotAllowed {
+			t.Errorf("%s %s envelope code = %q, want %q", tc.method, tc.path, body.Error.Code, CodeMethodNotAllowed)
+		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Errorf("%s %s status = %d, want 405", tc.method, tc.path, resp.StatusCode)

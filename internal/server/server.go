@@ -9,28 +9,38 @@
 //
 // Endpoints (Go 1.22 pattern routing):
 //
-//	POST   /v1/rules                   mine a model from rows
-//	GET    /v1/rules                   list model names
-//	GET    /v1/rules/{name}            fetch a model (Rules JSON; ETag/304)
-//	PUT    /v1/rules/{name}            install a model from Rules JSON
-//	DELETE /v1/rules/{name}            drop a model
-//	GET    /v1/rules/{name}/versions   list retained versions
-//	POST   /v1/rules/{name}/rollback   restore a version as the new head
-//	POST   /v1/rules/{name}/fill       reconstruct holes in a record
-//	POST   /v1/rules/{name}/forecast   predict one attribute from givens
-//	POST   /v1/rules/{name}/whatif     complete a scenario from pinned values
-//	POST   /v1/rules/{name}/project    map rows into RR space
-//	POST   /v1/rules/{name}/outliers   score rows for cell outliers
-//	GET    /healthz                    liveness probe
-//	GET    /metrics                    Prometheus text exposition
+//	POST   /v1/rules                         mine a model from rows
+//	GET    /v1/rules                         list model names
+//	GET    /v1/rules/{name}                  fetch a model (Rules JSON; ETag/304)
+//	PUT    /v1/rules/{name}                  install a model from Rules JSON
+//	DELETE /v1/rules/{name}                  drop a model
+//	GET    /v1/rules/{name}/versions         list retained versions
+//	POST   /v1/rules/{name}/rollback         restore a version as the new head
+//	POST   /v1/rules/{name}/fill             reconstruct holes in a record
+//	POST   /v1/rules/{name}/forecast         predict one attribute from givens
+//	POST   /v1/rules/{name}/whatif           complete a scenario from pinned values
+//	POST   /v1/rules/{name}/project          map rows into RR space
+//	POST   /v1/rules/{name}/outliers         score rows for cell outliers
+//	POST   /v1/rules/{name}/batch/fill       batch fill (JSON array or NDJSON in, NDJSON out)
+//	POST   /v1/rules/{name}/batch/forecast   batch forecast (same framing)
+//	POST   /v1/rules/{name}/batch/outliers   batch outlier scan (same framing)
+//	GET    /healthz                          liveness probe
+//	GET    /metrics                          Prometheus text exposition
 //
-// GET /v1/rules/{name} carries an ETag derived from the model version
-// and honors If-None-Match with 304, so pollers do not re-download
-// unchanged rule sets. Request bodies are capped (default 32 MiB,
-// WithMaxBodyBytes) and oversized bodies answer 413 with the uniform
-// error envelope. Wrong-method requests to the /v1/rules paths return
-// 405 with an Allow header. All routes are wrapped in the obs
-// middleware; see docs/observability.md and docs/persistence.md.
+// Every error response — including 404 fallthroughs and 405s — carries
+// the uniform envelope {"error": {"code": "...", "message": "..."}} with
+// a stable machine-readable code (see the Code* constants). GET
+// /v1/rules/{name} carries an ETag derived from the model version and
+// honors If-None-Match with 304, so pollers do not re-download unchanged
+// rule sets. The model GET and every inference endpoint accept
+// ?version=N to pin a retained historical revision instead of the head
+// (version_not_found when not retained). Request bodies are capped
+// (default 32 MiB, WithMaxBodyBytes) and oversized bodies answer 413;
+// the batch endpoints are exempt from the cap because they stream
+// row-by-row in bounded memory (see batch.go). Wrong-method requests to
+// the /v1/rules paths return 405 with an Allow header. All routes are
+// wrapped in the obs middleware; see docs/api.md, docs/observability.md
+// and docs/persistence.md.
 package server
 
 import (
@@ -39,6 +49,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"ratiorules/internal/core"
@@ -89,6 +100,16 @@ func (r *Registry) GetRaw(name string) ([]byte, int, bool) {
 	return r.st.GetRaw(name)
 }
 
+// GetVersion fetches a pinned retained revision of a model.
+func (r *Registry) GetVersion(name string, version int) (*core.Rules, bool) {
+	return r.st.GetVersion(name, version)
+}
+
+// GetVersionRaw fetches a pinned retained revision's canonical JSON.
+func (r *Registry) GetVersionRaw(name string, version int) ([]byte, bool) {
+	return r.st.GetVersionRaw(name, version)
+}
+
 // Delete removes a model, reporting whether it existed.
 func (r *Registry) Delete(name string) (bool, error) {
 	return r.st.Delete(name)
@@ -131,12 +152,23 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 		o(&cfg)
 	}
 	m := newHTTPMetrics(cfg.metrics, cfg.logger)
-	s := &service{reg: reg, logger: cfg.logger}
+	s := &service{
+		reg:          reg,
+		logger:       cfg.logger,
+		batchWorkers: cfg.batchWorkers,
+		batch:        newBatchMetrics(cfg.metrics),
+	}
 	mux := http.NewServeMux()
 	handle := func(method, path string, h http.HandlerFunc) {
 		if cfg.maxBodyBytes > 0 {
 			h = limitBody(cfg.maxBodyBytes, h)
 		}
+		mux.Handle(method+" "+path, m.instrument(path, h))
+	}
+	// Batch routes are registered without the body cap: they stream
+	// row-by-row in bounded memory, so total body size is unbounded by
+	// design (per-line size is still capped, see batch.go).
+	handleStream := func(method, path string, h http.HandlerFunc) {
 		mux.Handle(method+" "+path, m.instrument(path, h))
 	}
 	handle("GET", "/healthz", s.health)
@@ -153,6 +185,9 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	handle("POST", "/v1/rules/{name}/whatif", s.whatIf)
 	handle("POST", "/v1/rules/{name}/project", s.project)
 	handle("POST", "/v1/rules/{name}/outliers", s.outliers)
+	handleStream("POST", "/v1/rules/{name}/batch/fill", s.batchFill)
+	handleStream("POST", "/v1/rules/{name}/batch/forecast", s.batchForecast)
+	handleStream("POST", "/v1/rules/{name}/batch/outliers", s.batchOutliers)
 	// Wrong-method fallbacks: the method-specific patterns above take
 	// precedence, so these catch everything else on known paths.
 	fallback := func(path, allow string) {
@@ -161,9 +196,16 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	fallback("/v1/rules", "GET, POST")
 	fallback("/v1/rules/{name}", "GET, PUT, DELETE")
 	fallback("/v1/rules/{name}/versions", "GET")
-	for _, sub := range []string{"rollback", "fill", "forecast", "whatif", "project", "outliers"} {
+	for _, sub := range []string{"rollback", "fill", "forecast", "whatif", "project", "outliers",
+		"batch/fill", "batch/forecast", "batch/outliers"} {
 		fallback("/v1/rules/{name}/"+sub, "POST")
 	}
+	// Catch-all: unknown paths answer the uniform envelope instead of
+	// net/http's plain-text 404.
+	mux.Handle("/", m.instrument("(unmatched)", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("no route for %s %s", r.Method, r.URL.Path))
+	})))
 	return mux
 }
 
@@ -179,13 +221,34 @@ func limitBody(limit int64, h http.HandlerFunc) http.HandlerFunc {
 }
 
 type service struct {
-	reg    *Registry
-	logger *slog.Logger
+	reg          *Registry
+	logger       *slog.Logger
+	batchWorkers int
+	batch        *batchMetrics
 }
 
-// errorBody is the uniform error envelope.
+// Stable machine-readable error codes carried by every v1 error
+// envelope. Clients should branch on these, not on message text.
+const (
+	CodeNotFound         = "not_found"          // model (or route) does not exist
+	CodeVersionNotFound  = "version_not_found"  // pinned version not retained
+	CodeBadRequest       = "bad_request"        // malformed body, bad holes/width, invalid params
+	CodeBodyTooLarge     = "body_too_large"     // request body exceeds the cap
+	CodeStoreFailed      = "store_failed"       // durable store rejected the mutation
+	CodeMethodNotAllowed = "method_not_allowed" // known path, wrong verb
+	CodeInternal         = "internal"           // unexpected server-side failure
+)
+
+// errorInfo is the inner object of the uniform error envelope.
+type errorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorBody is the uniform error envelope:
+// {"error": {"code": "...", "message": "..."}}.
 type errorBody struct {
-	Error string `json:"error"`
+	Error errorInfo `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -194,8 +257,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: errorInfo{Code: code, Message: err.Error()}})
 }
 
 // bodyErr writes the envelope for a request-body read/decode failure,
@@ -203,11 +266,11 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 func bodyErr(w http.ResponseWriter, err error) {
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
-		writeErr(w, http.StatusRequestEntityTooLarge,
+		writeErr(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 			fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
 		return
 	}
-	writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
 }
 
 // decodeBody decodes the JSON request body into v, answering 413/400
@@ -220,16 +283,27 @@ func decodeBody(w http.ResponseWriter, req *http.Request, v any) bool {
 	return true
 }
 
-// statusFor maps library sentinel errors onto HTTP statuses.
-func statusFor(err error) int {
+// errStatus maps library sentinel errors onto an HTTP status and
+// envelope code.
+func errStatus(err error) (int, string) {
 	switch {
-	case errors.Is(err, core.ErrWidth), errors.Is(err, core.ErrBadHole), errors.Is(err, core.ErrNoRules):
-		return http.StatusBadRequest
-	case errors.Is(err, store.ErrNotFound), errors.Is(err, store.ErrVersionNotFound):
-		return http.StatusNotFound
+	case errors.Is(err, core.ErrWidth), errors.Is(err, core.ErrBadHole), errors.Is(err, core.ErrNoRules),
+		errors.Is(err, errBadRow):
+		return http.StatusBadRequest, CodeBadRequest
+	case errors.Is(err, store.ErrVersionNotFound):
+		return http.StatusNotFound, CodeVersionNotFound
+	case errors.Is(err, store.ErrNotFound):
+		return http.StatusNotFound, CodeNotFound
 	default:
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, CodeInternal
 	}
+}
+
+// writeErrFor is writeErr with the status and code derived from the
+// error's sentinel chain via errStatus.
+func writeErrFor(w http.ResponseWriter, err error) {
+	status, code := errStatus(err)
+	writeErr(w, status, code, err)
 }
 
 // health answers liveness probes with the model count.
@@ -278,16 +352,16 @@ func (s *service) mine(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if body.Name == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("missing model name"))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("missing model name"))
 		return
 	}
 	if len(body.Rows) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("missing rows"))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("missing rows"))
 		return
 	}
 	x, err := matrix.FromRows(body.Rows)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	opts := []core.Option{}
@@ -301,17 +375,18 @@ func (s *service) mine(w http.ResponseWriter, req *http.Request) {
 	}
 	miner, err := core.NewMiner(opts...)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	rules, err := miner.MineMatrix(x)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErrFor(w, err)
 		return
 	}
 	version, err := s.reg.Put(body.Name, rules)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("persisting model: %w", err))
+		writeErr(w, http.StatusInternalServerError, CodeStoreFailed,
+			fmt.Errorf("persisting model: %w", err))
 		return
 	}
 	s.logger.Info("model mined",
@@ -331,11 +406,47 @@ func (s *service) list(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// queryVersion parses the optional ?version=N pin. ok=false means the
+// request was already answered with a 400.
+func queryVersion(w http.ResponseWriter, req *http.Request) (version int, pinned, ok bool) {
+	raw := req.URL.Query().Get("version")
+	if raw == "" {
+		return 0, false, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v <= 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("invalid version %q: want a positive integer", raw))
+		return 0, false, false
+	}
+	return v, true, true
+}
+
+// lookup resolves {name} to a rule set, honoring the ?version=N pin
+// shared by every inference endpoint. Missing models answer 404
+// not_found; unretained pins answer 404 version_not_found.
 func (s *service) lookup(w http.ResponseWriter, req *http.Request) (*core.Rules, bool) {
 	name := req.PathValue("name")
+	version, pinned, ok := queryVersion(w, req)
+	if !ok {
+		return nil, false
+	}
+	if pinned {
+		if _, exists := s.reg.Get(name); !exists {
+			writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
+			return nil, false
+		}
+		rules, ok := s.reg.GetVersion(name, version)
+		if !ok {
+			writeErr(w, http.StatusNotFound, CodeVersionNotFound,
+				fmt.Errorf("model %q has no retained version %d", name, version))
+			return nil, false
+		}
+		return rules, true
+	}
 	rules, ok := s.reg.Get(name)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
+		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
 		return nil, false
 	}
 	return rules, true
@@ -356,17 +467,36 @@ func etagMatch(header, etag string) bool {
 	return false
 }
 
-// get serves the head revision's canonical Rules JSON. The body is the
+// get serves a revision's canonical Rules JSON — the head by default,
+// or a retained revision pinned with ?version=N. The body is the
 // pre-encoded canonical bytes held by the store, so encoding can never
 // fail after headers are written (the old streaming Save risked a
-// second WriteHeader on mid-body errors). The ETag is the model
+// second WriteHeader on mid-body errors). The ETag is the served
 // version; If-None-Match answers 304 so pollers skip the download.
 func (s *service) get(w http.ResponseWriter, req *http.Request) {
 	name := req.PathValue("name")
-	raw, version, ok := s.reg.GetRaw(name)
+	version, pinned, ok := queryVersion(w, req)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
 		return
+	}
+	var raw []byte
+	if pinned {
+		if _, _, exists := s.reg.GetRaw(name); !exists {
+			writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
+			return
+		}
+		raw, ok = s.reg.GetVersionRaw(name, version)
+		if !ok {
+			writeErr(w, http.StatusNotFound, CodeVersionNotFound,
+				fmt.Errorf("model %q has no retained version %d", name, version))
+			return
+		}
+	} else {
+		raw, version, ok = s.reg.GetRaw(name)
+		if !ok {
+			writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
+			return
+		}
 	}
 	etag := etagFor(version)
 	w.Header().Set("ETag", etag)
@@ -383,7 +513,7 @@ func (s *service) get(w http.ResponseWriter, req *http.Request) {
 func (s *service) put(w http.ResponseWriter, req *http.Request) {
 	name := req.PathValue("name")
 	if name == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("missing model name"))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("missing model name"))
 		return
 	}
 	rules, err := core.Load(req.Body)
@@ -393,7 +523,8 @@ func (s *service) put(w http.ResponseWriter, req *http.Request) {
 	}
 	version, err := s.reg.Put(name, rules)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("persisting model: %w", err))
+		writeErr(w, http.StatusInternalServerError, CodeStoreFailed,
+			fmt.Errorf("persisting model: %w", err))
 		return
 	}
 	s.logger.Info("model installed",
@@ -405,11 +536,12 @@ func (s *service) del(w http.ResponseWriter, req *http.Request) {
 	name := req.PathValue("name")
 	ok, err := s.reg.Delete(name)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("deleting model: %w", err))
+		writeErr(w, http.StatusInternalServerError, CodeStoreFailed,
+			fmt.Errorf("deleting model: %w", err))
 		return
 	}
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
+		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
 		return
 	}
 	s.logger.Info("model deleted", "model", name)
@@ -427,7 +559,7 @@ func (s *service) versions(w http.ResponseWriter, req *http.Request) {
 	name := req.PathValue("name")
 	infos, ok := s.reg.Versions(name)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("model %q not found", name))
+		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
 		return
 	}
 	head := 0
@@ -452,7 +584,7 @@ func (s *service) rollback(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if body.Version <= 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("missing or invalid version"))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("missing or invalid version"))
 		return
 	}
 	// The store returns the restored rules from under its lock, so the
@@ -460,7 +592,13 @@ func (s *service) rollback(w http.ResponseWriter, req *http.Request) {
 	// a newer head before we respond.
 	rules, newVersion, err := s.reg.Rollback(name, body.Version)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		// Rollback failures that are neither missing-model nor
+		// missing-version are journal write failures.
+		status, code := errStatus(err)
+		if code == CodeInternal {
+			code = CodeStoreFailed
+		}
+		writeErr(w, status, code, err)
 		return
 	}
 	s.logger.Info("model rolled back",
@@ -490,7 +628,7 @@ func (s *service) fill(w http.ResponseWriter, req *http.Request) {
 	}
 	filled, err := rules.FillRow(body.Record, body.Holes)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErrFor(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, fillResponse{Filled: filled})
@@ -517,7 +655,7 @@ func (s *service) forecast(w http.ResponseWriter, req *http.Request) {
 	}
 	v, err := rules.Forecast(body.Given, body.Target)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErrFor(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, forecastResponse{Value: v})
@@ -543,7 +681,7 @@ func (s *service) whatIf(w http.ResponseWriter, req *http.Request) {
 	}
 	out, err := rules.WhatIf(core.Scenario{Given: body.Given})
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErrFor(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, whatIfResponse{Record: out})
@@ -570,7 +708,7 @@ func (s *service) project(w http.ResponseWriter, req *http.Request) {
 	}
 	x, err := matrix.FromRows(body.Rows)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	dims := body.Dims
@@ -579,7 +717,7 @@ func (s *service) project(w http.ResponseWriter, req *http.Request) {
 	}
 	proj, err := rules.Project(x, dims)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErrFor(w, err)
 		return
 	}
 	coords := make([][]float64, proj.Rows())
@@ -610,12 +748,12 @@ func (s *service) outliers(w http.ResponseWriter, req *http.Request) {
 	}
 	x, err := matrix.FromRows(body.Rows)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	out, err := rules.CellOutliers(x, body.Sigma)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErrFor(w, err)
 		return
 	}
 	if out == nil {

@@ -494,8 +494,11 @@ func TestMaxBodyBytes(t *testing.T) {
 	if got := doJSON(t, http.MethodPost, ts.URL+"/v1/rules", big, &errBody); got != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized mine status = %d, want 413", got)
 	}
-	if !strings.Contains(errBody.Error, "256") {
-		t.Errorf("413 envelope missing the limit: %q", errBody.Error)
+	if !strings.Contains(errBody.Error.Message, "256") {
+		t.Errorf("413 envelope missing the limit: %q", errBody.Error.Message)
+	}
+	if errBody.Error.Code != CodeBodyTooLarge {
+		t.Errorf("413 envelope code = %q, want %q", errBody.Error.Code, CodeBodyTooLarge)
 	}
 	// The cap applies to PUT's streaming Load path as well.
 	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/rules/x",

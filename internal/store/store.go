@@ -506,6 +506,24 @@ func (s *Store) GetVersion(name string, version int) (*core.Rules, bool) {
 	return nil, false
 }
 
+// GetVersionRaw returns a pinned retained revision's canonical Rules
+// JSON, so version-pinned model GETs serve the exact bytes the revision
+// was journaled with.
+func (s *Store) GetVersionRaw(name string, version int) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.models[name]
+	if m == nil {
+		return nil, false
+	}
+	for _, r := range m.revs {
+		if r.version == version {
+			return r.raw, true
+		}
+	}
+	return nil, false
+}
+
 // Versions lists the retained revisions of a model, ascending, with the
 // head flagged. ok is false when the model does not exist.
 func (s *Store) Versions(name string) (infos []VersionInfo, ok bool) {

@@ -16,19 +16,29 @@
 // Rules are mined in a single pass over the data — column averages and the
 // covariance matrix are accumulated streamingly, then an in-memory
 // eigensolve ranks the directions of greatest variance and the 85%-energy
-// cutoff (Eq. 1 of the paper) decides how many rules to keep:
+// cutoff (Eq. 1 of the paper) decides how many rules to keep. Every entry
+// point is configured by the same Opt setters over one Options struct:
 //
-//	miner, err := ratiorules.NewMiner(ratiorules.WithAttrNames(names))
-//	rules, err := miner.MineMatrix(x)           // in-memory
-//	rules, err := miner.Mine(src)               // streaming RowSource
+//	rules, err := ratiorules.Mine(x, ratiorules.AttrNames(names...))
+//	rules, err := ratiorules.MineRows(rows, ratiorules.Energy(0.9))
+//	rules, err := ratiorules.MineStream(src)    // streaming RowSource
 //
 // # Reconstruction and applications
 //
-//	full, err := rules.FillRecord([]float64{10, 3, ratiorules.Hole})
+//	full, err := ratiorules.Fill(rules, []float64{10, 3, ratiorules.Hole}, nil)
 //	ge, err := ratiorules.GE1(rules, testMatrix) // quality of the rule set
 //	out, err := rules.CellOutliers(x, 2)         // 2-sigma outliers
 //	fc, err := rules.Forecast(map[int]float64{0: 1.0, 1: 2.5}, 2)
 //	xy, err := rules.Project(x, 2)               // 2-d visualization
+//
+// # Batch inference
+//
+// The Batch* calls answer many rows at once on a bounded worker pool,
+// reusing one solver factorization per distinct hole pattern (see
+// internal/core's plan cache); Clean repairs a whole matrix in place:
+//
+//	res := ratiorules.BatchFill(rules, rows, nil, ratiorules.Workers(8))
+//	n, err := ratiorules.Clean(rules, x)
 //
 // The package is a facade over internal/core and its numeric substrates
 // (all implemented from scratch on the standard library): dense matrices,
@@ -109,6 +119,9 @@ const (
 // NewMiner returns a Miner with the paper's defaults: single-pass
 // covariance accumulation, tred2/tql2 eigensolver and the 85% energy
 // cutoff.
+//
+// Deprecated: use Mine, MineRows or MineStream with Opt setters; raw
+// core options still apply through MinerOpts.
 func NewMiner(opts ...Option) (*Miner, error) { return core.NewMiner(opts...) }
 
 // WithEnergy sets the Eq. 1 variance-coverage threshold in (0, 1].
@@ -175,6 +188,10 @@ func NewColAvgs(means []float64) *ColAvgs { return core.NewColAvgs(means) }
 
 // FillMatrix repairs every Hole-marked cell of x in place using est and
 // reports how many cells were filled — the batch form of FillRow.
+//
+// Deprecated: use Clean, which runs the same repair through the batch
+// engine's worker pool and hole-pattern plan cache. FillMatrix remains
+// for non-Rules Estimators (e.g. ColAvgs).
 func FillMatrix(est Estimator, x *Matrix) (int, error) { return core.FillMatrix(est, x) }
 
 // GE1 is the single-hole guessing error of Def. 1 (Eq. 3): the RMS error
