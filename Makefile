@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify verify-api verify-store fuzz bench clean
+.PHONY: all build vet test race verify verify-api verify-store verify-trace fuzz bench clean
 
 all: build
 
@@ -34,15 +34,23 @@ verify-api:
 	$(GO) test -run 'TestV1Contract' -count=1 ./internal/server
 	$(GO) test -race ./internal/server ./internal/core
 
+# verify-trace checks the request-tracing layer (docs/observability.md):
+# vet plus the race detector over the span tracer, the obs wiring and
+# the server middleware/debug endpoints that publish the traces.
+verify-trace:
+	$(GO) vet ./internal/obs/... ./internal/server
+	$(GO) test -race ./internal/obs/... ./internal/server
+
 # verify is the gate for every change: vet, a full build, the race
-# detector across all packages, then the store persistence gauntlet and
-# the HTTP API contract.
+# detector across all packages, then the store persistence gauntlet,
+# the HTTP API contract and the tracing layer.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) verify-store
 	$(MAKE) verify-api
+	$(MAKE) verify-trace
 
 # fuzz runs each core fuzz target for FUZZTIME (default 10s). Go allows
 # one -fuzz pattern per invocation, hence the separate runs.

@@ -9,12 +9,14 @@
 //	rrbench -experiment table2 | fig7 | fig9 | fig11 | fig12 | cutoff
 //	rrbench -experiment batch -batch-rows 10000 -batch-patterns 8
 //	rrbench -experiment fig8 -json > BENCH_fig8.json
+//	rrbench -experiment all -out BENCH_PR4.json
 //
 // With -json the human-readable tables are suppressed and a single
 // machine-readable summary is printed instead: per-experiment wall
-// times plus the miner's phase timings, throughput and op counters
-// snapshot from the obs registry — the input for BENCH_*.json
-// trajectory tracking.
+// times plus the miner's phase timings, throughput, op counters and
+// fill-cache hit rate snapshot from the obs registry — the input for
+// BENCH_*.json trajectory tracking. -out writes the same summary to a
+// file while keeping the tables on stdout, so one run produces both.
 package main
 
 import (
@@ -49,6 +51,7 @@ func run(args []string, w io.Writer) error {
 		sizes         = fs.String("sizes", "", "comma-separated row counts for fig8 (default: the paper's sweep)")
 		datDir        = fs.String("datdir", "", "also write the paper's gnuplot data files (nba.d2, scaleup.dat, ...) into this directory")
 		jsonOut       = fs.Bool("json", false, "suppress tables and print a machine-readable timing/throughput summary")
+		outFile       = fs.String("out", "", "also write the JSON summary to this file (tables stay on stdout)")
 		verbose       = fs.Bool("v", false, "debug logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -182,6 +185,20 @@ func run(args []string, w io.Writer) error {
 	} else if err := timedRun(*experiment); err != nil {
 		return err
 	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return fmt.Errorf("creating -out file: %w", err)
+		}
+		if err := writeJSONSummary(f, timings); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", *outFile, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote summary to %s\n", *outFile)
+	}
 	if *jsonOut {
 		return writeJSONSummary(jsonDst, timings)
 	}
@@ -220,6 +237,9 @@ type minerSummary struct {
 	Mines          map[string]float64   `json:"mines"`
 	Ops            map[string]float64   `json:"ops"`
 	FillCache      map[string]float64   `json:"fill_cache"`
+	// CacheHitRate is hits/(hits+misses) of the fill-plan cache over
+	// the whole run; 0 when the cache was never consulted.
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 // writeJSONSummary snapshots the obs registry into the -json document.
@@ -269,6 +289,10 @@ func writeJSONSummary(w io.Writer, timings []benchExperiment) error {
 		case "rr_fill_cache_evictions_total":
 			sum.Miner.FillCache["evictions"] = s.Value
 		}
+	}
+	hits, misses := sum.Miner.FillCache["hits"], sum.Miner.FillCache["misses"]
+	if total := hits + misses; total > 0 {
+		sum.Miner.CacheHitRate = hits / total
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -4,8 +4,9 @@
 // embedded write-ahead-log store (see docs/persistence.md), so mined
 // models — and their version history — survive restarts and crashes.
 // Prometheus metrics are exposed at GET /metrics, liveness at
-// GET /healthz, and the server drains in-flight requests for up to 10s on
-// SIGINT/SIGTERM before exiting.
+// GET /healthz, recent request traces at GET /debug/traces (see
+// -trace-buffer / -trace-slow), and the server drains in-flight
+// requests for up to 10s on SIGINT/SIGTERM before exiting.
 //
 // Usage:
 //
@@ -23,6 +24,11 @@
 //	                 the streaming /batch endpoints are exempt
 //	-batch-workers   worker pool width per /batch request (default:
 //	                 one worker per CPU)
+//	-trace-buffer    flight-recorder capacity in completed traces
+//	                 (default 256); the last N request span trees are
+//	                 queryable at GET /debug/traces
+//	-trace-slow      always-on slow-trace log threshold (default 1s);
+//	                 0 disables the log line, not the tracing
 //	-debug-addr      optional side listener serving net/http/pprof under
 //	                 /debug/pprof/ — keep it on localhost or a private
 //	                 network, never the public service address
@@ -54,6 +60,7 @@ import (
 	"time"
 
 	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/server"
 	"ratiorules/internal/store"
 )
@@ -83,6 +90,8 @@ func run(ctx context.Context, args []string) error {
 		maxVersions   = fs.Int("max-versions", 32, "retained revisions per model (<= 0 keeps all)")
 		maxBodyBytes  = fs.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "request body cap in bytes (<= 0 disables)")
 		batchWorkers  = fs.Int("batch-workers", 0, "worker pool width per /batch request (<= 0 = one per CPU)")
+		traceBuffer   = fs.Int("trace-buffer", trace.DefaultBufferSize, "flight-recorder capacity in completed traces")
+		traceSlow     = fs.Duration("trace-slow", time.Second, "slow-trace log threshold (0 disables the log)")
 		debugAddr     = fs.String("debug-addr", "", "optional pprof side-listener address (e.g. localhost:6060)")
 		verbose       = fs.Bool("v", false, "debug logging")
 	)
@@ -112,10 +121,16 @@ func run(ctx context.Context, args []string) error {
 	}
 	defer closeStore()
 
+	tracer := trace.New(trace.Config{
+		BufferSize: *traceBuffer,
+		Slow:       *traceSlow,
+		Logger:     logger,
+	})
+
 	srv := &http.Server{
 		Handler: server.Handler(reg,
 			server.WithLogger(logger), server.WithMaxBodyBytes(*maxBodyBytes),
-			server.WithBatchWorkers(*batchWorkers)),
+			server.WithBatchWorkers(*batchWorkers), server.WithTracer(tracer)),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,

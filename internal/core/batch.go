@@ -7,6 +7,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
+
+	"ratiorules/internal/obs/trace"
 )
 
 // The batch inference engine amortizes the Sec. 4.4 solve across many
@@ -110,10 +113,11 @@ type OutlierResult struct {
 // channel closes after the last result (or once ctx is cancelled);
 // callers must drain it.
 func (r *Rules) BatchFill(ctx context.Context, jobs <-chan FillJob, opts BatchOptions) <-chan FillResult {
-	return runOrdered(ctx, opts.workers(), jobs, func(i int, j FillJob) FillResult {
+	return runOrdered(ctx, opts.workers(), jobs, func(ctx context.Context, i int, j FillJob, wait time.Duration) FillResult {
 		if j.Err != nil {
 			return FillResult{Index: i, Err: j.Err}
 		}
+		rctx, sp := startRowSpan(ctx, "fill", i, wait)
 		holes := j.Holes
 		if holes == nil {
 			for idx, v := range j.Record {
@@ -122,10 +126,23 @@ func (r *Rules) BatchFill(ctx context.Context, jobs <-chan FillJob, opts BatchOp
 				}
 			}
 		}
-		filled, err := r.fillCached(j.Record, holes, opts.Solver)
+		filled, err := r.fillCachedCtx(rctx, j.Record, holes, opts.Solver)
+		sp.End()
 		fillOps.count(err)
 		return FillResult{Index: i, Filled: filled, Err: err}
 	})
+}
+
+// startRowSpan opens the per-row "batch.row" child span, annotated with
+// the operation, the row's input index, and how long the job sat in the
+// pool queue before a worker picked it up — the span that splits "the
+// pool was saturated" from "the solve was slow" in a trace.
+func startRowSpan(ctx context.Context, op string, index int, wait time.Duration) (context.Context, *trace.Span) {
+	rctx, sp := trace.Start(ctx, "batch.row")
+	sp.SetAttr("op", op)
+	sp.SetAttr("index", index)
+	sp.SetAttr("queue_wait_us", wait.Microseconds())
+	return rctx, sp
 }
 
 // BatchForecast answers a stream of forecasting queries on a bounded
@@ -134,18 +151,20 @@ func (r *Rules) BatchFill(ctx context.Context, jobs <-chan FillJob, opts BatchOp
 // hit the plan cache just like batch fills. Delivery contract as in
 // BatchFill.
 func (r *Rules) BatchForecast(ctx context.Context, jobs <-chan ForecastJob, opts BatchOptions) <-chan ForecastResult {
-	return runOrdered(ctx, opts.workers(), jobs, func(i int, j ForecastJob) ForecastResult {
+	return runOrdered(ctx, opts.workers(), jobs, func(ctx context.Context, i int, j ForecastJob, wait time.Duration) ForecastResult {
 		if j.Err != nil {
 			return ForecastResult{Index: i, Err: j.Err}
 		}
-		v, err := r.forecastCached(j.Given, j.Target, opts.Solver)
+		rctx, sp := startRowSpan(ctx, "forecast", i, wait)
+		v, err := r.forecastCached(rctx, j.Given, j.Target, opts.Solver)
+		sp.End()
 		forecastOps.count(err)
 		return ForecastResult{Index: i, Value: v, Err: err}
 	})
 }
 
 // forecastCached is Forecast through the plan cache.
-func (r *Rules) forecastCached(given map[int]float64, target int, solver FillSolver) (float64, error) {
+func (r *Rules) forecastCached(ctx context.Context, given map[int]float64, target int, solver FillSolver) (float64, error) {
 	if target < 0 || target >= r.M() {
 		return 0, fmt.Errorf("core: forecast target %d out of range [0,%d): %w",
 			target, r.M(), ErrBadHole)
@@ -157,7 +176,7 @@ func (r *Rules) forecastCached(given map[int]float64, target int, solver FillSol
 	if err != nil {
 		return 0, err
 	}
-	full, err := r.fillCached(row, holes, solver)
+	full, err := r.fillCachedCtx(ctx, row, holes, solver)
 	if err != nil {
 		return 0, err
 	}
@@ -177,11 +196,15 @@ func (r *Rules) BatchOutliers(ctx context.Context, jobs <-chan OutlierJob, opts 
 	if sigma <= 0 {
 		sigma = DefaultOutlierSigma
 	}
-	return runOrdered(ctx, opts.workers(), jobs, func(i int, j OutlierJob) OutlierResult {
+	return runOrdered(ctx, opts.workers(), jobs, func(ctx context.Context, i int, j OutlierJob, wait time.Duration) OutlierResult {
 		if j.Err != nil {
 			return OutlierResult{Index: i, Err: j.Err}
 		}
+		// Cell probes stay span-less on purpose: M single-hole fills per
+		// row would blow the per-trace span cap on the first few rows.
+		_, sp := startRowSpan(ctx, "outliers", i, wait)
 		cells, err := r.rowCellOutliers(j.Record, sigma, i)
+		sp.End()
 		outlierOps.count(err)
 		return OutlierResult{Index: i, Outliers: cells, Err: err}
 	})
@@ -292,14 +315,20 @@ func collect[R any](ch <-chan R, capHint int) []R {
 // results, so a slow consumer back-pressures the feeder instead of
 // growing memory. On ctx cancellation the pipeline shuts down promptly;
 // the output channel always closes.
-func runOrdered[J, R any](ctx context.Context, workers int, jobs <-chan J, fn func(index int, j J) R) <-chan R {
+//
+// Workers invoke fn with the pipeline ctx — which carries the caller's
+// trace span, so per-row child spans parent correctly across the
+// goroutine hop — and with the time the job spent queued between
+// dispatch and pickup.
+func runOrdered[J, R any](ctx context.Context, workers int, jobs <-chan J, fn func(ctx context.Context, index int, j J, wait time.Duration) R) <-chan R {
 	if workers < 1 {
 		workers = 1
 	}
 	type task struct {
-		index int
-		job   J
-		res   chan R
+		index    int
+		job      J
+		enqueued time.Time
+		res      chan R
 	}
 	tasks := make(chan task)
 	// pending is the ordered reorder queue: each entry is the (1-buffered)
@@ -311,7 +340,7 @@ func runOrdered[J, R any](ctx context.Context, workers int, jobs <-chan J, fn fu
 		go func() {
 			defer wg.Done()
 			for t := range tasks {
-				t.res <- fn(t.index, t.job)
+				t.res <- fn(ctx, t.index, t.job, time.Since(t.enqueued))
 			}
 		}()
 	}
@@ -332,7 +361,7 @@ func runOrdered[J, R any](ctx context.Context, workers int, jobs <-chan J, fn fu
 					return
 				}
 				select {
-				case tasks <- task{index: i, job: j, res: res}:
+				case tasks <- task{index: i, job: j, enqueued: time.Now(), res: res}:
 				case <-ctx.Done():
 					// The slot was enqueued but its task never dispatched;
 					// the emitter bails out on ctx too, so nobody waits on it.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 
 	"ratiorules/internal/linsolve"
 	"ratiorules/internal/matrix"
+	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/svd"
 )
 
@@ -236,6 +238,15 @@ func (c *planCache) len() int {
 // hot path. Semantics match fill exactly; only the factorization reuse
 // differs.
 func (r *Rules) fillCached(row []float64, holes []int, solver FillSolver) ([]float64, error) {
+	return r.fillCachedCtx(context.Background(), row, holes, solver)
+}
+
+// fillCachedCtx is fillCached with trace spans: "fill.cache" covers the
+// pattern lookup (attr result=hit|miss), a "fill.factorize" child prices
+// the V′ factorization on a miss, and "fill.solve" covers the per-row
+// gather + substitution. With no active trace in ctx the spans are
+// no-ops.
+func (r *Rules) fillCachedCtx(ctx context.Context, row []float64, holes []int, solver FillSolver) ([]float64, error) {
 	m := r.M()
 	if len(row) != m {
 		return nil, fmt.Errorf("core: record width %d, want %d: %w", len(row), m, ErrWidth)
@@ -245,17 +256,27 @@ func (r *Rules) fillCached(row []float64, holes []int, solver FillSolver) ([]flo
 	}
 	sorted := SortedHoles(holes)
 	key := patternKey(sorted, solver)
+	cctx, csp := trace.Start(ctx, "fill.cache")
 	plan, ok := r.plans.get(key)
 	if ok {
 		fillCacheHits.Inc()
+		csp.SetAttr("result", "hit")
 	} else {
 		fillCacheMisses.Inc()
+		csp.SetAttr("result", "miss")
+		_, fsp := trace.Start(cctx, "fill.factorize")
 		var err error
 		plan, err = r.buildPlan(sorted, solver)
+		fsp.End()
 		if err != nil {
+			csp.End()
 			return nil, err
 		}
 		r.plans.put(key, plan)
 	}
-	return r.applyPlan(plan, row)
+	csp.End()
+	_, ssp := trace.Start(ctx, "fill.solve")
+	out, err := r.applyPlan(plan, row)
+	ssp.End()
+	return out, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"ratiorules/internal/eigen"
 	"ratiorules/internal/matrix"
 	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/stats"
 )
 
@@ -158,6 +160,15 @@ func NewMiner(opts ...Option) (*Miner, error) {
 // covariance matrix exactly as the paper's Fig. 2(a), then solves the
 // eigensystem (Fig. 2(b)) and retains rules per the configured cutoff.
 func (m *Miner) Mine(src RowSource) (*Rules, error) {
+	return m.MineContext(context.Background(), src)
+}
+
+// MineContext is Mine with trace spans over the Fig. 2 phases —
+// "mine.scan", "mine.covariance" and "mine.eigensolve" — parented to
+// the span carried by ctx (no-ops without one). The phases also feed
+// the rr_miner_phase_seconds histograms as before; spans add the
+// per-run view.
+func (m *Miner) MineContext(ctx context.Context, src RowSource) (*Rules, error) {
 	width := src.Width()
 	if width <= 0 {
 		return nil, fmt.Errorf("core: source width %d: %w", width, ErrWidth)
@@ -167,20 +178,25 @@ func (m *Miner) Mine(src RowSource) (*Rules, error) {
 	}
 	acc := stats.NewCovAccumulator(width)
 	scanTimer := obs.NewTimer(scanPhase)
+	_, scanSpan := trace.Start(ctx, "mine.scan")
 	for {
 		row, err := src.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
+			scanSpan.End()
 			recordMine(0, width, 0, err)
 			return nil, fmt.Errorf("core: reading training rows: %w", err)
 		}
 		if err := acc.Push(row); err != nil {
+			scanSpan.End()
 			recordMine(0, width, 0, err)
 			return nil, fmt.Errorf("core: accumulating row %d: %w", acc.Count(), err)
 		}
 	}
+	scanSpan.SetAttr("rows", acc.Count())
+	scanSpan.End()
 	scanElapsed := scanTimer.ObserveDuration()
 	if acc.Count() < 2 {
 		err := fmt.Errorf("core: mining needs at least 2 rows, got %d", acc.Count())
@@ -188,18 +204,21 @@ func (m *Miner) Mine(src RowSource) (*Rules, error) {
 		return nil, err
 	}
 	covTimer := obs.NewTimer(covariancePhase)
+	_, covSpan := trace.Start(ctx, "mine.covariance")
 	scatter, err := acc.Scatter()
 	if err != nil {
+		covSpan.End()
 		recordMine(0, width, 0, err)
 		return nil, fmt.Errorf("core: building covariance: %w", err)
 	}
 	means, err := acc.Means()
+	covSpan.End()
 	covTimer.ObserveDuration()
 	if err != nil {
 		recordMine(0, width, 0, err)
 		return nil, fmt.Errorf("core: computing column averages: %w", err)
 	}
-	rules, err := m.rulesFromScatter(scatter, means, acc.Count())
+	rules, err := m.rulesFromScatter(ctx, scatter, means, acc.Count())
 	recordMine(acc.Count(), width, scanElapsed, err)
 	return rules, err
 }
@@ -209,15 +228,21 @@ func (m *Miner) MineMatrix(x *matrix.Dense) (*Rules, error) {
 	return m.Mine(NewMatrixSource(x))
 }
 
+// MineMatrixContext is MineContext for in-memory matrices.
+func (m *Miner) MineMatrixContext(ctx context.Context, x *matrix.Dense) (*Rules, error) {
+	return m.MineContext(ctx, NewMatrixSource(x))
+}
+
 // rulesFromScatter solves the eigensystem of the scatter matrix and applies
 // the retention cutoff.
-func (m *Miner) rulesFromScatter(scatter *matrix.Dense, means []float64, n int) (*Rules, error) {
+func (m *Miner) rulesFromScatter(ctx context.Context, scatter *matrix.Dense, means []float64, n int) (*Rules, error) {
 	var (
 		sys   *eigen.System
 		total float64
 		err   error
 	)
 	eigTimer := obs.NewTimer(eigensolvePhase)
+	_, eigSpan := trace.Start(ctx, "mine.eigensolve")
 	if m.subspace {
 		sys, total, err = m.leadingPairs(scatter)
 	} else {
@@ -232,6 +257,7 @@ func (m *Miner) rulesFromScatter(scatter *matrix.Dense, means []float64, n int) 
 			}
 		}
 	}
+	eigSpan.End()
 	eigTimer.ObserveDuration()
 	if err != nil {
 		return nil, fmt.Errorf("core: eigensystem of %d×%d covariance: %w",

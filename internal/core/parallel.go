@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -101,7 +102,7 @@ func (m *Miner) MineSharded(shards []RowSource) (*Rules, error) {
 		recordMine(0, width, 0, err)
 		return nil, fmt.Errorf("core: computing column averages: %w", err)
 	}
-	rules, err := m.rulesFromScatter(scatter, means, total.Count())
+	rules, err := m.rulesFromScatter(context.Background(), scatter, means, total.Count())
 	recordMine(total.Count(), width, scanElapsed, err)
 	return rules, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -56,5 +57,5 @@ func (m *Miner) MineSparse(src SparseRowSource) (*Rules, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: computing column averages: %w", err)
 	}
-	return m.rulesFromScatter(scatter, means, acc.Count())
+	return m.rulesFromScatter(context.Background(), scatter, means, acc.Count())
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -122,5 +123,5 @@ func (s *StreamMiner) Rules() (*Rules, error) {
 			scatter.Set(l, j, v)
 		}
 	}
-	return s.miner.rulesFromScatter(scatter, means, s.count)
+	return s.miner.rulesFromScatter(context.Background(), scatter, means, s.count)
 }

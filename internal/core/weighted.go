@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -58,7 +59,7 @@ func (m *Miner) MineWeighted(src WeightedRowSource) (*Rules, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: computing column averages: %w", err)
 	}
-	return m.rulesFromScatter(scatter, means, acc.Count())
+	return m.rulesFromScatter(context.Background(), scatter, means, acc.Count())
 }
 
 // WeightedSliceSource adapts an in-memory weighted table to

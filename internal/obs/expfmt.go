@@ -18,6 +18,7 @@ const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 // text exposition format (version 0.0.4), families and children in
 // sorted order so the output is deterministic for golden tests.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runCollectors()
 	bw := bufio.NewWriter(w)
 	for _, f := range r.sortedFamilies() {
 		children := f.sortedChildren()
@@ -73,6 +74,7 @@ type Sample struct {
 // sample list — the in-process read path for tests and for rrbench's
 // JSON summary. Ordering matches the exposition format.
 func (r *Registry) Gather() []Sample {
+	r.runCollectors()
 	var out []Sample
 	for _, f := range r.sortedFamilies() {
 		for _, c := range f.sortedChildren() {

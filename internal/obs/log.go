@@ -6,6 +6,8 @@ import (
 	"log/slog"
 	"os"
 	"strings"
+
+	"ratiorules/internal/obs/trace"
 )
 
 // Environment variables honored by Setup, shared by every rr command:
@@ -33,13 +35,19 @@ func ParseLevel(s string) (slog.Level, error) {
 }
 
 // NewLogger returns a structured logger writing to w at the given
-// level, as logfmt-style text or JSON.
+// level, as logfmt-style text or JSON. The handler stamps
+// trace_id/span_id on records logged with a trace-carrying context
+// (see internal/obs/trace), so request logs correlate with the flight
+// recorder.
 func NewLogger(w io.Writer, level slog.Level, json bool) *slog.Logger {
 	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
 	if json {
-		return slog.New(slog.NewJSONHandler(w, opts))
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
 	}
-	return slog.New(slog.NewTextHandler(w, opts))
+	return slog.New(trace.WrapHandler(h))
 }
 
 // NopLogger returns a logger that discards everything — the default

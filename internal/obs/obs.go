@@ -50,6 +50,10 @@ func (k metricKind) String() string {
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
+
+	collectorMu sync.Mutex
+	collectors  []func()
+	runtimeOnce sync.Once // RegisterRuntime idempotency
 }
 
 // family is one named metric with a fixed type and label scheme; its
@@ -184,6 +188,27 @@ func (f *family) sortedChildren() []*child {
 		out[i] = f.children[k]
 	}
 	return out
+}
+
+// RegisterCollector adds a function run at the start of every scrape
+// (WritePrometheus, Gather, Snapshot) — the hook for gauges whose value
+// is sampled on demand rather than recorded at event time, like the
+// Go runtime stats (see RegisterRuntime). Collectors must be fast and
+// must not scrape the registry themselves.
+func (r *Registry) RegisterCollector(fn func()) {
+	r.collectorMu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.collectorMu.Unlock()
+}
+
+// runCollectors invokes every registered collector.
+func (r *Registry) runCollectors() {
+	r.collectorMu.Lock()
+	fns := append([]func(){}, r.collectors...)
+	r.collectorMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
 }
 
 // sortedFamilies snapshots the families in name order.

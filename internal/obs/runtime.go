@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// processStart anchors rr_process_uptime_seconds; set once at init so
+// every registry in the process reports the same uptime.
+var processStart = time.Now()
+
+// RegisterRuntime registers the Go runtime gauges on r and hooks a
+// collector that refreshes them at scrape time:
+//
+//	rr_go_goroutines             current goroutine count
+//	rr_go_heap_bytes             bytes of allocated heap objects
+//	rr_go_gc_pause_seconds       cumulative stop-the-world GC pause time
+//	rr_process_uptime_seconds    seconds since process start
+//
+// Values are sampled lazily — runtime.ReadMemStats runs only when
+// /metrics is scraped or Gather is called, never on the request path.
+// Calling RegisterRuntime more than once on the same registry is a
+// no-op.
+func RegisterRuntime(r *Registry) {
+	r.runtimeOnce.Do(func() {
+		goroutines := r.Gauge("rr_go_goroutines",
+			"Current number of goroutines.")
+		heap := r.Gauge("rr_go_heap_bytes",
+			"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+		gcPause := r.Gauge("rr_go_gc_pause_seconds",
+			"Cumulative stop-the-world GC pause time since process start.")
+		uptime := r.Gauge("rr_process_uptime_seconds",
+			"Seconds since process start.")
+		r.RegisterCollector(func() {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			goroutines.Set(float64(runtime.NumGoroutine()))
+			heap.Set(float64(ms.HeapAlloc))
+			gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+			uptime.Set(time.Since(processStart).Seconds())
+		})
+	})
+}

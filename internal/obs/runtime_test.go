@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegisterRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	snap := r.Snapshot()
+	for _, name := range []string{
+		"rr_go_goroutines",
+		"rr_go_heap_bytes",
+		"rr_go_gc_pause_seconds",
+		"rr_process_uptime_seconds",
+	} {
+		v, ok := snap[name]
+		if !ok {
+			t.Fatalf("gauge %s not gathered (snapshot: %v)", name, snap)
+		}
+		if name != "rr_go_gc_pause_seconds" && v <= 0 {
+			t.Fatalf("gauge %s = %v, want > 0", name, v)
+		}
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# TYPE rr_go_goroutines gauge") {
+		t.Fatalf("exposition missing runtime gauge:\n%s", b.String())
+	}
+}
+
+func TestRegisterRuntimeIdempotent(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	RegisterRuntime(r)
+	r.collectorMu.Lock()
+	n := len(r.collectors)
+	r.collectorMu.Unlock()
+	if n != 1 {
+		t.Fatalf("double RegisterRuntime installed %d collectors, want 1", n)
+	}
+}
+
+func TestRegisterCollectorConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("x_scraped_total", "scrapes observed")
+	var calls sync.Map
+	r.RegisterCollector(func() { g.Add(1); calls.Store("ran", true) })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if _, ok := calls.Load("ran"); !ok {
+		t.Fatal("collector never ran")
+	}
+	if got := r.Snapshot()["x_scraped_total"]; got != 401 {
+		t.Fatalf("collector ran %v times, want 401 (8*50 + final)", got)
+	}
+}

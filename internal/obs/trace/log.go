@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// WrapHandler wraps a slog.Handler so every record logged with a
+// trace-carrying context is stamped with trace_id and span_id attrs.
+// Records logged without an active trace pass through untouched.
+// Wrapping an already-wrapped handler returns it unchanged.
+func WrapHandler(inner slog.Handler) slog.Handler {
+	if _, ok := inner.(*ctxHandler); ok {
+		return inner
+	}
+	return &ctxHandler{inner: inner}
+}
+
+type ctxHandler struct {
+	inner slog.Handler
+}
+
+func (h *ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *ctxHandler) Handle(ctx context.Context, r slog.Record) error {
+	if tid, sid, ok := FromContext(ctx); ok {
+		r = r.Clone()
+		r.AddAttrs(slog.String("trace_id", tid), slog.String("span_id", sid))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &ctxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *ctxHandler) WithGroup(name string) slog.Handler {
+	return &ctxHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceData is one completed trace: the root's identity and timing
+// plus every recorded span (parentage is reconstructed from the
+// ParentID fields by readers; see internal/server's /debug/traces).
+type TraceData struct {
+	TraceID  string        `json:"trace_id"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Spans    []SpanData    `json:"spans"`
+	// Dropped counts spans refused after the per-trace MaxSpans cap —
+	// non-zero means the tree is a prefix, not the whole story.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// Summary is the flight-recorder listing entry: everything about a
+// trace except its span tree.
+type Summary struct {
+	TraceID  string    `json:"trace_id"`
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	Duration float64   `json:"duration_ms"`
+	Spans    int       `json:"spans"`
+	Dropped  int       `json:"dropped,omitempty"`
+}
+
+// Recorder is the flight recorder: a fixed-size ring of the most
+// recently completed traces, indexed by trace ID. Memory is bounded by
+// capacity × (MaxSpans per trace); the oldest trace is evicted — and
+// becomes unfetchable — when the ring wraps. Safe for concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []TraceData
+	byID  map[string]int // trace ID -> buf slot
+	next  int            // slot the next Add overwrites
+	size  int            // occupied slots
+	total uint64         // traces ever recorded
+}
+
+// NewRecorder returns a recorder retaining up to capacity traces
+// (<= 0 selects DefaultBufferSize).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultBufferSize
+	}
+	return &Recorder{
+		buf:  make([]TraceData, capacity),
+		byID: make(map[string]int, capacity),
+	}
+}
+
+// Add records a completed trace, evicting the oldest when full.
+func (r *Recorder) Add(t TraceData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.size == len(r.buf) {
+		// Only drop the index entry if it still points at the slot being
+		// overwritten (a duplicate trace ID may have moved it forward).
+		if old, ok := r.byID[r.buf[r.next].TraceID]; ok && old == r.next {
+			delete(r.byID, r.buf[r.next].TraceID)
+		}
+	}
+	r.buf[r.next] = t
+	r.byID[t.TraceID] = r.next
+	r.next = (r.next + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+	r.total++
+}
+
+// Get fetches a retained trace by ID.
+func (r *Recorder) Get(id string) (TraceData, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot, ok := r.byID[id]
+	if !ok {
+		return TraceData{}, false
+	}
+	return r.buf[slot], true
+}
+
+// Len reports the retained trace count.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Total reports how many traces were ever recorded (retained or
+// evicted).
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Summaries lists up to n retained traces, newest first by default or
+// slowest first when byDuration is set. n <= 0 lists everything.
+func (r *Recorder) Summaries(n int, byDuration bool) []Summary {
+	r.mu.Lock()
+	out := make([]Summary, 0, r.size)
+	for i := 0; i < r.size; i++ {
+		// Walk backwards from the most recently written slot.
+		slot := ((r.next-1-i)%len(r.buf) + len(r.buf)) % len(r.buf)
+		t := &r.buf[slot]
+		out = append(out, Summary{
+			TraceID:  t.TraceID,
+			Name:     t.Name,
+			Start:    t.Start,
+			Duration: float64(t.Duration) / float64(time.Millisecond),
+			Spans:    len(t.Spans),
+			Dropped:  t.Dropped,
+		})
+	}
+	r.mu.Unlock()
+	if byDuration {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	}
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

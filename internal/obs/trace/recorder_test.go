@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkTrace(id string, dur time.Duration) TraceData {
+	return TraceData{TraceID: id, Name: "t-" + id, Duration: dur, Spans: []SpanData{{Name: "root"}}}
+}
+
+func TestRecorderEviction(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Add(mkTrace(fmt.Sprintf("%032d", i), time.Duration(i)))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	// 0 and 1 evicted, 2..4 retained.
+	for i := 0; i < 2; i++ {
+		if _, ok := r.Get(fmt.Sprintf("%032d", i)); ok {
+			t.Fatalf("trace %d survived eviction", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		got, ok := r.Get(fmt.Sprintf("%032d", i))
+		if !ok || got.Duration != time.Duration(i) {
+			t.Fatalf("trace %d: %+v ok=%v", i, got, ok)
+		}
+	}
+}
+
+func TestRecorderDuplicateIDEviction(t *testing.T) {
+	r := NewRecorder(2)
+	r.Add(mkTrace("dup", 1))
+	r.Add(mkTrace("dup", 2)) // moves the index forward
+	r.Add(mkTrace("other", 3))
+	// Overwriting slot 0 (the first "dup") must not delete the live
+	// index entry for the second "dup" in slot 1.
+	if got, ok := r.Get("dup"); !ok || got.Duration != 2 {
+		t.Fatalf("dup = %+v ok=%v, want duration 2", got, ok)
+	}
+	if _, ok := r.Get("other"); !ok {
+		t.Fatal("other missing")
+	}
+}
+
+func TestRecorderSummariesOrder(t *testing.T) {
+	r := NewRecorder(4)
+	durs := []time.Duration{30, 10, 40, 20}
+	for i, d := range durs {
+		r.Add(mkTrace(fmt.Sprintf("%032d", i), d*time.Millisecond))
+	}
+	recent := r.Summaries(0, false)
+	if len(recent) != 4 {
+		t.Fatalf("len = %d", len(recent))
+	}
+	// Newest first: 3, 2, 1, 0.
+	for i, want := range []int{3, 2, 1, 0} {
+		if recent[i].TraceID != fmt.Sprintf("%032d", want) {
+			t.Fatalf("recent[%d] = %q", i, recent[i].TraceID)
+		}
+	}
+	slow := r.Summaries(2, true)
+	if len(slow) != 2 || slow[0].Duration != 40 || slow[1].Duration != 30 {
+		t.Fatalf("slowest = %+v", slow)
+	}
+}
+
+func TestRecorderSummariesAfterWrap(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 7; i++ {
+		r.Add(mkTrace(fmt.Sprintf("%032d", i), time.Duration(i)))
+	}
+	recent := r.Summaries(0, false)
+	for i, want := range []int{6, 5, 4} {
+		if recent[i].TraceID != fmt.Sprintf("%032d", want) {
+			t.Fatalf("recent[%d] = %q", i, recent[i].TraceID)
+		}
+	}
+}
+
+// TestRecorderConcurrent hammers the ring from many writers while
+// readers list and fetch; run with -race.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(mkTrace(fmt.Sprintf("%02d%030d", w, i), time.Duration(i)))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, s := range r.Summaries(8, i%2 == 0) {
+					r.Get(s.TraceID)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", r.Len())
+	}
+	if r.Total() != 1600 {
+		t.Fatalf("Total = %d, want 1600", r.Total())
+	}
+	// Every retained summary must still be fetchable.
+	for _, s := range r.Summaries(0, false) {
+		if _, ok := r.Get(s.TraceID); !ok {
+			t.Fatalf("retained trace %q unfetchable", s.TraceID)
+		}
+	}
+}

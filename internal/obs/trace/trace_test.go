@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartRootFreshTrace(t *testing.T) {
+	tr := New(Config{})
+	ctx, root := tr.StartRoot(context.Background(), "GET /x", SpanContext{})
+	if !isHex(root.TraceID(), 32) || allZero(root.TraceID()) {
+		t.Fatalf("bad trace id %q", root.TraceID())
+	}
+	if !isHex(root.SpanID(), 16) {
+		t.Fatalf("bad span id %q", root.SpanID())
+	}
+	tid, sid, ok := FromContext(ctx)
+	if !ok || tid != root.TraceID() || sid != root.SpanID() {
+		t.Fatalf("FromContext = %q %q %v, want %q %q true", tid, sid, ok, root.TraceID(), root.SpanID())
+	}
+	root.End()
+	got, ok := tr.Recorder().Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	if len(got.Spans) != 1 || got.Spans[0].Name != "GET /x" {
+		t.Fatalf("spans = %+v", got.Spans)
+	}
+	if got.Spans[0].ParentID != "" {
+		t.Fatalf("root has parent %q", got.Spans[0].ParentID)
+	}
+}
+
+func TestStartRootContinuesRemote(t *testing.T) {
+	tr := New(Config{})
+	remote := SpanContext{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8), Sampled: true}
+	_, root := tr.StartRoot(context.Background(), "GET /x", remote)
+	if root.TraceID() != remote.TraceID {
+		t.Fatalf("trace id %q, want remote %q", root.TraceID(), remote.TraceID)
+	}
+	root.End()
+	got, _ := tr.Recorder().Get(remote.TraceID)
+	if got.Spans[0].ParentID != remote.SpanID {
+		t.Fatalf("root parent %q, want remote span %q", got.Spans[0].ParentID, remote.SpanID)
+	}
+}
+
+func TestChildParentage(t *testing.T) {
+	tr := New(Config{})
+	ctx, root := tr.StartRoot(context.Background(), "root", SpanContext{})
+	cctx, child := Start(ctx, "child")
+	child.SetAttr("k", 7)
+	_, grand := Start(cctx, "grandchild")
+	grand.End()
+	child.End()
+	root.End()
+
+	got, ok := tr.Recorder().Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	byName := map[string]SpanData{}
+	for _, sp := range got.Spans {
+		byName[sp.Name] = sp
+	}
+	if len(byName) != 3 {
+		t.Fatalf("want 3 spans, got %+v", got.Spans)
+	}
+	if byName["child"].ParentID != byName["root"].SpanID {
+		t.Fatalf("child parent %q, want %q", byName["child"].ParentID, byName["root"].SpanID)
+	}
+	if byName["grandchild"].ParentID != byName["child"].SpanID {
+		t.Fatalf("grandchild parent %q, want %q", byName["grandchild"].ParentID, byName["child"].SpanID)
+	}
+	if a := byName["child"].Attrs; len(a) != 1 || a[0].Key != "k" {
+		t.Fatalf("child attrs %+v", a)
+	}
+}
+
+func TestNoopSpanWithoutTrace(t *testing.T) {
+	ctx, sp := Start(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatal("want nil span without active trace")
+	}
+	// All methods must be nil-safe.
+	sp.SetAttr("k", "v")
+	if sp.TraceID() != "" || sp.SpanID() != "" {
+		t.Fatal("nil span leaked IDs")
+	}
+	sp.End()
+	if _, _, ok := FromContext(ctx); ok {
+		t.Fatal("FromContext true without trace")
+	}
+}
+
+func TestMaxSpansCap(t *testing.T) {
+	tr := New(Config{MaxSpans: 3})
+	ctx, root := tr.StartRoot(context.Background(), "root", SpanContext{})
+	var ended int
+	for i := 0; i < 10; i++ {
+		_, sp := Start(ctx, "child")
+		if sp != nil {
+			ended++
+		}
+		sp.End()
+	}
+	root.End()
+	got, _ := tr.Recorder().Get(root.TraceID())
+	if ended != 2 { // root counts against the cap of 3
+		t.Fatalf("got %d live children, want 2", ended)
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(got.Spans))
+	}
+	if got.Dropped != 8 {
+		t.Fatalf("dropped = %d, want 8", got.Dropped)
+	}
+}
+
+func TestStragglerAfterRootEndDiscarded(t *testing.T) {
+	tr := New(Config{})
+	ctx, root := tr.StartRoot(context.Background(), "root", SpanContext{})
+	_, late := Start(ctx, "late")
+	root.End()
+	late.End() // root already sealed the trace
+	got, _ := tr.Recorder().Get(root.TraceID())
+	if len(got.Spans) != 1 {
+		t.Fatalf("straggler recorded: %+v", got.Spans)
+	}
+	if _, sp := Start(ctx, "after"); sp != nil {
+		t.Fatal("Start after seal returned live span")
+	}
+}
+
+func TestCrossGoroutineParentage(t *testing.T) {
+	tr := New(Config{})
+	ctx, root := tr.StartRoot(context.Background(), "root", SpanContext{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := Start(ctx, "worker")
+			time.Sleep(time.Millisecond)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	got, _ := tr.Recorder().Get(root.TraceID())
+	workers := 0
+	for _, sp := range got.Spans {
+		if sp.Name != "worker" {
+			continue
+		}
+		workers++
+		if sp.ParentID != root.SpanID() {
+			t.Fatalf("worker parent %q, want root %q", sp.ParentID, root.SpanID())
+		}
+		if sp.Duration <= 0 {
+			t.Fatalf("worker duration %v", sp.Duration)
+		}
+	}
+	if workers != 8 {
+		t.Fatalf("recorded %d workers, want 8", workers)
+	}
+}
+
+func TestSlowTraceLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	tr := New(Config{Slow: time.Nanosecond, Logger: logger})
+	_, root := tr.StartRoot(context.Background(), "slow", SpanContext{})
+	time.Sleep(time.Millisecond)
+	root.End()
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("no slow-trace log line: %v (buf=%q)", err, buf.String())
+	}
+	if line["msg"] != "slow trace" || line["trace_id"] != root.TraceID() {
+		t.Fatalf("log line %v", line)
+	}
+
+	// Below-threshold traces stay quiet.
+	buf.Reset()
+	tr2 := New(Config{Slow: time.Hour, Logger: logger})
+	_, r2 := tr2.StartRoot(context.Background(), "fast", SpanContext{})
+	r2.End()
+	if buf.Len() != 0 {
+		t.Fatalf("fast trace logged: %q", buf.String())
+	}
+}
+
+func TestWrapHandlerStampsIDs(t *testing.T) {
+	var buf bytes.Buffer
+	h := WrapHandler(slog.NewJSONHandler(&buf, nil))
+	if WrapHandler(h) != h {
+		t.Fatal("double wrap not idempotent")
+	}
+	logger := slog.New(h)
+
+	tr := New(Config{})
+	ctx, root := tr.StartRoot(context.Background(), "root", SpanContext{})
+	logger.InfoContext(ctx, "traced line")
+	logger.Info("plain line")
+	root.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %q", buf.String())
+	}
+	var traced, plain map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &traced); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if traced["trace_id"] != root.TraceID() || traced["span_id"] != root.SpanID() {
+		t.Fatalf("traced line missing IDs: %v", traced)
+	}
+	if _, ok := plain["trace_id"]; ok {
+		t.Fatalf("plain line has trace_id: %v", plain)
+	}
+}
+
+func TestWrapHandlerWithAttrsKeepsStamping(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(WrapHandler(slog.NewJSONHandler(&buf, nil))).With("component", "x")
+	tr := New(Config{})
+	ctx, root := tr.StartRoot(context.Background(), "root", SpanContext{})
+	defer root.End()
+	logger.InfoContext(ctx, "line")
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["trace_id"] != root.TraceID() || got["component"] != "x" {
+		t.Fatalf("line %v", got)
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) header
+// handling. The wire format of `traceparent` is
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	  00    -   32 hex   -   16 hex    -   2 hex
+//
+// all lowercase hex. Parsing is strict for version 00 and forward-
+// compatible for higher versions (extra fields after the flags are
+// ignored, as the spec requires); anything malformed is rejected so
+// the middleware starts a fresh trace instead of inheriting garbage.
+
+// TraceparentHeader is the canonical header name (HTTP header lookup
+// is case-insensitive; the spec spells it lowercase).
+const TraceparentHeader = "traceparent"
+
+// SpanContext is the parsed identity of a remote span — what an
+// incoming traceparent carries and what StartRoot continues.
+type SpanContext struct {
+	TraceID string // 32 lowercase hex digits, not all zero
+	SpanID  string // 16 lowercase hex digits, not all zero
+	Sampled bool   // trace-flags bit 0
+}
+
+// Valid reports whether the context carries usable IDs.
+func (c SpanContext) Valid() bool { return c.TraceID != "" && c.SpanID != "" }
+
+// ParseTraceparent parses a traceparent header value. The zero
+// SpanContext and a non-nil error come back for anything malformed:
+// wrong field sizes, uppercase or non-hex digits, the forbidden
+// all-zero IDs, or the invalid version ff.
+func ParseTraceparent(h string) (SpanContext, error) {
+	if h == "" {
+		return SpanContext{}, fmt.Errorf("trace: empty traceparent")
+	}
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: want 4 fields, got %d", h, len(parts))
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if !isHex(version, 2) {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: bad version", h)
+	}
+	if version == "ff" {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: version ff is invalid", h)
+	}
+	// Version 00 has exactly four fields; future versions may append
+	// more, but must start with these four.
+	if version == "00" && len(parts) != 4 {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: version 00 allows no extra fields", h)
+	}
+	if !isHex(traceID, 32) || allZero(traceID) {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: bad trace-id", h)
+	}
+	if !isHex(spanID, 16) || allZero(spanID) {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: bad parent-id", h)
+	}
+	if !isHex(flags, 2) {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: bad trace-flags", h)
+	}
+	sampled := hexNibble(flags[1])&0x1 == 1
+	return SpanContext{TraceID: traceID, SpanID: spanID, Sampled: sampled}, nil
+}
+
+// Traceparent renders the version-00 header for the given IDs, always
+// with the sampled flag set (every recorded trace is "sampled" — the
+// flight recorder keeps whatever fits).
+func Traceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// isHex reports whether s is exactly n lowercase hex digits.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// allZero reports whether s is entirely '0' characters.
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// hexNibble maps one validated lowercase hex digit to its value.
+func hexNibble(c byte) byte {
+	if c <= '9' {
+		return c - '0'
+	}
+	return c - 'a' + 10
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentValid(t *testing.T) {
+	tid := "4bf92f3577b34da6a3ce929d0e0e4736"
+	sid := "00f067aa0ba902b7"
+	cases := []struct {
+		in      string
+		sampled bool
+	}{
+		{"00-" + tid + "-" + sid + "-01", true},
+		{"00-" + tid + "-" + sid + "-00", false},
+		{"00-" + tid + "-" + sid + "-ff", true},
+		// Future version: extra fields after flags are tolerated.
+		{"01-" + tid + "-" + sid + "-01-extra", true},
+	}
+	for _, c := range cases {
+		sc, err := ParseTraceparent(c.in)
+		if err != nil {
+			t.Fatalf("ParseTraceparent(%q): %v", c.in, err)
+		}
+		if sc.TraceID != tid || sc.SpanID != sid || sc.Sampled != c.sampled {
+			t.Fatalf("ParseTraceparent(%q) = %+v", c.in, sc)
+		}
+		if !sc.Valid() {
+			t.Fatalf("ParseTraceparent(%q) not Valid", c.in)
+		}
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	tid := "4bf92f3577b34da6a3ce929d0e0e4736"
+	sid := "00f067aa0ba902b7"
+	cases := []string{
+		"",
+		"garbage",
+		"00-" + tid + "-" + sid,              // missing flags
+		"0-" + tid + "-" + sid + "-01",       // short version
+		"ff-" + tid + "-" + sid + "-01",      // invalid version
+		"00-" + tid + "-" + sid + "-01-more", // version 00 forbids extras
+		"00-" + strings.Repeat("0", 32) + "-" + sid + "-01", // zero trace-id
+		"00-" + tid + "-" + strings.Repeat("0", 16) + "-01", // zero parent-id
+		"00-" + strings.ToUpper(tid) + "-" + sid + "-01",    // uppercase hex
+		"00-" + tid[:31] + "-" + sid + "-01",                // short trace-id
+		"00-" + tid + "-" + sid + "-0g",                     // non-hex flags
+		"00-" + tid + "x" + tid[:0] + "-" + sid + "-01",     // non-hex trace-id
+		"zz-" + tid + "-" + sid + "-01",                     // non-hex version
+		"00-" + tid + "-" + sid + "1-01",                    // long parent-id
+	}
+	for _, c := range cases {
+		if sc, err := ParseTraceparent(c); err == nil {
+			t.Fatalf("ParseTraceparent(%q) accepted: %+v", c, sc)
+		}
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Config{})
+	_, root := tr.StartRoot(t.Context(), "x", SpanContext{})
+	defer root.End()
+	h := Traceparent(root.TraceID(), root.SpanID())
+	sc, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("round trip %q: %v", h, err)
+	}
+	if sc.TraceID != root.TraceID() || sc.SpanID != root.SpanID() || !sc.Sampled {
+		t.Fatalf("round trip %q = %+v", h, sc)
+	}
+}

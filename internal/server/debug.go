@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ratiorules/internal/obs/trace"
+)
+
+// tracesResponse is the GET /debug/traces body: flight-recorder
+// occupancy plus the most recent (or slowest) trace summaries.
+type tracesResponse struct {
+	Retained int             `json:"retained"`
+	Total    uint64          `json:"total"`
+	Traces   []trace.Summary `json:"traces"`
+}
+
+// debugTraces lists the flight recorder: newest first by default,
+// slowest first with ?sort=duration, capped with ?n=N (default 50).
+func (s *service) debugTraces(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	n := 50
+	if raw := q.Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("invalid n %q: want a positive integer", raw))
+			return
+		}
+		n = v
+	}
+	var byDuration bool
+	switch q.Get("sort") {
+	case "", "recent":
+	case "duration":
+		byDuration = true
+	default:
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("invalid sort %q: want recent or duration", q.Get("sort")))
+		return
+	}
+	rec := s.tracer.Recorder()
+	writeJSON(w, http.StatusOK, tracesResponse{
+		Retained: rec.Len(),
+		Total:    rec.Total(),
+		Traces:   rec.Summaries(n, byDuration),
+	})
+}
+
+// spanNode is one span rendered into the tree, children nested under
+// their parent.
+type spanNode struct {
+	SpanID     string       `json:"span_id"`
+	Name       string       `json:"name"`
+	Start      time.Time    `json:"start"`
+	DurationMS float64      `json:"duration_ms"`
+	Attrs      []trace.Attr `json:"attrs,omitempty"`
+	Children   []*spanNode  `json:"children,omitempty"`
+}
+
+// traceResponse is the GET /debug/traces/{id} body: the trace header
+// plus its span tree. Spans whose parent was dropped at the span cap
+// (or belongs to an upstream service) surface as extra roots.
+type traceResponse struct {
+	TraceID    string      `json:"trace_id"`
+	Name       string      `json:"name"`
+	Start      time.Time   `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+	Spans      int         `json:"spans"`
+	Dropped    int         `json:"dropped,omitempty"`
+	Tree       []*spanNode `json:"tree"`
+}
+
+// debugTrace serves one retained trace's full span tree, rebuilt from
+// the flat span list by ParentID. Evicted or unknown IDs answer 404.
+func (s *service) debugTrace(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	td, ok := s.tracer.Recorder().Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("trace %q not retained (evicted or never recorded)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, traceResponse{
+		TraceID:    td.TraceID,
+		Name:       td.Name,
+		Start:      td.Start,
+		DurationMS: float64(td.Duration) / float64(time.Millisecond),
+		Spans:      len(td.Spans),
+		Dropped:    td.Dropped,
+		Tree:       buildSpanTree(td.Spans),
+	})
+}
+
+// buildSpanTree nests the flat span list by ParentID, ordering
+// siblings by start time. Orphans — spans whose parent is not in the
+// list — become roots, so a capped trace still renders.
+func buildSpanTree(spans []trace.SpanData) []*spanNode {
+	nodes := make(map[string]*spanNode, len(spans))
+	for _, sp := range spans {
+		nodes[sp.SpanID] = &spanNode{
+			SpanID:     sp.SpanID,
+			Name:       sp.Name,
+			Start:      sp.Start,
+			DurationMS: float64(sp.Duration) / float64(time.Millisecond),
+			Attrs:      sp.Attrs,
+		}
+	}
+	var roots []*spanNode
+	for _, sp := range spans {
+		node := nodes[sp.SpanID]
+		if parent, ok := nodes[sp.ParentID]; ok && sp.ParentID != sp.SpanID {
+			parent.Children = append(parent.Children, node)
+		} else {
+			roots = append(roots, node)
+		}
+	}
+	sortSpanNodes(roots)
+	for _, n := range nodes {
+		sortSpanNodes(n.Children)
+	}
+	if roots == nil {
+		roots = []*spanNode{}
+	}
+	return roots
+}
+
+// sortSpanNodes orders siblings chronologically (insertion sort: spans
+// already arrive in near-End order, and sibling lists are short).
+func sortSpanNodes(nodes []*spanNode) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].Start.Before(nodes[j-1].Start); j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/trace"
 )
 
 // handlerConfig carries the observability and limit wiring for Handler.
@@ -15,6 +16,7 @@ type handlerConfig struct {
 	logger       *slog.Logger
 	maxBodyBytes int64
 	batchWorkers int
+	tracer       *trace.Tracer
 }
 
 // HandlerOption customizes Handler.
@@ -47,6 +49,14 @@ func WithBatchWorkers(n int) HandlerOption {
 	return func(c *handlerConfig) { c.batchWorkers = n }
 }
 
+// WithTracer supplies the request tracer (rrserve wires -trace-buffer
+// and -trace-slow through it). Without it Handler builds a default
+// tracer, so /debug/traces always works; tracing cannot be disabled,
+// only bounded.
+func WithTracer(t *trace.Tracer) HandlerOption {
+	return func(c *handlerConfig) { c.tracer = t }
+}
+
 // httpMetrics is the per-handler request accounting: counts by route,
 // method and status class, per-route latency histograms, and an
 // in-flight gauge.
@@ -55,9 +65,10 @@ type httpMetrics struct {
 	latency  *obs.HistogramVec // route
 	inflight *obs.Gauge
 	logger   *slog.Logger
+	tracer   *trace.Tracer
 }
 
-func newHTTPMetrics(reg *obs.Registry, logger *slog.Logger) *httpMetrics {
+func newHTTPMetrics(reg *obs.Registry, logger *slog.Logger, tracer *trace.Tracer) *httpMetrics {
 	return &httpMetrics{
 		requests: reg.CounterVec("rr_http_requests_total",
 			"HTTP requests by route pattern, method and status class.",
@@ -67,8 +78,15 @@ func newHTTPMetrics(reg *obs.Registry, logger *slog.Logger) *httpMetrics {
 		inflight: reg.Gauge("rr_http_in_flight_requests",
 			"HTTP requests currently being served."),
 		logger: logger,
+		tracer: tracer,
 	}
 }
+
+// RequestIDHeader is echoed on every traced (v1) response: the client's
+// own X-Request-ID when it sent one, otherwise the trace ID — either
+// way a value the client can quote in a bug report and the operator can
+// look up at /debug/traces/{id}.
+const RequestIDHeader = "X-Request-ID"
 
 // statusWriter records the status code and body size a handler wrote.
 type statusWriter struct {
@@ -107,13 +125,45 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps h with request accounting under the given route
 // label (the registered pattern path, keeping label cardinality fixed
-// no matter what paths clients send).
+// no matter what paths clients send). The probe and debug routes use
+// this untraced form; traffic routes go through instrumentTraced.
 func (m *httpMetrics) instrument(route string, h http.Handler) http.Handler {
+	return m.observe(route, h, false)
+}
+
+// instrumentTraced is instrument plus a root trace span per request:
+// an incoming W3C traceparent is continued (malformed ones start a
+// fresh trace), the response echoes traceparent and X-Request-ID
+// before the handler runs, and the span lands in the flight recorder
+// with status/bytes attrs when the request finishes. The request log
+// line below logs with the span's context, so the obs log handler
+// stamps trace_id/span_id onto it.
+func (m *httpMetrics) instrumentTraced(route string, h http.Handler) http.Handler {
+	return m.observe(route, h, true)
+}
+
+func (m *httpMetrics) observe(route string, h http.Handler, traced bool) http.Handler {
 	hist := m.latency.With(route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m.inflight.Inc()
 		defer m.inflight.Dec()
 		sw := &statusWriter{ResponseWriter: w}
+		var sp *trace.Span
+		if traced && m.tracer != nil {
+			remote, _ := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader))
+			ctx, span := m.tracer.StartRoot(r.Context(), r.Method+" "+route, remote)
+			sp = span
+			r = r.WithContext(ctx)
+			// Headers must land before the handler's first write; they
+			// survive onto every response shape — JSON, NDJSON stream,
+			// error envelope.
+			sw.Header().Set(trace.TraceparentHeader, trace.Traceparent(span.TraceID(), span.SpanID()))
+			reqID := r.Header.Get(RequestIDHeader)
+			if reqID == "" {
+				reqID = span.TraceID()
+			}
+			sw.Header().Set(RequestIDHeader, reqID)
+		}
 		timer := obs.NewTimer(hist)
 		h.ServeHTTP(sw, r)
 		elapsed := timer.ObserveDuration()
@@ -121,7 +171,13 @@ func (m *httpMetrics) instrument(route string, h http.Handler) http.Handler {
 			sw.status = http.StatusOK
 		}
 		m.requests.With(route, methodLabel(r.Method), statusClass(sw.status)).Inc()
+		// Traced (v1) requests log at info so the correlation line is
+		// visible at the default level; probe/debug routes stay at debug
+		// to keep scrapes out of the logs.
 		level, msg := slog.LevelDebug, "request"
+		if traced {
+			level = slog.LevelInfo
+		}
 		switch {
 		case sw.status >= 500:
 			level, msg = slog.LevelError, "request failed"
@@ -136,6 +192,11 @@ func (m *httpMetrics) instrument(route string, h http.Handler) http.Handler {
 			"bytes", sw.bytes,
 			"duration", elapsed,
 		)
+		if sp != nil {
+			sp.SetAttr("status", sw.status)
+			sp.SetAttr("bytes", sw.bytes)
+			sp.End()
+		}
 	})
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -290,11 +291,11 @@ func TestModelRegistryRace(t *testing.T) {
 			defer wg.Done()
 			name := fmt.Sprintf("m%d", w%4)
 			for i := 0; i < 500; i++ {
-				reg.Put(name, rules)
+				reg.Put(context.Background(), name, rules)
 				reg.Get(name)
 				reg.Names()
 				if i%10 == 0 {
-					reg.Delete(name)
+					reg.Delete(context.Background(), name)
 				}
 			}
 		}(w)

@@ -26,6 +26,8 @@
 //	POST   /v1/rules/{name}/batch/outliers   batch outlier scan (same framing)
 //	GET    /healthz                          liveness probe
 //	GET    /metrics                          Prometheus text exposition
+//	GET    /debug/traces                     flight recorder: recent trace summaries
+//	GET    /debug/traces/{id}                one trace's full span tree
 //
 // Every error response — including 404 fallthroughs and 405s — carries
 // the uniform envelope {"error": {"code": "...", "message": "..."}} with
@@ -44,6 +46,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,6 +58,7 @@ import (
 	"ratiorules/internal/core"
 	"ratiorules/internal/matrix"
 	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/store"
 )
 
@@ -79,9 +83,9 @@ func NewRegistryWithStore(st *store.Store) *Registry {
 
 // Put stores (or replaces) a model, returning its new version. With a
 // durable store the mutation is journaled and fsynced before Put
-// returns.
-func (r *Registry) Put(name string, rules *core.Rules) (int, error) {
-	return r.st.Put(name, rules)
+// returns. ctx carries the request trace (store.put/wal.* spans).
+func (r *Registry) Put(ctx context.Context, name string, rules *core.Rules) (int, error) {
+	return r.st.PutContext(ctx, name, rules)
 }
 
 // Get fetches the head revision of a model, reporting whether it exists.
@@ -111,8 +115,8 @@ func (r *Registry) GetVersionRaw(name string, version int) ([]byte, bool) {
 }
 
 // Delete removes a model, reporting whether it existed.
-func (r *Registry) Delete(name string) (bool, error) {
-	return r.st.Delete(name)
+func (r *Registry) Delete(ctx context.Context, name string) (bool, error) {
+	return r.st.DeleteContext(ctx, name)
 }
 
 // Names lists stored model names, sorted.
@@ -127,8 +131,8 @@ func (r *Registry) Versions(name string) ([]store.VersionInfo, bool) {
 
 // Rollback restores a retained version as the new head, returning the
 // restored rules and the new head version.
-func (r *Registry) Rollback(name string, version int) (*core.Rules, int, error) {
-	return r.st.Rollback(name, version)
+func (r *Registry) Rollback(ctx context.Context, name string, version int) (*core.Rules, int, error) {
+	return r.st.RollbackContext(ctx, name, version)
 }
 
 // DefaultMaxBodyBytes caps request bodies unless WithMaxBodyBytes says
@@ -151,28 +155,38 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	m := newHTTPMetrics(cfg.metrics, cfg.logger)
+	if cfg.tracer == nil {
+		cfg.tracer = trace.New(trace.Config{Logger: cfg.logger})
+	}
+	obs.RegisterRuntime(cfg.metrics)
+	m := newHTTPMetrics(cfg.metrics, cfg.logger, cfg.tracer)
 	s := &service{
 		reg:          reg,
 		logger:       cfg.logger,
 		batchWorkers: cfg.batchWorkers,
 		batch:        newBatchMetrics(cfg.metrics),
+		tracer:       cfg.tracer,
 	}
 	mux := http.NewServeMux()
 	handle := func(method, path string, h http.HandlerFunc) {
 		if cfg.maxBodyBytes > 0 {
 			h = limitBody(cfg.maxBodyBytes, h)
 		}
-		mux.Handle(method+" "+path, m.instrument(path, h))
+		mux.Handle(method+" "+path, m.instrumentTraced(path, h))
 	}
 	// Batch routes are registered without the body cap: they stream
 	// row-by-row in bounded memory, so total body size is unbounded by
 	// design (per-line size is still capped, see batch.go).
 	handleStream := func(method, path string, h http.HandlerFunc) {
-		mux.Handle(method+" "+path, m.instrument(path, h))
+		mux.Handle(method+" "+path, m.instrumentTraced(path, h))
 	}
-	handle("GET", "/healthz", s.health)
-	handle("GET", "/metrics", cfg.metrics.Handler().ServeHTTP)
+	// Probe and introspection routes stay untraced: scrapers hit them
+	// every few seconds and would flush real traffic out of the flight
+	// recorder (and tracing the trace dump would be silly).
+	mux.Handle("GET /healthz", m.instrument("/healthz", http.HandlerFunc(s.health)))
+	mux.Handle("GET /metrics", m.instrument("/metrics", cfg.metrics.Handler()))
+	mux.Handle("GET /debug/traces", m.instrument("/debug/traces", http.HandlerFunc(s.debugTraces)))
+	mux.Handle("GET /debug/traces/{id}", m.instrument("/debug/traces/{id}", http.HandlerFunc(s.debugTrace)))
 	handle("POST", "/v1/rules", s.mine)
 	handle("GET", "/v1/rules", s.list)
 	handle("GET", "/v1/rules/{name}", s.get)
@@ -225,6 +239,7 @@ type service struct {
 	logger       *slog.Logger
 	batchWorkers int
 	batch        *batchMetrics
+	tracer       *trace.Tracer
 }
 
 // Stable machine-readable error codes carried by every v1 error
@@ -378,12 +393,12 @@ func (s *service) mine(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	rules, err := miner.MineMatrix(x)
+	rules, err := miner.MineMatrixContext(req.Context(), x)
 	if err != nil {
 		writeErrFor(w, err)
 		return
 	}
-	version, err := s.reg.Put(body.Name, rules)
+	version, err := s.reg.Put(req.Context(), body.Name, rules)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, CodeStoreFailed,
 			fmt.Errorf("persisting model: %w", err))
@@ -431,6 +446,9 @@ func (s *service) lookup(w http.ResponseWriter, req *http.Request) (*core.Rules,
 	if !ok {
 		return nil, false
 	}
+	_, sp := trace.Start(req.Context(), "store.get")
+	sp.SetAttr("model", name)
+	defer sp.End()
 	if pinned {
 		if _, exists := s.reg.Get(name); !exists {
 			writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
@@ -521,7 +539,7 @@ func (s *service) put(w http.ResponseWriter, req *http.Request) {
 		bodyErr(w, err)
 		return
 	}
-	version, err := s.reg.Put(name, rules)
+	version, err := s.reg.Put(req.Context(), name, rules)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, CodeStoreFailed,
 			fmt.Errorf("persisting model: %w", err))
@@ -534,7 +552,7 @@ func (s *service) put(w http.ResponseWriter, req *http.Request) {
 
 func (s *service) del(w http.ResponseWriter, req *http.Request) {
 	name := req.PathValue("name")
-	ok, err := s.reg.Delete(name)
+	ok, err := s.reg.Delete(req.Context(), name)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, CodeStoreFailed,
 			fmt.Errorf("deleting model: %w", err))
@@ -590,7 +608,7 @@ func (s *service) rollback(w http.ResponseWriter, req *http.Request) {
 	// The store returns the restored rules from under its lock, so the
 	// summary always matches newVersion even when a concurrent Put lands
 	// a newer head before we respond.
-	rules, newVersion, err := s.reg.Rollback(name, body.Version)
+	rules, newVersion, err := s.reg.Rollback(req.Context(), name, body.Version)
 	if err != nil {
 		// Rollback failures that are neither missing-model nor
 		// missing-version are journal write failures.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -261,13 +262,13 @@ func TestRegistryConcurrency(t *testing.T) {
 			defer func() { done <- struct{}{} }()
 			for i := 0; i < 100; i++ {
 				name := fmt.Sprintf("m%d", g)
-				if _, err := reg.Put(name, rules); err != nil {
+				if _, err := reg.Put(context.Background(), name, rules); err != nil {
 					t.Errorf("put: %v", err)
 					return
 				}
 				reg.Get(name)
 				reg.Names()
-				if _, err := reg.Delete(name); err != nil {
+				if _, err := reg.Delete(context.Background(), name); err != nil {
 					t.Errorf("delete: %v", err)
 					return
 				}

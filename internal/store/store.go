@@ -47,6 +47,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -58,6 +59,7 @@ import (
 
 	"ratiorules/internal/core"
 	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/trace"
 )
 
 // Sentinel errors mapped onto HTTP statuses by internal/server.
@@ -335,16 +337,23 @@ func (s *Store) install(name string, r rev) {
 // itself fails the store wedges: every later mutation returns ErrFailed
 // rather than appending past torn bytes that recovery would stop at.
 // Callers hold s.mu.
-func (s *Store) journal(ev walEvent) error {
+func (s *Store) journal(ctx context.Context, ev walEvent) error {
 	if s.wal != nil {
 		payload, err := json.Marshal(ev)
 		if err != nil {
 			return fmt.Errorf("store: encoding WAL event: %w", err)
 		}
 		prevSize := s.wal.size
+		_, appendSpan := trace.Start(ctx, "wal.append")
+		appendSpan.SetAttr("bytes", len(payload))
 		n, err := s.wal.append(payload)
+		appendSpan.End()
 		if err == nil {
+			// commit is the fsync half of the WAL write — the span that
+			// shows up when the disk, not the solve, is the bottleneck.
+			_, fsyncSpan := trace.Start(ctx, "wal.fsync")
 			err = s.wal.commit()
+			fsyncSpan.End()
 		}
 		if err != nil {
 			if rbErr := s.wal.rollback(prevSize); rbErr != nil {
@@ -374,12 +383,23 @@ func (s *Store) journal(ev walEvent) error {
 // Put stores rules under name as a new head version and returns it.
 // The mutation is durable (WAL-committed) before Put returns.
 func (s *Store) Put(name string, rules *core.Rules) (int, error) {
+	return s.PutContext(context.Background(), name, rules)
+}
+
+// PutContext is Put with trace spans: a "store.put" span covers the
+// whole mutation, with "wal.append"/"wal.fsync" children from the
+// journal and a "store.snapshot" child when the put trips the periodic
+// compaction.
+func (s *Store) PutContext(ctx context.Context, name string, rules *core.Rules) (int, error) {
 	if name == "" {
 		return 0, errors.New("store: empty model name")
 	}
 	if rules == nil {
 		return 0, errors.New("store: nil rules")
 	}
+	ctx, sp := trace.Start(ctx, "store.put")
+	defer sp.End()
+	sp.SetAttr("model", name)
 	raw, err := encodeRules(rules)
 	if err != nil {
 		return 0, err
@@ -394,12 +414,13 @@ func (s *Store) Put(name string, rules *core.Rules) (int, error) {
 		return 0, s.failed
 	}
 	version := s.lastVersion[name] + 1
-	if err := s.journal(walEvent{Seq: s.seq + 1, Op: opPut, Name: name, Version: version, Rules: raw}); err != nil {
+	sp.SetAttr("version", version)
+	if err := s.journal(ctx, walEvent{Seq: s.seq + 1, Op: opPut, Name: name, Version: version, Rules: raw}); err != nil {
 		return 0, err
 	}
 	s.install(name, rev{version: version, rules: rules, raw: raw})
 	s.met.models.Set(float64(len(s.models)))
-	s.maybeSnapshot()
+	s.maybeSnapshot(ctx)
 	return version, nil
 }
 
@@ -407,6 +428,15 @@ func (s *Store) Put(name string, rules *core.Rules) (int, error) {
 // existed. The version counter for the name is retained so a future
 // re-create continues from version n+1.
 func (s *Store) Delete(name string) (bool, error) {
+	return s.DeleteContext(context.Background(), name)
+}
+
+// DeleteContext is Delete with a "store.delete" trace span (children as
+// in PutContext).
+func (s *Store) DeleteContext(ctx context.Context, name string) (bool, error) {
+	ctx, sp := trace.Start(ctx, "store.delete")
+	defer sp.End()
+	sp.SetAttr("model", name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -418,12 +448,12 @@ func (s *Store) Delete(name string) (bool, error) {
 	if _, ok := s.models[name]; !ok {
 		return false, nil
 	}
-	if err := s.journal(walEvent{Seq: s.seq + 1, Op: opDelete, Name: name}); err != nil {
+	if err := s.journal(ctx, walEvent{Seq: s.seq + 1, Op: opDelete, Name: name}); err != nil {
 		return false, err
 	}
 	delete(s.models, name)
 	s.met.models.Set(float64(len(s.models)))
-	s.maybeSnapshot()
+	s.maybeSnapshot(ctx)
 	return true, nil
 }
 
@@ -433,6 +463,16 @@ func (s *Store) Delete(name string) (bool, error) {
 // concurrent Put). It is journaled as a plain put, so history stays
 // linear: rolling back never erases revisions.
 func (s *Store) Rollback(name string, version int) (*core.Rules, int, error) {
+	return s.RollbackContext(context.Background(), name, version)
+}
+
+// RollbackContext is Rollback with a "store.rollback" trace span
+// (children as in PutContext).
+func (s *Store) RollbackContext(ctx context.Context, name string, version int) (*core.Rules, int, error) {
+	ctx, sp := trace.Start(ctx, "store.rollback")
+	defer sp.End()
+	sp.SetAttr("model", name)
+	sp.SetAttr("to_version", version)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -457,11 +497,11 @@ func (s *Store) Rollback(name string, version int) (*core.Rules, int, error) {
 		return nil, 0, fmt.Errorf("model %q version %d: %w", name, version, ErrVersionNotFound)
 	}
 	newVersion := s.lastVersion[name] + 1
-	if err := s.journal(walEvent{Seq: s.seq + 1, Op: opPut, Name: name, Version: newVersion, Rules: target.raw}); err != nil {
+	if err := s.journal(ctx, walEvent{Seq: s.seq + 1, Op: opPut, Name: name, Version: newVersion, Rules: target.raw}); err != nil {
 		return nil, 0, err
 	}
 	s.install(name, rev{version: newVersion, rules: target.rules, raw: target.raw})
-	s.maybeSnapshot()
+	s.maybeSnapshot(ctx)
 	return target.rules, newVersion, nil
 }
 
@@ -573,17 +613,17 @@ func (s *Store) Snapshot() error {
 	if s.closed {
 		return ErrClosed
 	}
-	return s.snapshotLocked()
+	return s.snapshotLocked(context.Background())
 }
 
 // maybeSnapshot runs the periodic compaction. Failures are logged, not
 // returned: the WAL still holds every committed event, so the caller's
 // mutation is safe regardless. Callers hold s.mu.
-func (s *Store) maybeSnapshot() {
+func (s *Store) maybeSnapshot(ctx context.Context) {
 	if s.wal == nil || s.opts.snapshotEvery <= 0 || s.sinceSnap < s.opts.snapshotEvery {
 		return
 	}
-	if err := s.snapshotLocked(); err != nil {
+	if err := s.snapshotLocked(ctx); err != nil {
 		s.opts.logger.Warn("periodic snapshot failed; WAL retains the data", "dir", s.dir, "err", err)
 		s.met.snapshotErrors.Inc()
 		s.sinceSnap = 0 // back off rather than retry on every event
@@ -591,12 +631,14 @@ func (s *Store) maybeSnapshot() {
 }
 
 // snapshotLocked does the snapshot + compact dance under s.mu.
-func (s *Store) snapshotLocked() error {
+func (s *Store) snapshotLocked(ctx context.Context) error {
 	if s.wal == nil {
 		s.sinceSnap = 0
 		return nil // memory mode: nothing to persist
 	}
 	timer := obs.NewTimer(s.met.snapshotSeconds)
+	_, snapSpan := trace.Start(ctx, "store.snapshot")
+	defer snapSpan.End()
 	snap := &snapshotFile{
 		Format:      snapshotFormat,
 		Seq:         s.seq,
@@ -646,7 +688,7 @@ func (s *Store) Close() error {
 	}
 	var firstErr error
 	if s.sinceSnap > 0 {
-		if err := s.snapshotLocked(); err != nil {
+		if err := s.snapshotLocked(context.Background()); err != nil {
 			firstErr = err
 		}
 	}

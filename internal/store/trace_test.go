@@ -1,0 +1,49 @@
+package store
+
+import (
+	"context"
+	"testing"
+
+	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/trace"
+)
+
+// TestPutContextSpans checks that a traced durable put records the
+// store.put span with its wal.append/wal.fsync children.
+func TestPutContextSpans(t *testing.T) {
+	s, err := Open(t.TempDir(), WithObs(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	tr := trace.New(trace.Config{})
+	ctx, root := tr.StartRoot(context.Background(), "test put", trace.SpanContext{})
+	if _, err := s.PutContext(ctx, "m", testRules(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	td, ok := tr.Recorder().Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	names := map[string]int{}
+	byID := map[string]trace.SpanData{}
+	for _, sp := range td.Spans {
+		names[sp.Name]++
+		byID[sp.SpanID] = sp
+	}
+	for _, want := range []string{"store.put", "wal.append", "wal.fsync"} {
+		if names[want] != 1 {
+			t.Fatalf("span %q recorded %d times (spans: %v)", want, names[want], names)
+		}
+	}
+	for _, sp := range td.Spans {
+		if sp.Name == "wal.append" || sp.Name == "wal.fsync" {
+			if parent := byID[sp.ParentID]; parent.Name != "store.put" {
+				t.Fatalf("%s parented to %q, want store.put", sp.Name, parent.Name)
+			}
+		}
+	}
+}
