@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify verify-api verify-store verify-trace fuzz bench clean
+.PHONY: all build vet test race verify verify-api verify-store verify-trace verify-online fuzz bench clean
 
 all: build
 
@@ -41,9 +41,19 @@ verify-trace:
 	$(GO) vet ./internal/obs/... ./internal/server
 	$(GO) test -race ./internal/obs/... ./internal/server
 
+# verify-online checks the live-ingest subsystem (docs/online.md): the
+# manager/stream/gate/checkpoint suite under the race detector twice
+# (republish scheduling is timing-sensitive), plus the HTTP ingest
+# contract and the rrserve end-to-end lifecycle test.
+verify-online:
+	$(GO) vet ./internal/online ./internal/server ./cmd/rrserve
+	$(GO) test -race -count=2 ./internal/online/...
+	$(GO) test -run 'TestIngest|TestStreamLifecycle|TestV1Contract' -count=1 ./internal/server
+	$(GO) test -race -run 'TestOnlineIngestEndToEnd' -count=1 ./cmd/rrserve
+
 # verify is the gate for every change: vet, a full build, the race
 # detector across all packages, then the store persistence gauntlet,
-# the HTTP API contract and the tracing layer.
+# the HTTP API contract, the tracing layer and the live-ingest loop.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -51,6 +61,7 @@ verify:
 	$(MAKE) verify-store
 	$(MAKE) verify-api
 	$(MAKE) verify-trace
+	$(MAKE) verify-online
 
 # fuzz runs each core fuzz target for FUZZTIME (default 10s). Go allows
 # one -fuzz pattern per invocation, hence the separate runs.
@@ -58,6 +69,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzFillRow$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzWhatIf$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzWALDecode$$' -fuzztime=$(FUZZTIME) ./internal/store
+	$(GO) test -run='^$$' -fuzz='^FuzzLoadStreamMiner$$' -fuzztime=$(FUZZTIME) ./internal/core
 
 bench:
 	$(GO) run ./cmd/rrbench -experiment all

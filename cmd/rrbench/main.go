@@ -43,10 +43,12 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rrbench", flag.ContinueOnError)
 	var (
-		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch or all")
+		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch, online or all")
 		batchRows     = fs.Int("batch-rows", 10000, "rows for the batch experiment")
 		batchPatterns = fs.Int("batch-patterns", 8, "distinct hole patterns for the batch experiment")
 		batchWorkers  = fs.Int("batch-workers", 0, "worker pool width for the batch experiment (<= 0 = one per CPU)")
+		onlineRows    = fs.Int("online-rows", 100000, "rows for the online ingest experiment")
+		onlineWidth   = fs.Int("online-width", 32, "columns for the online ingest experiment")
 		ds            = fs.String("dataset", "nba", "dataset for fig6/cutoff: nba, baseball or abalone")
 		sizes         = fs.String("sizes", "", "comma-separated row counts for fig8 (default: the paper's sweep)")
 		datDir        = fs.String("datdir", "", "also write the paper's gnuplot data files (nba.d2, scaleup.dat, ...) into this directory")
@@ -154,6 +156,12 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 			fmt.Fprintln(w, res)
+		case "online":
+			res, err := experiments.RunOnline(*onlineRows, *onlineWidth)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, res)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -176,7 +184,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "fig8"} {
+		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "online", "fig8"} {
 			fmt.Fprintf(w, "==================== %s ====================\n", name)
 			if err := timedRun(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -225,6 +233,22 @@ type benchSummary struct {
 	Experiments  []benchExperiment `json:"experiments"`
 	TotalSeconds float64           `json:"total_seconds"`
 	Miner        minerSummary      `json:"miner"`
+	Online       onlineSummary     `json:"online"`
+}
+
+// onlineSummary snapshots the live-ingest subsystem's counters and the
+// republish / GE-gate histograms (rr_online_*), when the online
+// experiment — or anything else pushing rows — ran in this process.
+type onlineSummary struct {
+	RowsIngested map[string]float64 `json:"rows_ingested"`
+	Republishes  map[string]float64 `json:"republishes"`
+	Promotions   float64            `json:"promotions"`
+	Rejections   float64            `json:"rejections"`
+	Republish    phaseStat          `json:"republish"`
+	GEGate       phaseStat          `json:"ge_gate"`
+	// GateFrac is GE-gate seconds over republish seconds: the share of
+	// each re-mine spent deciding whether to promote it.
+	GateFrac float64 `json:"gate_frac"`
 }
 
 type minerSummary struct {
@@ -251,6 +275,10 @@ func writeJSONSummary(w io.Writer, timings []benchExperiment) error {
 			Mines:     make(map[string]float64),
 			Ops:       make(map[string]float64),
 			FillCache: make(map[string]float64),
+		},
+		Online: onlineSummary{
+			RowsIngested: make(map[string]float64),
+			Republishes:  make(map[string]float64),
 		},
 	}
 	for _, e := range timings {
@@ -288,7 +316,26 @@ func writeJSONSummary(w io.Writer, timings []benchExperiment) error {
 			sum.Miner.FillCache["misses"] = s.Value
 		case "rr_fill_cache_evictions_total":
 			sum.Miner.FillCache["evictions"] = s.Value
+		case "rr_online_rows_ingested_total":
+			sum.Online.RowsIngested[s.Labels["result"]] = s.Value
+		case "rr_online_republishes_total":
+			sum.Online.Republishes[s.Labels["result"]] = s.Value
+		case "rr_online_promotions_total":
+			sum.Online.Promotions = s.Value
+		case "rr_online_ge_gate_rejections_total":
+			sum.Online.Rejections = s.Value
+		case "rr_online_republish_seconds_sum":
+			sum.Online.Republish.Seconds = s.Value
+		case "rr_online_republish_seconds_count":
+			sum.Online.Republish.Count = s.Value
+		case "rr_online_ge_gate_seconds_sum":
+			sum.Online.GEGate.Seconds = s.Value
+		case "rr_online_ge_gate_seconds_count":
+			sum.Online.GEGate.Count = s.Value
 		}
+	}
+	if sum.Online.Republish.Seconds > 0 {
+		sum.Online.GateFrac = sum.Online.GEGate.Seconds / sum.Online.Republish.Seconds
 	}
 	hits, misses := sum.Miner.FillCache["hits"], sum.Miner.FillCache["misses"]
 	if total := hits + misses; total > 0 {

@@ -32,6 +32,15 @@
 //	-debug-addr      optional side listener serving net/http/pprof under
 //	                 /debug/pprof/ — keep it on localhost or a private
 //	                 network, never the public service address
+//	-republish-rows  ingested rows between re-mines of a live stream
+//	                 (default 256; see docs/online.md)
+//	-republish-every interval re-mine of dirty live streams (default 0,
+//	                 disabled; row-count triggers still apply)
+//	-ge-slack        allowed relative GE1 regression before the promotion
+//	                 gate rejects a re-mined candidate (default 0.05)
+//	-reservoir       holdout reservoir rows per live stream (default 256)
+//	-checkpoint-every republishes between stream checkpoints (default 8);
+//	                 streams also checkpoint on graceful shutdown
 //	-v               debug logging (overrides RR_LOG_LEVEL)
 //	RR_LOG_LEVEL  debug|info|warn|error (default info)
 //	RR_LOG_FORMAT text|json (default text)
@@ -56,11 +65,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"ratiorules/internal/obs"
 	"ratiorules/internal/obs/trace"
+	"ratiorules/internal/online"
 	"ratiorules/internal/server"
 	"ratiorules/internal/store"
 )
@@ -94,6 +105,12 @@ func run(ctx context.Context, args []string) error {
 		traceSlow     = fs.Duration("trace-slow", time.Second, "slow-trace log threshold (0 disables the log)")
 		debugAddr     = fs.String("debug-addr", "", "optional pprof side-listener address (e.g. localhost:6060)")
 		verbose       = fs.Bool("v", false, "debug logging")
+
+		republishRows   = fs.Int("republish-rows", online.DefaultRepublishRows, "ingested rows between re-mines of a live stream")
+		republishEvery  = fs.Duration("republish-every", 0, "interval re-mine of dirty live streams (0 disables)")
+		geSlack         = fs.Float64("ge-slack", online.DefaultGESlack, "allowed relative GE1 regression before a candidate is rejected")
+		reservoirSize   = fs.Int("reservoir", online.DefaultReservoirSize, "holdout reservoir rows per live stream")
+		checkpointEvery = fs.Int("checkpoint-every", online.DefaultCheckpointEvery, "republishes between stream checkpoints (with -data-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,10 +144,38 @@ func run(ctx context.Context, args []string) error {
 		Logger:     logger,
 	})
 
+	onlineCfg := online.Config{
+		RepublishRows:   *republishRows,
+		RepublishEvery:  *republishEvery,
+		GESlack:         *geSlack,
+		ReservoirSize:   *reservoirSize,
+		CheckpointEvery: *checkpointEvery,
+		Logger:          logger,
+		Tracer:          tracer,
+	}
+	if *dataDir != "" {
+		// Stream checkpoints live beside the model store so one -data-dir
+		// carries both the served models and the accumulators feeding them.
+		onlineCfg.CheckpointDir = filepath.Join(*dataDir, "online")
+	}
+	mgr, err := online.NewManager(reg, onlineCfg)
+	if err != nil {
+		return fmt.Errorf("starting online manager: %w", err)
+	}
+	mgr.Start()
+	defer func() {
+		if err := mgr.Close(); err != nil {
+			logger.Error("closing online manager", "err", err)
+		} else if onlineCfg.CheckpointDir != "" {
+			logger.Info("live streams checkpointed", "dir", onlineCfg.CheckpointDir)
+		}
+	}()
+
 	srv := &http.Server{
 		Handler: server.Handler(reg,
 			server.WithLogger(logger), server.WithMaxBodyBytes(*maxBodyBytes),
-			server.WithBatchWorkers(*batchWorkers), server.WithTracer(tracer)),
+			server.WithBatchWorkers(*batchWorkers), server.WithTracer(tracer),
+			server.WithOnline(mgr)),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,

@@ -1,0 +1,263 @@
+package main
+
+// End-to-end acceptance test for the live-ingest subsystem: boot the
+// real binary entrypoint against a -data-dir, stream NDJSON rows over
+// HTTP, and require the full loop — background republish into the
+// durable store, GE-gated rejection of a hijacking burst, and stream
+// resumption from the shutdown checkpoint after a cold restart.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ingestNDJSON posts rows to the ingest endpoint and returns the
+// response status plus raw NDJSON body.
+func ingestNDJSON(t *testing.T, url string, rows [][]float64) (int, string) {
+	t.Helper()
+	var b strings.Builder
+	for _, row := range rows {
+		doc, err := json.Marshal(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(doc)
+		b.WriteByte('\n')
+	}
+	resp, err := http.Post(url, "application/x-ndjson", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var body strings.Builder
+	if _, err := fmt.Fprint(&body, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body.String()
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// streamStatus fetches GET /v1/rules/{name}/stream.
+type streamStatus struct {
+	Width       int     `json:"width"`
+	Decay       float64 `json:"decay"`
+	Rows        int     `json:"rows"`
+	Pending     int     `json:"pending"`
+	Republishes int     `json:"republishes"`
+	Promotions  int     `json:"promotions"`
+	Rejections  int     `json:"rejections"`
+	LastVersion int     `json:"last_version"`
+}
+
+func getStreamStatus(t *testing.T, base string) (streamStatus, int) {
+	t.Helper()
+	code, body := get(t, base+"/v1/rules/live/stream")
+	var st streamStatus
+	if code == 200 {
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("stream status decode: %v (%s)", err, body)
+		}
+	}
+	return st, code
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// quiesce waits until the background republisher stops making progress
+// on the live stream (no queued wake left to consume pending rows).
+func quiesce(t *testing.T, base string) streamStatus {
+	t.Helper()
+	prev, _ := getStreamStatus(t, base)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(150 * time.Millisecond)
+		cur, _ := getStreamStatus(t, base)
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	t.Fatal("republisher never quiesced")
+	return prev
+}
+
+func etagOf(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/rules/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return ""
+	}
+	return resp.Header.Get("ETag")
+}
+
+// onlineRow mirrors the clean stream family: y = 2x with drifting x.
+func onlineRow(i int) []float64 {
+	x := 1 + float64(i%17)/4
+	return []float64{x, 2 * x}
+}
+
+// antiOnlineRow inverts the correlation: a hijacking data source.
+func antiOnlineRow(i int) []float64 {
+	x := 1 + float64(i%17)/4
+	return []float64{x, -2 * x}
+}
+
+// TestOnlineIngestEndToEnd drives the full online lifecycle through a
+// real server process loop (see ISSUE acceptance criteria).
+func TestOnlineIngestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	boot := func() (string, func() error) {
+		addrs, shutdown := startServe(t, "-addr", "127.0.0.1:0",
+			"-data-dir", dir, "-republish-rows", "40")
+		return "http://" + addrs["main"], shutdown
+	}
+
+	// Boot #1: stream clean decayed rows until the row trigger
+	// republishes and the model shows up in the versioned store.
+	base, shutdown := boot()
+	rows := make([][]float64, 200)
+	for i := range rows {
+		rows[i] = onlineRow(i)
+	}
+	if code, body := ingestNDJSON(t, base+"/v1/rules/live/ingest?decay=0.5", rows); code != 200 ||
+		!strings.Contains(body, `"done"`) {
+		t.Fatalf("clean ingest = %d: %.200s", code, body)
+	}
+	waitFor(t, "first promotion", func() bool {
+		st, code := getStreamStatus(t, base)
+		return code == 200 && st.Promotions >= 1
+	})
+	settled := quiesce(t, base)
+	if settled.Rows != 200 || settled.Decay != 0.5 {
+		t.Fatalf("settled stream = %+v, want 200 rows at decay 0.5", settled)
+	}
+	if settled.Rejections != 0 {
+		t.Fatalf("clean data was rejected: %+v", settled)
+	}
+	etagBefore := etagOf(t, base)
+	if etagBefore == "" {
+		t.Fatal("no model served after clean republishes")
+	}
+
+	// Hijack burst: enough anti-correlated rows to cross the trigger.
+	// With decay 0.5 the candidate re-mine fits the burst, but the
+	// reservoir holdout still remembers 200 clean rows — the GE gate
+	// must refuse and the served model must not move.
+	anti := make([][]float64, 40)
+	for i := range anti {
+		anti[i] = antiOnlineRow(i)
+	}
+	if code, _ := ingestNDJSON(t, base+"/v1/rules/live/ingest", anti); code != 200 {
+		t.Fatalf("anti ingest = %d", code)
+	}
+	waitFor(t, "GE-gate rejection", func() bool {
+		st, code := getStreamStatus(t, base)
+		return code == 200 && st.Rejections >= 1
+	})
+	hijacked := quiesce(t, base)
+	if etagAfter := etagOf(t, base); etagAfter != etagBefore {
+		t.Fatalf("served model moved across a rejected burst: %s -> %s", etagBefore, etagAfter)
+	}
+	if code, metrics := get(t, base+"/metrics"); code != 200 {
+		t.Fatalf("metrics = %d", code)
+	} else {
+		// Counter values are not asserted exactly: rrserve shares the
+		// process-wide obs.Default() registry, so repeated in-process
+		// boots (go test -count=2) accumulate.
+		for _, want := range []string{
+			"rr_online_ge_gate_rejections_total",
+			`rr_online_republishes_total{result="rejected"}`,
+			`rr_online_rows_ingested_total{result="ok"}`,
+		} {
+			if !strings.Contains(metrics, want) {
+				t.Errorf("metrics missing %q", want)
+			}
+		}
+		if strings.Contains(metrics, "rr_online_ge_gate_rejections_total 0") {
+			t.Error("rejection counter still zero after refused burst")
+		}
+	}
+
+	// Cold restart. Graceful shutdown checkpoints the stream beside the
+	// model store; boot #2 must resume it with counters intact.
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown #1: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "online", "live.stream.json")); err != nil {
+		t.Fatalf("stream checkpoint not written: %v", err)
+	}
+
+	base, shutdown = boot()
+	resumed, code := getStreamStatus(t, base)
+	if code != 200 {
+		t.Fatalf("stream not resumed after restart: %d", code)
+	}
+	if resumed.Rows != hijacked.Rows || resumed.Decay != 0.5 ||
+		resumed.Rejections != hijacked.Rejections || resumed.Promotions != hijacked.Promotions {
+		t.Fatalf("resumed stream %+v does not match checkpointed %+v", resumed, hijacked)
+	}
+	if resumed.Pending != 0 {
+		t.Fatalf("resumed stream has phantom pending rows: %+v", resumed)
+	}
+
+	// The resumed stream keeps mining: clean rows wash out the burst
+	// (decay 0.5) and the next republish promotes a fresh version.
+	more := make([][]float64, 40)
+	for i := range more {
+		more[i] = onlineRow(i)
+	}
+	if code, _ := ingestNDJSON(t, base+"/v1/rules/live/ingest", more); code != 200 {
+		t.Fatalf("post-restart ingest = %d", code)
+	}
+	waitFor(t, "post-restart promotion", func() bool {
+		st, code := getStreamStatus(t, base)
+		return code == 200 && st.Promotions > resumed.Promotions
+	})
+	st, _ := getStreamStatus(t, base)
+	if st.Rows != resumed.Rows+40 {
+		t.Fatalf("post-restart rows = %d, want %d", st.Rows, resumed.Rows+40)
+	}
+	if st.LastVersion <= hijacked.LastVersion {
+		t.Fatalf("promotion did not advance the store version: %+v vs %+v", st, hijacked)
+	}
+	if etag := etagOf(t, base); etag == etagBefore || etag == "" {
+		t.Fatalf("served ETag %q did not advance past %q", etag, etagBefore)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown #2: %v", err)
+	}
+}

@@ -62,6 +62,15 @@ func LoadStreamMiner(r io.Reader, opts ...Option) (*StreamMiner, error) {
 		return nil, fmt.Errorf("core: corrupt checkpoint shapes (width %d, %d sums, %d cross rows): %w",
 			cp.Width, len(cp.Sums), len(cp.Cross), ErrWidth)
 	}
+	// Validate every cross row's shape before allocating the width²
+	// matrix, so a checkpoint claiming a huge width with truncated rows
+	// cannot force an allocation larger than its own payload.
+	for j, tail := range cp.Cross {
+		if len(tail) != cp.Width-j {
+			return nil, fmt.Errorf("core: corrupt checkpoint cross row %d (%d values, want %d): %w",
+				j, len(tail), cp.Width-j, ErrWidth)
+		}
+	}
 	if cp.Count < 0 || cp.Weight < 0 || math.IsNaN(cp.Weight) {
 		return nil, fmt.Errorf("core: corrupt checkpoint counters (count %d, weight %v)", cp.Count, cp.Weight)
 	}
@@ -74,10 +83,6 @@ func LoadStreamMiner(r io.Reader, opts ...Option) (*StreamMiner, error) {
 	copy(sm.sums, cp.Sums)
 	cross := matrix.NewDense(cp.Width, cp.Width)
 	for j, tail := range cp.Cross {
-		if len(tail) != cp.Width-j {
-			return nil, fmt.Errorf("core: corrupt checkpoint cross row %d (%d values, want %d): %w",
-				j, len(tail), cp.Width-j, ErrWidth)
-		}
 		copy(cross.RawRow(j)[j:], tail)
 	}
 	sm.cross = cross

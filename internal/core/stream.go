@@ -17,10 +17,13 @@ import (
 //
 // An optional exponential decay geometrically down-weights old rows so
 // the rules track drifting ratios; with decay 0 (the default) the stream
-// miner is exactly equivalent to batch mining of all pushed rows.
+// miner is exactly equivalent to batch mining of all pushed rows: the
+// accumulated sums are the same quantities Mine computes in its single
+// pass, so Rules agrees with Mine on the same rows to floating-point
+// round-off (within 1e-12 — pinned by TestStreamMinerBatchEquivalence).
 //
 // StreamMiner is not safe for concurrent use; wrap it in a mutex if
-// multiple goroutines push.
+// multiple goroutines push (internal/online does exactly that).
 type StreamMiner struct {
 	miner *Miner
 	width int
@@ -104,6 +107,43 @@ func (s *StreamMiner) Push(row []float64) error {
 
 // Count reports how many rows have been pushed (undecayed).
 func (s *StreamMiner) Count() int { return s.count }
+
+// Width reports the row width M the miner accumulates.
+func (s *StreamMiner) Width() int { return s.width }
+
+// Decay reports the exponential decay lambda the miner was built with.
+func (s *StreamMiner) Decay() float64 { return s.decay }
+
+// Merge folds another accumulator's decayed sums into s, enabling
+// sharded parallel ingest: split a stream across shards, Push into each
+// concurrently, then Merge the shards into one. Both miners must have
+// the same width and decay (ErrWidth / an error otherwise); other is
+// left untouched. With decay 0 the merged miner is exactly equivalent
+// to a single miner that saw every row of both shards, in any order.
+// With decay > 0 each shard's rows keep the weights their own shard
+// assigned them, so Merge sums two independently decayed histories —
+// the right semantics for shards fed round-robin at similar rates.
+func (s *StreamMiner) Merge(other *StreamMiner) error {
+	if other.width != s.width {
+		return fmt.Errorf("core: merging %d-wide stream into %d-wide: %w",
+			other.width, s.width, ErrWidth)
+	}
+	if other.decay != s.decay {
+		return fmt.Errorf("core: merging stream with decay %v into decay %v", other.decay, s.decay)
+	}
+	s.weight += other.weight
+	s.count += other.count
+	for j, v := range other.sums {
+		s.sums[j] += v
+	}
+	for j := 0; j < s.width; j++ {
+		dst, src := s.cross.RawRow(j), other.cross.RawRow(j)
+		for l := j; l < s.width; l++ {
+			dst[l] += src[l]
+		}
+	}
+	return nil
+}
 
 // Rules derives the Ratio Rules from the current (decayed) sums. At least
 // two rows must have been pushed.

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunOnline runs a small online sweep and checks the result is
+// internally consistent: every row pushed, every chunk republished,
+// every republish either promoted or rejected, and the gate cost is a
+// fraction of the republish cost.
+func TestRunOnline(t *testing.T) {
+	res, err := RunOnline(2000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 2000 || res.Width != 8 {
+		t.Fatalf("result shape = %d x %d", res.Rows, res.Width)
+	}
+	if res.RowsPerSecond <= 0 {
+		t.Errorf("push throughput = %v", res.RowsPerSecond)
+	}
+	if res.Republishes != 16 {
+		t.Errorf("republishes = %d, want 16", res.Republishes)
+	}
+	if res.Promotions+res.Rejections != res.Republishes {
+		t.Errorf("promotions %d + rejections %d != republishes %d",
+			res.Promotions, res.Rejections, res.Republishes)
+	}
+	if res.Promotions < 1 {
+		t.Error("no republish ever promoted")
+	}
+	if res.RepublishMean <= 0 || res.GEGateMean <= 0 {
+		t.Errorf("degenerate latencies: republish %v, gate %v", res.RepublishMean, res.GEGateMean)
+	}
+	if res.OverheadFrac <= 0 || res.OverheadFrac > 1 {
+		t.Errorf("gate overhead fraction = %v, want (0, 1]", res.OverheadFrac)
+	}
+	out := res.String()
+	for _, want := range []string{"push throughput", "republish latency", "GE gate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered result missing %q:\n%s", want, out)
+		}
+	}
+}

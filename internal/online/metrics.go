@@ -1,0 +1,47 @@
+package online
+
+import "ratiorules/internal/obs"
+
+// onlineMetrics is the rr_online_* family set. Label cardinality stays
+// bounded: result enums and the candidate/served role only, never model
+// names (per-model state is at GET /v1/rules/{name}/stream instead).
+type onlineMetrics struct {
+	rows             *obs.CounterVec // result: ok|error
+	streams          *obs.Gauge
+	reservoir        *obs.Gauge
+	republishes      *obs.CounterVec // result: promoted|rejected|skipped|error
+	republishSeconds *obs.Histogram
+	geGateSeconds    *obs.Histogram
+	rejections       *obs.Counter
+	promotions       *obs.Counter
+	checkpoints      *obs.CounterVec // result: ok|error
+	ge               *obs.GaugeVec   // role: candidate|served
+}
+
+func newOnlineMetrics(reg *obs.Registry) *onlineMetrics {
+	return &onlineMetrics{
+		rows: reg.CounterVec("rr_online_rows_ingested_total",
+			"Rows pushed into live streams by per-row result.", "result"),
+		streams: reg.Gauge("rr_online_streams",
+			"Live ingest streams currently held by the manager."),
+		reservoir: reg.Gauge("rr_online_reservoir_rows",
+			"Holdout rows currently reservoir-sampled across all streams."),
+		republishes: reg.CounterVec("rr_online_republishes_total",
+			"Republish attempts by outcome (promoted, rejected, skipped, error).",
+			"result"),
+		republishSeconds: reg.Histogram("rr_online_republish_seconds",
+			"Wall time of one republish: snapshot, eigensolve, GE gate, store put.",
+			obs.DefBuckets),
+		geGateSeconds: reg.Histogram("rr_online_ge_gate_seconds",
+			"Wall time of the GE promotion gate (two GE1 passes over the holdout).",
+			obs.DefBuckets),
+		rejections: reg.Counter("rr_online_ge_gate_rejections_total",
+			"Candidates rejected because GE1 regressed beyond the slack."),
+		promotions: reg.Counter("rr_online_promotions_total",
+			"Candidates promoted to the model store."),
+		checkpoints: reg.CounterVec("rr_online_checkpoints_total",
+			"Stream checkpoint writes by result.", "result"),
+		ge: reg.GaugeVec("rr_online_ge",
+			"GE1 on the holdout at the last gate decision, by role.", "role"),
+	}
+}

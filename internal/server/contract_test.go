@@ -147,6 +147,13 @@ func TestV1Contract(t *testing.T) {
 		{label: "batch fill absent model", method: "POST", path: "/v1/rules/absent/batch/fill",
 			body: `[]`, wantStatus: 404, wantCode: CodeNotFound},
 
+		{label: "ingest invalid decay", method: "POST", path: "/v1/rules/m/ingest?decay=2",
+			body: "[1,2]\n", wantStatus: 400, wantCode: CodeBadRequest},
+		{label: "stream status absent", method: "GET", path: "/v1/rules/m/stream",
+			wantStatus: 404, wantCode: CodeNotFound},
+		{label: "stream delete absent", method: "DELETE", path: "/v1/rules/m/stream",
+			wantStatus: 404, wantCode: CodeNotFound},
+
 		{label: "405 rules", method: "PATCH", path: "/v1/rules",
 			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "GET, POST"},
 		{label: "405 model", method: "PATCH", path: "/v1/rules/m",
@@ -161,6 +168,10 @@ func TestV1Contract(t *testing.T) {
 			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "POST"},
 		{label: "405 batch outliers", method: "PUT", path: "/v1/rules/m/batch/outliers",
 			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "POST"},
+		{label: "405 ingest", method: "GET", path: "/v1/rules/m/ingest",
+			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "POST"},
+		{label: "405 stream", method: "POST", path: "/v1/rules/m/stream",
+			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "GET, DELETE"},
 	}
 
 	for _, tc := range cases {

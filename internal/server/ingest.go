@@ -1,0 +1,203 @@
+package server
+
+// Live ingest endpoints over internal/online. POST
+// /v1/rules/{name}/ingest follows the batch streaming conventions
+// (batch.go): NDJSON or a JSON array in, one NDJSON line out per row,
+// full-duplex with rolling deadlines, status 200 committed before the
+// first row. Each input line is a row — either a bare array
+// ([1.5, 3.0]) or {"row": [...]} — answered by an ack line
+// {"index": i, "count": n} or an error line in its slot; the stream
+// ends with a {"done": {...}} summary. Unlike batch inference, rows are
+// folded into the stream sequentially (order is state here, not just
+// output framing). Re-mining and GE-gated promotion run behind the
+// scenes per the manager's triggers; GET /v1/rules/{name}/stream shows
+// the live accumulator and gate counters, DELETE drops it.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ratiorules/internal/online"
+)
+
+// ingestAck is the per-row success line of POST ingest.
+type ingestAck struct {
+	Index int `json:"index"`
+	Count int `json:"count"` // stream row total after this row
+}
+
+// ingestDone is the final summary line of POST ingest.
+type ingestDone struct {
+	Rows     int `json:"rows"`     // input lines seen
+	Accepted int `json:"accepted"` // rows folded into the stream
+	Errors   int `json:"errors"`   // rows answered with an error line
+	Count    int `json:"count"`    // stream row total at end of request
+}
+
+// ingestDoneLine frames the summary so clients can tell it from acks.
+type ingestDoneLine struct {
+	Done ingestDone `json:"done"`
+}
+
+// queryDecay parses the optional ?decay=D parameter. ok=false means
+// the request was already answered with a 400.
+func queryDecay(w http.ResponseWriter, req *http.Request) (decay float64, explicit, ok bool) {
+	raw := req.URL.Query().Get("decay")
+	if raw == "" {
+		return 0, false, true
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || v < 0 || v >= 1 {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("invalid decay %q: want a number in [0, 1)", raw))
+		return 0, false, false
+	}
+	return v, true, true
+}
+
+// decodeIngestRow parses one input line: a bare JSON array of numbers,
+// or an object with a "row" field.
+func decodeIngestRow(raw json.RawMessage) ([]float64, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var obj struct {
+			Row []float64 `json:"row"`
+		}
+		if err := json.Unmarshal(trimmed, &obj); err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRow, err)
+		}
+		if obj.Row == nil {
+			return nil, fmt.Errorf("%w: missing \"row\"", errBadRow)
+		}
+		return obj.Row, nil
+	}
+	var row []float64
+	if err := json.Unmarshal(trimmed, &row); err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRow, err)
+	}
+	return row, nil
+}
+
+// ingest streams rows into a model's live accumulator. The first row
+// of a new stream fixes its width; a ?decay=D on stream creation sets
+// its exponential decay, and later requests naming a different decay
+// answer 409 conflict (omit the parameter to join whatever runs).
+func (s *service) ingest(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("missing model name"))
+		return
+	}
+	decay, explicit, ok := queryDecay(w, req)
+	if !ok {
+		return
+	}
+	st, err := s.online.Stream(name, decay, explicit)
+	if err != nil {
+		if errors.Is(err, online.ErrDecayConflict) {
+			writeErr(w, http.StatusConflict, CodeConflict, err)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+
+	// Same connection discipline as serveBatch: full duplex so acks
+	// flow while the client is still sending, deadlines rolled forward
+	// while the stream makes progress.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	extend := func() {
+		t := time.Now().Add(batchDeadlineSlack)
+		_ = rc.SetReadDeadline(t)
+		_ = rc.SetWriteDeadline(t)
+	}
+	extend()
+
+	src := batchSource(req)
+	ctx := req.Context()
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	emit := func(v any) bool {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	var done ingestDone
+	for index := 0; ; index++ {
+		raw, rowErr, more := src()
+		if !more || ctx.Err() != nil {
+			break
+		}
+		if index%256 == 0 {
+			extend()
+		}
+		done.Rows++
+		var row []float64
+		if rowErr == nil {
+			row, rowErr = decodeIngestRow(raw)
+		}
+		if rowErr == nil {
+			var count int
+			if count, rowErr = st.Push(ctx, row); rowErr == nil {
+				done.Accepted++
+				done.Count = count
+				if !emit(ingestAck{Index: index, Count: count}) {
+					return
+				}
+				continue
+			}
+		}
+		done.Errors++
+		_, code := errStatus(rowErr)
+		if !emit(lineError{Index: index, Error: errorInfo{Code: code, Message: rowErr.Error()}}) {
+			return
+		}
+	}
+	s.logger.Info("rows ingested",
+		"model", name, "rows", done.Rows, "accepted", done.Accepted,
+		"errors", done.Errors, "count", done.Count)
+	emit(ingestDoneLine{Done: done})
+}
+
+// streamStatus reports a model's live stream (GET .../stream): row and
+// reservoir counts, republish/promotion/rejection tallies, and the GE
+// values of the last gate decision.
+func (s *service) streamStatus(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	status, ok := s.online.Status(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("model %q has no live stream", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+// streamDrop discards a model's live stream and its checkpoint
+// (DELETE .../stream). Published model versions are untouched.
+func (s *service) streamDrop(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	if !s.online.Drop(name) {
+		writeErr(w, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("model %q has no live stream", name))
+		return
+	}
+	s.logger.Info("stream dropped", "model", name)
+	w.WriteHeader(http.StatusNoContent)
+}

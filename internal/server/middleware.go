@@ -8,6 +8,7 @@ import (
 
 	"ratiorules/internal/obs"
 	"ratiorules/internal/obs/trace"
+	"ratiorules/internal/online"
 )
 
 // handlerConfig carries the observability and limit wiring for Handler.
@@ -17,6 +18,7 @@ type handlerConfig struct {
 	maxBodyBytes int64
 	batchWorkers int
 	tracer       *trace.Tracer
+	online       *online.Manager
 }
 
 // HandlerOption customizes Handler.
@@ -55,6 +57,16 @@ func WithBatchWorkers(n int) HandlerOption {
 // only bounded.
 func WithTracer(t *trace.Tracer) HandlerOption {
 	return func(c *handlerConfig) { c.tracer = t }
+}
+
+// WithOnline supplies the live-ingest manager serving the ingest and
+// stream routes (rrserve wires -republish-rows, -ge-slack and the
+// checkpoint directory through it and owns its Start/Close lifecycle).
+// Without it Handler builds a default manager — no checkpointing, no
+// background republisher, row-count triggers republish synchronously —
+// so the routes work out of the box.
+func WithOnline(m *online.Manager) HandlerOption {
+	return func(c *handlerConfig) { c.online = m }
 }
 
 // httpMetrics is the per-handler request accounting: counts by route,

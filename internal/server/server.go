@@ -24,6 +24,9 @@
 //	POST   /v1/rules/{name}/batch/fill       batch fill (JSON array or NDJSON in, NDJSON out)
 //	POST   /v1/rules/{name}/batch/forecast   batch forecast (same framing)
 //	POST   /v1/rules/{name}/batch/outliers   batch outlier scan (same framing)
+//	POST   /v1/rules/{name}/ingest           stream rows into the live accumulator (NDJSON acks out)
+//	GET    /v1/rules/{name}/stream           live stream status (rows, reservoir, GE gate tallies)
+//	DELETE /v1/rules/{name}/stream           drop the live stream (published versions stay)
 //	GET    /healthz                          liveness probe
 //	GET    /metrics                          Prometheus text exposition
 //	GET    /debug/traces                     flight recorder: recent trace summaries
@@ -59,6 +62,7 @@ import (
 	"ratiorules/internal/matrix"
 	"ratiorules/internal/obs"
 	"ratiorules/internal/obs/trace"
+	"ratiorules/internal/online"
 	"ratiorules/internal/store"
 )
 
@@ -159,6 +163,15 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 		cfg.tracer = trace.New(trace.Config{Logger: cfg.logger})
 	}
 	obs.RegisterRuntime(cfg.metrics)
+	if cfg.online == nil {
+		// A default manager (no checkpoint dir, synchronous row-count
+		// republishing) keeps the ingest routes working for embedders
+		// that never heard of internal/online; NewManager cannot fail
+		// without a checkpoint directory to load.
+		cfg.online, _ = online.NewManager(reg, online.Config{
+			Logger: cfg.logger, Metrics: cfg.metrics, Tracer: cfg.tracer,
+		})
+	}
 	m := newHTTPMetrics(cfg.metrics, cfg.logger, cfg.tracer)
 	s := &service{
 		reg:          reg,
@@ -166,6 +179,7 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 		batchWorkers: cfg.batchWorkers,
 		batch:        newBatchMetrics(cfg.metrics),
 		tracer:       cfg.tracer,
+		online:       cfg.online,
 	}
 	mux := http.NewServeMux()
 	handle := func(method, path string, h http.HandlerFunc) {
@@ -202,6 +216,9 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	handleStream("POST", "/v1/rules/{name}/batch/fill", s.batchFill)
 	handleStream("POST", "/v1/rules/{name}/batch/forecast", s.batchForecast)
 	handleStream("POST", "/v1/rules/{name}/batch/outliers", s.batchOutliers)
+	handleStream("POST", "/v1/rules/{name}/ingest", s.ingest)
+	handle("GET", "/v1/rules/{name}/stream", s.streamStatus)
+	handle("DELETE", "/v1/rules/{name}/stream", s.streamDrop)
 	// Wrong-method fallbacks: the method-specific patterns above take
 	// precedence, so these catch everything else on known paths.
 	fallback := func(path, allow string) {
@@ -210,8 +227,9 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	fallback("/v1/rules", "GET, POST")
 	fallback("/v1/rules/{name}", "GET, PUT, DELETE")
 	fallback("/v1/rules/{name}/versions", "GET")
+	fallback("/v1/rules/{name}/stream", "GET, DELETE")
 	for _, sub := range []string{"rollback", "fill", "forecast", "whatif", "project", "outliers",
-		"batch/fill", "batch/forecast", "batch/outliers"} {
+		"batch/fill", "batch/forecast", "batch/outliers", "ingest"} {
 		fallback("/v1/rules/{name}/"+sub, "POST")
 	}
 	// Catch-all: unknown paths answer the uniform envelope instead of
@@ -240,6 +258,7 @@ type service struct {
 	batchWorkers int
 	batch        *batchMetrics
 	tracer       *trace.Tracer
+	online       *online.Manager
 }
 
 // Stable machine-readable error codes carried by every v1 error
@@ -251,6 +270,7 @@ const (
 	CodeBodyTooLarge     = "body_too_large"     // request body exceeds the cap
 	CodeStoreFailed      = "store_failed"       // durable store rejected the mutation
 	CodeMethodNotAllowed = "method_not_allowed" // known path, wrong verb
+	CodeConflict         = "conflict"           // request contradicts live stream state (decay mismatch)
 	CodeInternal         = "internal"           // unexpected server-side failure
 )
 
@@ -562,6 +582,9 @@ func (s *service) del(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
 		return
 	}
+	// Deleting the model also drops its live stream: leaving the
+	// accumulator running would republish the model right back.
+	s.online.Drop(name)
 	s.logger.Info("model deleted", "model", name)
 	w.WriteHeader(http.StatusNoContent)
 }
