@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify verify-api verify-store verify-trace verify-online fuzz bench clean
+.PHONY: all build vet test race verify verify-api verify-store verify-trace verify-online verify-alert fuzz bench clean
 
 all: build
 
@@ -51,9 +51,21 @@ verify-online:
 	$(GO) test -run 'TestIngest|TestStreamLifecycle|TestV1Contract' -count=1 ./internal/server
 	$(GO) test -race -run 'TestOnlineIngestEndToEnd' -count=1 ./cmd/rrserve
 
+# verify-alert checks the model-quality monitor (docs/observability.md,
+# "Model-quality alerts"): the alert engine's state machines, the GE
+# monitor/auto-rollback path under the race detector, the health/alert
+# HTTP surface, and the rrserve drift-to-rollback end-to-end pair.
+verify-alert:
+	$(GO) vet ./internal/obs/alert ./internal/online ./cmd/rrserve
+	$(GO) test -race -count=2 ./internal/obs/alert
+	$(GO) test -race -run 'TestGateDecisions|TestEvalGE|TestGEHistory|TestRegressionAlert|TestAutoRollback|TestCheckpointResumeGEHistory|TestGEEvalTick' -count=1 ./internal/online
+	$(GO) test -run 'TestV1Contract|TestModelHealth|TestReadyz|TestDebugAlerts' -count=1 ./internal/server
+	$(GO) test -race -run 'TestDrift' -count=1 ./cmd/rrserve
+
 # verify is the gate for every change: vet, a full build, the race
 # detector across all packages, then the store persistence gauntlet,
-# the HTTP API contract, the tracing layer and the live-ingest loop.
+# the HTTP API contract, the tracing layer, the live-ingest loop and
+# the model-quality alert path.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -62,6 +74,7 @@ verify:
 	$(MAKE) verify-api
 	$(MAKE) verify-trace
 	$(MAKE) verify-online
+	$(MAKE) verify-alert
 
 # fuzz runs each core fuzz target for FUZZTIME (default 10s). Go allows
 # one -fuzz pattern per invocation, hence the separate runs.

@@ -43,12 +43,14 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rrbench", flag.ContinueOnError)
 	var (
-		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch, online or all")
+		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch, online, drift or all")
 		batchRows     = fs.Int("batch-rows", 10000, "rows for the batch experiment")
 		batchPatterns = fs.Int("batch-patterns", 8, "distinct hole patterns for the batch experiment")
 		batchWorkers  = fs.Int("batch-workers", 0, "worker pool width for the batch experiment (<= 0 = one per CPU)")
 		onlineRows    = fs.Int("online-rows", 100000, "rows for the online ingest experiment")
 		onlineWidth   = fs.Int("online-width", 32, "columns for the online ingest experiment")
+		driftRows     = fs.Int("drift-rows", 20000, "row budget for the drift detection experiment")
+		driftWidth    = fs.Int("drift-width", 16, "columns for the drift detection experiment")
 		ds            = fs.String("dataset", "nba", "dataset for fig6/cutoff: nba, baseball or abalone")
 		sizes         = fs.String("sizes", "", "comma-separated row counts for fig8 (default: the paper's sweep)")
 		datDir        = fs.String("datdir", "", "also write the paper's gnuplot data files (nba.d2, scaleup.dat, ...) into this directory")
@@ -67,6 +69,7 @@ func run(args []string, w io.Writer) error {
 		w = io.Discard
 	}
 	var timings []benchExperiment
+	var driftRes *experiments.DriftResult
 
 	runOne := func(name string) error {
 		switch name {
@@ -162,6 +165,13 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 			fmt.Fprintln(w, res)
+		case "drift":
+			res, err := experiments.RunDrift(*driftRows, *driftWidth)
+			if err != nil {
+				return err
+			}
+			driftRes = res
+			fmt.Fprintln(w, res)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -184,7 +194,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "online", "fig8"} {
+		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "online", "drift", "fig8"} {
 			fmt.Fprintf(w, "==================== %s ====================\n", name)
 			if err := timedRun(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -198,7 +208,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("creating -out file: %w", err)
 		}
-		if err := writeJSONSummary(f, timings); err != nil {
+		if err := writeJSONSummary(f, timings, driftRes); err != nil {
 			f.Close()
 			return fmt.Errorf("writing %s: %w", *outFile, err)
 		}
@@ -208,7 +218,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote summary to %s\n", *outFile)
 	}
 	if *jsonOut {
-		return writeJSONSummary(jsonDst, timings)
+		return writeJSONSummary(jsonDst, timings, driftRes)
 	}
 	return nil
 }
@@ -234,6 +244,20 @@ type benchSummary struct {
 	TotalSeconds float64           `json:"total_seconds"`
 	Miner        minerSummary      `json:"miner"`
 	Online       onlineSummary     `json:"online"`
+	// Drift carries the drift experiment's detection/recovery figures
+	// when it ran (nil otherwise).
+	Drift *experiments.DriftResult `json:"drift,omitempty"`
+	// Alerts snapshots the rr_alert_* and monitor counters.
+	Alerts alertSummary `json:"alerts"`
+}
+
+// alertSummary is the alert engine's and quality monitor's registry
+// footprint for the run.
+type alertSummary struct {
+	Evals         float64            `json:"evals"`
+	Transitions   map[string]float64 `json:"transitions"`
+	GEEvals       map[string]float64 `json:"ge_evals"`
+	AutoRollbacks float64            `json:"auto_rollbacks"`
 }
 
 // onlineSummary snapshots the live-ingest subsystem's counters and the
@@ -267,7 +291,7 @@ type minerSummary struct {
 }
 
 // writeJSONSummary snapshots the obs registry into the -json document.
-func writeJSONSummary(w io.Writer, timings []benchExperiment) error {
+func writeJSONSummary(w io.Writer, timings []benchExperiment, drift *experiments.DriftResult) error {
 	sum := benchSummary{
 		Experiments: timings,
 		Miner: minerSummary{
@@ -279,6 +303,11 @@ func writeJSONSummary(w io.Writer, timings []benchExperiment) error {
 		Online: onlineSummary{
 			RowsIngested: make(map[string]float64),
 			Republishes:  make(map[string]float64),
+		},
+		Drift: drift,
+		Alerts: alertSummary{
+			Transitions: make(map[string]float64),
+			GEEvals:     make(map[string]float64),
 		},
 	}
 	for _, e := range timings {
@@ -332,6 +361,14 @@ func writeJSONSummary(w io.Writer, timings []benchExperiment) error {
 			sum.Online.GEGate.Seconds = s.Value
 		case "rr_online_ge_gate_seconds_count":
 			sum.Online.GEGate.Count = s.Value
+		case "rr_alert_evals_total":
+			sum.Alerts.Evals = s.Value
+		case "rr_alert_transitions_total":
+			sum.Alerts.Transitions[s.Labels["to"]] = s.Value
+		case "rr_online_ge_evals_total":
+			sum.Alerts.GEEvals[s.Labels["result"]] = s.Value
+		case "rr_online_auto_rollbacks_total":
+			sum.Alerts.AutoRollbacks = s.Value
 		}
 	}
 	if sum.Online.Republish.Seconds > 0 {

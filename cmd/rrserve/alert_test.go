@@ -1,0 +1,196 @@
+package main
+
+// End-to-end acceptance for the model-quality monitor (see ISSUE.md):
+// boot the real entrypoint, feed a live stream clean rows, then poison
+// it with a sustained anti-correlated drift. The promotion gate is
+// deliberately disarmed (-ge-slack 1e12) so the drift actually takes
+// over the served model — the alert engine, not the gate, must catch
+// it. Phase 1 proves the regression alert fires and is visible on
+// every surface (/debug/alerts, /v1/rules/{name}/health, /readyz,
+// /metrics); phase 2 re-runs the scenario with -auto-rollback and
+// proves the served model snaps back to a clean retained version.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// modelHealthView mirrors the GET /v1/rules/{name}/health body fields
+// the tests assert on.
+type modelHealthView struct {
+	Status        string  `json:"status"`
+	Samples       int     `json:"samples"`
+	Firing        int     `json:"firing"`
+	AutoRollbacks int     `json:"auto_rollbacks"`
+	CurrentGE     float64 `json:"current_ge"`
+	BaselineGE    float64 `json:"baseline_ge"`
+}
+
+func getModelHealth(t *testing.T, base string) (modelHealthView, int) {
+	t.Helper()
+	code, body := get(t, base+"/v1/rules/live/health")
+	var h modelHealthView
+	if code == 200 {
+		if err := json.Unmarshal([]byte(body), &h); err != nil {
+			t.Fatalf("health decode: %v (%s)", err, body)
+		}
+	}
+	return h, code
+}
+
+func getAlertsFiring(t *testing.T, base string) int {
+	t.Helper()
+	code, body := get(t, base+"/debug/alerts")
+	if code != 200 {
+		t.Fatalf("debug/alerts = %d", code)
+	}
+	var out struct {
+		Firing int `json:"firing"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("debug/alerts decode: %v (%s)", err, body)
+	}
+	return out.Firing
+}
+
+// driftScenario boots rrserve with the GE gate disarmed and continuous
+// eval ticks, streams clean rows until the monitor has a baseline, then
+// floods anti-correlated rows so the served model degrades. Returns the
+// base URL and shutdown func with the drift already ingested.
+func driftScenario(t *testing.T, extra ...string) (string, func() error) {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-data-dir", t.TempDir(),
+		"-republish-rows", "40", "-ge-slack", "1e12",
+		"-ge-eval-every", "20ms", "-alert-cooldown", "0",
+	}, extra...)
+	addrs, shutdown := startServe(t, args...)
+	base := "http://" + addrs["main"]
+
+	// Clean phase: y = 2x rows until the model publishes and the GE
+	// ring holds a full regression baseline (12 baseline + 4 recent).
+	rows := make([][]float64, 400)
+	for i := range rows {
+		rows[i] = onlineRow(i)
+	}
+	if code, body := ingestNDJSON(t, base+"/v1/rules/live/ingest?decay=0.9", rows); code != 200 ||
+		!strings.Contains(body, `"done"`) {
+		t.Fatalf("clean ingest = %d: %.200s", code, body)
+	}
+	waitFor(t, "clean promotion", func() bool {
+		st, code := getStreamStatus(t, base)
+		return code == 200 && st.Promotions >= 1
+	})
+	waitFor(t, "GE baseline", func() bool {
+		h, code := getModelHealth(t, base)
+		return code == 200 && h.Samples >= 16 && h.Firing == 0
+	})
+
+	// Drift phase: a sustained anti-correlated takeover. With the gate
+	// disarmed the next re-mine promotes a poisoned model; eval ticks
+	// score it against the mostly-clean holdout and GE jumps.
+	anti := make([][]float64, 120)
+	for i := range anti {
+		anti[i] = antiOnlineRow(i)
+	}
+	if code, _ := ingestNDJSON(t, base+"/v1/rules/live/ingest", anti); code != 200 {
+		t.Fatalf("anti ingest = %d", code)
+	}
+	return base, shutdown
+}
+
+// fillAt asks the served model to reconstruct y for x=3; a clean
+// y = 2x model answers ~6, a poisoned y = -2x model answers negative.
+func fillAt(t *testing.T, base string) float64 {
+	t.Helper()
+	resp := struct {
+		Filled []float64 `json:"filled"`
+	}{}
+	code, body := post(t, base+"/v1/rules/live/fill", `{"record":[3,0],"holes":[1]}`)
+	if code != 200 {
+		t.Fatalf("fill = %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil || len(resp.Filled) != 2 {
+		t.Fatalf("fill decode: %v (%s)", err, body)
+	}
+	return resp.Filled[1]
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, readAll(t, resp)
+}
+
+// TestDriftAlertFires: without auto-rollback the degraded model keeps
+// serving, but the regression alert fires and every observability
+// surface says so.
+func TestDriftAlertFires(t *testing.T) {
+	base, shutdown := driftScenario(t)
+
+	waitFor(t, "firing alert", func() bool {
+		return getAlertsFiring(t, base) >= 1
+	})
+
+	h, code := getModelHealth(t, base)
+	if code != 200 || h.Status != "degraded" || h.Firing < 1 {
+		t.Fatalf("model health after drift = %+v (%d), want degraded with firing alerts", h, code)
+	}
+	if h.AutoRollbacks != 0 {
+		t.Fatalf("rollbacks happened without -auto-rollback: %+v", h)
+	}
+
+	if code, body := get(t, base+"/readyz"); code != 200 || !strings.Contains(body, `"degraded"`) {
+		t.Fatalf("readyz = %d: %s, want 200 degraded", code, body)
+	}
+
+	if code, metrics := get(t, base+"/metrics"); code != 200 {
+		t.Fatalf("metrics = %d", code)
+	} else {
+		for _, want := range []string{"rr_alert_firing", "rr_alert_evals_total", "rr_online_ge_evals_total"} {
+			if !strings.Contains(metrics, want) {
+				t.Errorf("metrics missing %q", want)
+			}
+		}
+		if strings.Contains(metrics, "rr_alert_firing 0") {
+			t.Error("rr_alert_firing still zero while /debug/alerts reports firing")
+		}
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestDriftAutoRollback: with -auto-rollback the firing regression
+// alert triggers a rollback to the best-scoring retained version — the
+// served model answers like the clean one again.
+func TestDriftAutoRollback(t *testing.T) {
+	base, shutdown := driftScenario(t, "-auto-rollback")
+
+	waitFor(t, "auto-rollback", func() bool {
+		h, code := getModelHealth(t, base)
+		return code == 200 && h.AutoRollbacks >= 1
+	})
+
+	if got := fillAt(t, base); got < 4 || got > 8 {
+		t.Fatalf("fill after rollback = %v, want ~6 (clean y=2x model restored)", got)
+	}
+
+	if code, metrics := get(t, base+"/metrics"); code != 200 {
+		t.Fatalf("metrics = %d", code)
+	} else if !strings.Contains(metrics, "rr_online_auto_rollbacks_total") ||
+		strings.Contains(metrics, "rr_online_auto_rollbacks_total 0") {
+		t.Error("rr_online_auto_rollbacks_total missing or zero after a rollback")
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -41,6 +41,21 @@
 //	-reservoir       holdout reservoir rows per live stream (default 256)
 //	-checkpoint-every republishes between stream checkpoints (default 8);
 //	                 streams also checkpoint on graceful shutdown
+//	-ge-eval-every   interval re-score of every served model against its
+//	                 live holdout reservoir (default 0, disabled); each
+//	                 tick appends a GE sample and runs the alert rules
+//	-ge-history      retained GE samples per live stream (default 256)
+//	-auto-rollback   when a sustained GE regression alert fires, roll the
+//	                 model back to the best-scoring retained version
+//	                 (default off; see docs/observability.md)
+//	-rollback-margin relative GE improvement an old version must offer
+//	                 before auto-rollback picks it (default 0.2)
+//	-rollback-cooldown minimum gap between automatic rollbacks per
+//	                 stream (default 5m) — the flap gate
+//	-alert-ge-max    absolute GE1 ceiling alert (default 0, disabled)
+//	-alert-ratio     regression alert ratio vs trailing baseline (1.5)
+//	-alert-for       breach duration before an alert fires (default 0)
+//	-alert-cooldown  post-resolve suppression window (default 5m)
 //	-v               debug logging (overrides RR_LOG_LEVEL)
 //	RR_LOG_LEVEL  debug|info|warn|error (default info)
 //	RR_LOG_FORMAT text|json (default text)
@@ -70,6 +85,7 @@ import (
 	"time"
 
 	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/alert"
 	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/online"
 	"ratiorules/internal/server"
@@ -111,6 +127,16 @@ func run(ctx context.Context, args []string) error {
 		geSlack         = fs.Float64("ge-slack", online.DefaultGESlack, "allowed relative GE1 regression before a candidate is rejected")
 		reservoirSize   = fs.Int("reservoir", online.DefaultReservoirSize, "holdout reservoir rows per live stream")
 		checkpointEvery = fs.Int("checkpoint-every", online.DefaultCheckpointEvery, "republishes between stream checkpoints (with -data-dir)")
+
+		geEvalEvery      = fs.Duration("ge-eval-every", 0, "interval re-score of served models against the live holdout (0 disables)")
+		geHistory        = fs.Int("ge-history", online.DefaultGEHistorySize, "retained GE samples per live stream")
+		autoRollback     = fs.Bool("auto-rollback", false, "on a firing GE regression alert, roll back to the best retained version")
+		rollbackMargin   = fs.Float64("rollback-margin", online.DefaultRollbackMargin, "relative GE improvement an old version must offer before auto-rollback")
+		rollbackCooldown = fs.Duration("rollback-cooldown", online.DefaultRollbackCooldown, "minimum gap between automatic rollbacks per stream")
+		alertGEMax       = fs.Float64("alert-ge-max", 0, "absolute GE1 ceiling alert threshold (0 disables the ceiling rule)")
+		alertRatio       = fs.Float64("alert-ratio", 1.5, "GE regression alert fires when recent GE exceeds baseline by this factor")
+		alertFor         = fs.Duration("alert-for", 0, "breaches must persist this long before an alert fires (0 fires immediately)")
+		alertCooldown    = fs.Duration("alert-cooldown", 5*time.Minute, "suppression window after an alert resolves")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,14 +170,42 @@ func run(ctx context.Context, args []string) error {
 		Logger:     logger,
 	})
 
+	// Alert rules: the defaults (regression ratio, drift slope,
+	// rejection rate) with the tuning flags applied, plus an absolute
+	// GE ceiling when -alert-ge-max is set.
+	rules := alert.DefaultRules()
+	for i := range rules {
+		if rules[i].Kind == alert.KindRegression {
+			rules[i].Ratio = *alertRatio
+		}
+		rules[i].For = *alertFor
+		rules[i].Cooldown = *alertCooldown
+	}
+	if *alertGEMax > 0 {
+		rules = append(rules, alert.Rule{
+			Name: "ge_ceiling", Kind: alert.KindCeiling, Max: *alertGEMax,
+			For: *alertFor, Cooldown: *alertCooldown,
+		})
+	}
+	alerts, err := alert.NewEngine(alert.Config{Rules: rules, Logger: logger})
+	if err != nil {
+		return fmt.Errorf("building alert engine: %w", err)
+	}
+
 	onlineCfg := online.Config{
-		RepublishRows:   *republishRows,
-		RepublishEvery:  *republishEvery,
-		GESlack:         *geSlack,
-		ReservoirSize:   *reservoirSize,
-		CheckpointEvery: *checkpointEvery,
-		Logger:          logger,
-		Tracer:          tracer,
+		RepublishRows:    *republishRows,
+		RepublishEvery:   *republishEvery,
+		GESlack:          *geSlack,
+		ReservoirSize:    *reservoirSize,
+		CheckpointEvery:  *checkpointEvery,
+		GEEvalEvery:      *geEvalEvery,
+		GEHistorySize:    *geHistory,
+		Alerts:           alerts,
+		AutoRollback:     *autoRollback,
+		RollbackMargin:   *rollbackMargin,
+		RollbackCooldown: *rollbackCooldown,
+		Logger:           logger,
+		Tracer:           tracer,
 	}
 	if *dataDir != "" {
 		// Stream checkpoints live beside the model store so one -data-dir

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunDrift: the scenario must detect the shift, auto-rollback, and
+// come back with a better-scoring model than the drifted one.
+func TestRunDrift(t *testing.T) {
+	res, err := RunDrift(10000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 10000 || res.Width != 8 {
+		t.Fatalf("result shape = %d x %d", res.Rows, res.Width)
+	}
+	if res.BaselineEvals < 16 {
+		t.Fatalf("baseline evals = %d, want >= 16", res.BaselineEvals)
+	}
+	if !res.Detected {
+		t.Fatal("drift never detected")
+	}
+	if res.DetectionRule != "ge_regression" {
+		t.Errorf("detecting rule = %q", res.DetectionRule)
+	}
+	if res.DetectionLatency <= 0 || res.DetectionRows <= 0 {
+		t.Errorf("detection cost = %v / %d rows", res.DetectionLatency, res.DetectionRows)
+	}
+	if res.DriftGE <= res.CleanGE*2 {
+		t.Errorf("drift GE %v did not clear 2x clean GE %v", res.DriftGE, res.CleanGE)
+	}
+	if !res.RolledBack {
+		t.Fatal("auto-rollback never landed")
+	}
+	if res.RollbackLatency < res.DetectionLatency {
+		t.Errorf("rollback latency %v before detection %v", res.RollbackLatency, res.DetectionLatency)
+	}
+	if res.PostRollbackGE >= res.DriftGE {
+		t.Errorf("post-rollback GE %v did not improve on drifted %v", res.PostRollbackGE, res.DriftGE)
+	}
+	out := res.String()
+	for _, want := range []string{"Drift detection", "detection latency", "auto-rollback latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,542 @@
+// Package alert is a stdlib-only alerting engine over in-process
+// quality time series — the monitoring half of the paper's claim that
+// guessing error makes rule quality *quantifiable*. The online manager
+// (internal/online) feeds it each model's served-GE history and gate
+// outcomes; the engine evaluates declarative rules against those
+// series and runs a Prometheus-style state machine per (rule, target):
+//
+//	inactive --breach--> pending --breach for Rule.For--> firing
+//	pending  --clear---> inactive
+//	firing   --clear---> inactive (a "resolved" transition)
+//
+// A resolved rule is held out of re-firing for Rule.Cooldown, so a
+// value oscillating around a threshold cannot flap downstream policy
+// (notably the online manager's auto-rollback).
+//
+// Rule kinds:
+//
+//	ceiling         latest value exceeds an absolute maximum
+//	regression      mean of the last Recent samples exceeds Ratio times
+//	                the mean of the Baseline samples before them — the
+//	                "sustained regression vs a trailing baseline" signal
+//	slope           least-squares slope over the last N samples, as a
+//	                fraction of their mean, exceeds MinSlope per sample —
+//	                slow monotone drift that never trips a ratio test
+//	rejection_rate  share of rejected promotion attempts over the last
+//	                Window outcomes exceeds Max
+//
+// Evaluations are cheap (a few arithmetic passes over bounded slices),
+// observable (rr_alert_* metrics, alert.eval trace spans, transition
+// log lines) and deterministic given a Config.Now seam.
+package alert
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/trace"
+)
+
+// Kind selects a rule's predicate.
+type Kind string
+
+const (
+	KindCeiling       Kind = "ceiling"
+	KindRegression    Kind = "regression"
+	KindSlope         Kind = "slope"
+	KindRejectionRate Kind = "rejection_rate"
+)
+
+// State is one (rule, target) pair's position in the alert lifecycle.
+type State string
+
+const (
+	StateInactive State = "inactive"
+	StatePending  State = "pending"
+	StateFiring   State = "firing"
+)
+
+// Rule is one declarative alert condition. Only the fields named for
+// its Kind are consulted; see the package comment for the predicates.
+type Rule struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+
+	// Max is the absolute bound for ceiling (value) and rejection_rate
+	// (rate in [0,1]) rules.
+	Max float64 `json:"max,omitempty"`
+
+	// Regression: mean(last Recent) > Ratio * mean(Baseline before it).
+	Ratio    float64 `json:"ratio,omitempty"`
+	Baseline int     `json:"baseline,omitempty"`
+	Recent   int     `json:"recent,omitempty"`
+
+	// Slope: least-squares slope over the last N samples, normalized by
+	// their mean, exceeds MinSlope (fractional increase per sample).
+	N        int     `json:"n,omitempty"`
+	MinSlope float64 `json:"min_slope,omitempty"`
+
+	// RejectionRate: rate over the last Window outcomes, evaluated only
+	// once MinCount outcomes exist.
+	Window   int `json:"window,omitempty"`
+	MinCount int `json:"min_count,omitempty"`
+
+	// For keeps a breach pending this long before it fires (0 fires on
+	// the first breaching evaluation).
+	For time.Duration `json:"for,omitempty"`
+	// Cooldown suppresses re-firing for this long after a resolve.
+	Cooldown time.Duration `json:"cooldown,omitempty"`
+}
+
+// validate rejects rules whose parameters cannot evaluate.
+func (r Rule) validate() error {
+	if r.Name == "" {
+		return errors.New("alert: rule missing name")
+	}
+	switch r.Kind {
+	case KindCeiling:
+		if r.Max <= 0 {
+			return fmt.Errorf("alert: rule %q: ceiling needs Max > 0", r.Name)
+		}
+	case KindRegression:
+		if r.Ratio <= 1 {
+			return fmt.Errorf("alert: rule %q: regression needs Ratio > 1", r.Name)
+		}
+		if r.Baseline < 1 || r.Recent < 1 {
+			return fmt.Errorf("alert: rule %q: regression needs Baseline and Recent >= 1", r.Name)
+		}
+	case KindSlope:
+		if r.N < 3 {
+			return fmt.Errorf("alert: rule %q: slope needs N >= 3", r.Name)
+		}
+		if r.MinSlope <= 0 {
+			return fmt.Errorf("alert: rule %q: slope needs MinSlope > 0", r.Name)
+		}
+	case KindRejectionRate:
+		if r.Max < 0 || r.Max >= 1 {
+			return fmt.Errorf("alert: rule %q: rejection_rate needs Max in [0, 1)", r.Name)
+		}
+		if r.Window < 1 {
+			return fmt.Errorf("alert: rule %q: rejection_rate needs Window >= 1", r.Name)
+		}
+		if r.MinCount < 1 {
+			return fmt.Errorf("alert: rule %q: rejection_rate needs MinCount >= 1", r.Name)
+		}
+	default:
+		return fmt.Errorf("alert: rule %q: unknown kind %q", r.Name, r.Kind)
+	}
+	if r.For < 0 || r.Cooldown < 0 {
+		return fmt.Errorf("alert: rule %q: negative For or Cooldown", r.Name)
+	}
+	return nil
+}
+
+// Sample is one point of a quality time series, ascending by T.
+type Sample struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// Input is everything one evaluation sees about a target: the quality
+// series (served GE for the online manager), the trailing promotion
+// outcomes (true = promoted), and an absolute noise floor added to
+// relative thresholds so perfect models (GE at solver round-off) never
+// alert on ratios of numerical dust.
+type Input struct {
+	Samples  []Sample
+	Outcomes []bool
+	Eps      float64
+}
+
+// Transition is one state change produced by an evaluation.
+type Transition struct {
+	Rule      Rule      `json:"rule"`
+	Target    string    `json:"target"`
+	From      State     `json:"from"`
+	To        State     `json:"to"`
+	Value     float64   `json:"value"`
+	Threshold float64   `json:"threshold"`
+	At        time.Time `json:"at"`
+}
+
+// Status is the externally visible state of one (rule, target) pair.
+type Status struct {
+	Rule      string     `json:"rule"`
+	Kind      Kind       `json:"kind"`
+	Target    string     `json:"target"`
+	State     State      `json:"state"`
+	Since     time.Time  `json:"since"`
+	Value     float64    `json:"value"`
+	Threshold float64    `json:"threshold"`
+	Fires     uint64     `json:"fires"`
+	LastFired *time.Time `json:"last_fired,omitempty"`
+}
+
+// Config builds an Engine.
+type Config struct {
+	// Rules are the conditions evaluated for every target; each must
+	// validate. At least one rule is required.
+	Rules []Rule
+	// Metrics receives the rr_alert_* families; nil selects
+	// obs.Default().
+	Metrics *obs.Registry
+	// Logger receives transition lines; nil is silent.
+	Logger *slog.Logger
+	// Now is the clock seam for tests; nil selects time.Now.
+	Now func() time.Time
+}
+
+// Engine evaluates a fixed rule set against per-target inputs and owns
+// the alert states. Safe for concurrent use.
+type Engine struct {
+	rules  []Rule
+	logger *slog.Logger
+	now    func() time.Time
+	met    *alertMetrics
+
+	mu     sync.Mutex
+	states map[stateKey]*ruleState
+}
+
+type stateKey struct {
+	rule   string
+	target string
+}
+
+// ruleState is the mutable half of one (rule, target) pair.
+type ruleState struct {
+	state      State
+	since      time.Time // entered the current state
+	value      float64   // last evaluated value
+	threshold  float64   // last evaluated threshold
+	fires      uint64
+	lastFired  time.Time
+	resolvedAt time.Time // last firing -> inactive transition
+}
+
+// NewEngine validates the rules and builds an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if len(cfg.Rules) == 0 {
+		return nil, errors.New("alert: no rules")
+	}
+	seen := make(map[string]bool, len(cfg.Rules))
+	for _, r := range cfg.Rules {
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("alert: duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Engine{
+		rules:  append([]Rule(nil), cfg.Rules...),
+		logger: cfg.Logger,
+		now:    cfg.Now,
+		met:    newAlertMetrics(cfg.Metrics),
+		states: make(map[stateKey]*ruleState),
+	}, nil
+}
+
+// DefaultRules is the stock rule set the online manager runs when no
+// explicit engine is configured: sustained regression vs a trailing
+// baseline, slow slope drift, and a promotion-rejection-rate guard.
+// An absolute GE ceiling is deliberately absent — GE is measured in
+// data units, so only a deployment knows a meaningful bound (rrserve
+// -alert-ge-max adds one).
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "ge_regression", Kind: KindRegression, Ratio: 1.5,
+			Baseline: 12, Recent: 4, Cooldown: 5 * time.Minute},
+		{Name: "ge_drift", Kind: KindSlope, N: 8, MinSlope: 0.05,
+			Cooldown: 5 * time.Minute},
+		{Name: "gate_rejections", Kind: KindRejectionRate, Max: 0.5,
+			Window: 8, MinCount: 4, Cooldown: 5 * time.Minute},
+	}
+}
+
+// Rules returns the engine's rule set (a copy).
+func (e *Engine) Rules() []Rule { return append([]Rule(nil), e.rules...) }
+
+// Eval runs every rule against one target's input and returns the
+// transitions this evaluation caused (often none). States for targets
+// never seen before materialize as inactive.
+func (e *Engine) Eval(ctx context.Context, target string, in Input) []Transition {
+	_, sp := trace.Start(ctx, "alert.eval")
+	now := e.now()
+	var out []Transition
+
+	e.mu.Lock()
+	for _, r := range e.rules {
+		key := stateKey{rule: r.Name, target: target}
+		st := e.states[key]
+		if st == nil {
+			st = &ruleState{state: StateInactive, since: now}
+			e.states[key] = st
+		}
+		breach, value, threshold, ok := evalRule(r, in)
+		e.met.evals.Inc()
+		if !ok {
+			continue // not enough data yet: the state is left untouched
+		}
+		st.value, st.threshold = value, threshold
+		if tr := e.step(r, target, st, breach, now); tr != nil {
+			out = append(out, *tr)
+		}
+	}
+	e.met.firing.Set(float64(e.firingLocked()))
+	e.mu.Unlock()
+
+	for _, tr := range out {
+		lvl := slog.LevelInfo
+		if tr.To == StateFiring {
+			lvl = slog.LevelWarn
+		}
+		e.logger.Log(context.Background(), lvl, "alert transition",
+			"rule", tr.Rule.Name, "target", tr.Target, "from", tr.From, "to", tr.To,
+			"value", tr.Value, "threshold", tr.Threshold)
+	}
+	if sp != nil {
+		sp.SetAttr("target", target)
+		sp.SetAttr("rules", len(e.rules))
+		sp.SetAttr("transitions", len(out))
+		sp.End()
+	}
+	return out
+}
+
+// step advances one state machine; callers hold e.mu.
+func (e *Engine) step(r Rule, target string, st *ruleState, breach bool, now time.Time) *Transition {
+	move := func(to State) *Transition {
+		tr := &Transition{Rule: r, Target: target, From: st.state, To: to,
+			Value: st.value, Threshold: st.threshold, At: now}
+		st.state = to
+		st.since = now
+		e.met.transitions.With(string(to)).Inc()
+		return tr
+	}
+	switch st.state {
+	case StateInactive:
+		if !breach {
+			return nil
+		}
+		if r.Cooldown > 0 && !st.resolvedAt.IsZero() && now.Sub(st.resolvedAt) < r.Cooldown {
+			e.met.suppressed.Inc()
+			return nil
+		}
+		if r.For <= 0 {
+			st.fires++
+			st.lastFired = now
+			return move(StateFiring)
+		}
+		return move(StatePending)
+	case StatePending:
+		if !breach {
+			return move(StateInactive)
+		}
+		if now.Sub(st.since) >= r.For {
+			st.fires++
+			st.lastFired = now
+			return move(StateFiring)
+		}
+		return nil
+	case StateFiring:
+		if breach {
+			return nil
+		}
+		st.resolvedAt = now
+		return move(StateInactive)
+	}
+	return nil
+}
+
+// evalRule computes one rule's predicate. ok=false means the input has
+// too little data to evaluate (the state must not move on ignorance).
+func evalRule(r Rule, in Input) (breach bool, value, threshold float64, ok bool) {
+	switch r.Kind {
+	case KindCeiling:
+		if len(in.Samples) == 0 {
+			return false, 0, 0, false
+		}
+		v := in.Samples[len(in.Samples)-1].V
+		return v > r.Max, v, r.Max, true
+	case KindRegression:
+		need := r.Baseline + r.Recent
+		if len(in.Samples) < need {
+			return false, 0, 0, false
+		}
+		tail := in.Samples[len(in.Samples)-need:]
+		base := MeanValues(tail[:r.Baseline])
+		recent := MeanValues(tail[r.Baseline:])
+		threshold = base*r.Ratio + in.Eps
+		return recent > threshold, recent, threshold, true
+	case KindSlope:
+		if len(in.Samples) < r.N {
+			return false, 0, 0, false
+		}
+		tail := in.Samples[len(in.Samples)-r.N:]
+		mean := MeanValues(tail)
+		if mean <= in.Eps {
+			// The whole window sits at the noise floor: no drift worth
+			// naming, whatever the fitted slope of the dust says.
+			return false, 0, r.MinSlope, true
+		}
+		rel := SlopePerSample(tail) / mean
+		return rel > r.MinSlope, rel, r.MinSlope, true
+	case KindRejectionRate:
+		n := len(in.Outcomes)
+		if n > r.Window {
+			in.Outcomes = in.Outcomes[n-r.Window:]
+			n = r.Window
+		}
+		if n < r.MinCount {
+			return false, 0, 0, false
+		}
+		rejected := 0
+		for _, promoted := range in.Outcomes {
+			if !promoted {
+				rejected++
+			}
+		}
+		rate := float64(rejected) / float64(n)
+		return rate > r.Max, rate, r.Max, true
+	}
+	return false, 0, 0, false
+}
+
+// MeanValues is the arithmetic mean of the samples' values (0 when
+// empty).
+func MeanValues(s []Sample) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s {
+		sum += x.V
+	}
+	return sum / float64(len(s))
+}
+
+// SlopePerSample fits value = a + b*i by least squares over the sample
+// index i (not wall time, so irregular tick spacing cannot fake a
+// drift) and returns b — the value change per sample.
+func SlopePerSample(s []Sample) float64 {
+	n := float64(len(s))
+	if n < 2 {
+		return 0
+	}
+	var sumI, sumV, sumIV, sumII float64
+	for i, x := range s {
+		fi := float64(i)
+		sumI += fi
+		sumV += x.V
+		sumIV += fi * x.V
+		sumII += fi * fi
+	}
+	den := n*sumII - sumI*sumI
+	if den == 0 {
+		return 0
+	}
+	return (n*sumIV - sumI*sumV) / den
+}
+
+// Statuses reports every rule's state for one target, in rule order.
+// Rules the target was never evaluated against show as inactive.
+func (e *Engine) Statuses(target string) []Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Status, 0, len(e.rules))
+	for _, r := range e.rules {
+		st := e.states[stateKey{rule: r.Name, target: target}]
+		if st == nil {
+			out = append(out, Status{Rule: r.Name, Kind: r.Kind, Target: target, State: StateInactive})
+			continue
+		}
+		out = append(out, statusOf(r, target, st))
+	}
+	return out
+}
+
+// Snapshot lists every evaluated (rule, target) state, sorted by
+// target then rule — the GET /debug/alerts body.
+func (e *Engine) Snapshot() (states []Status, firing int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	byName := make(map[string]Rule, len(e.rules))
+	for _, r := range e.rules {
+		byName[r.Name] = r
+	}
+	states = make([]Status, 0, len(e.states))
+	for key, st := range e.states {
+		states = append(states, statusOf(byName[key.rule], key.target, st))
+	}
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].Target != states[j].Target {
+			return states[i].Target < states[j].Target
+		}
+		return states[i].Rule < states[j].Rule
+	})
+	return states, e.firingLocked()
+}
+
+// FiringCount reports how many (rule, target) pairs are firing now.
+func (e *Engine) FiringCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firingLocked()
+}
+
+func (e *Engine) firingLocked() int {
+	n := 0
+	for _, st := range e.states {
+		if st.state == StateFiring {
+			n++
+		}
+	}
+	return n
+}
+
+// Drop forgets every state for a target (its stream was deleted).
+func (e *Engine) Drop(target string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for key := range e.states {
+		if key.target == target {
+			delete(e.states, key)
+		}
+	}
+	e.met.firing.Set(float64(e.firingLocked()))
+}
+
+func statusOf(r Rule, target string, st *ruleState) Status {
+	out := Status{
+		Rule:      r.Name,
+		Kind:      r.Kind,
+		Target:    target,
+		State:     st.state,
+		Since:     st.since,
+		Value:     st.value,
+		Threshold: st.threshold,
+		Fires:     st.fires,
+	}
+	if !st.lastFired.IsZero() {
+		t := st.lastFired
+		out.LastFired = &t
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+package alert
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"ratiorules/internal/obs"
+)
+
+// fakeClock is a manually advanced Config.Now seam.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// newTestEngine builds an engine on a fresh registry and fake clock.
+func newTestEngine(t *testing.T, rules ...Rule) (*Engine, *fakeClock, *obs.Registry) {
+	t.Helper()
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	e, err := NewEngine(Config{Rules: rules, Metrics: reg, Now: clk.now})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e, clk, reg
+}
+
+// series builds an ascending sample series from values, one per minute.
+func series(clk *fakeClock, vals ...float64) []Sample {
+	out := make([]Sample, len(vals))
+	base := clk.t.Add(-time.Duration(len(vals)) * time.Minute)
+	for i, v := range vals {
+		out[i] = Sample{T: base.Add(time.Duration(i) * time.Minute), V: v}
+	}
+	return out
+}
+
+func stateOf(t *testing.T, e *Engine, target, rule string) Status {
+	t.Helper()
+	for _, st := range e.Statuses(target) {
+		if st.Rule == rule {
+			return st
+		}
+	}
+	t.Fatalf("rule %q not in statuses for %q", rule, target)
+	return Status{}
+}
+
+func TestRuleValidation(t *testing.T) {
+	bad := []Rule{
+		{},                             // no name
+		{Name: "x", Kind: "bogus"},     // unknown kind
+		{Name: "x", Kind: KindCeiling}, // Max <= 0
+		{Name: "x", Kind: KindRegression, Ratio: 0.9, Baseline: 2, Recent: 1}, // Ratio <= 1
+		{Name: "x", Kind: KindRegression, Ratio: 2},                           // windows missing
+		{Name: "x", Kind: KindSlope, N: 2, MinSlope: 0.1},                     // N too small
+		{Name: "x", Kind: KindSlope, N: 5},                                    // MinSlope missing
+		{Name: "x", Kind: KindRejectionRate, Max: 1.5, Window: 4, MinCount: 2},
+		{Name: "x", Kind: KindRejectionRate, Max: 0.5},
+		{Name: "x", Kind: KindCeiling, Max: 1, For: -time.Second},
+	}
+	for i, r := range bad {
+		if _, err := NewEngine(Config{Rules: []Rule{r}}); err == nil {
+			t.Errorf("rule %d (%+v): want validation error, got nil", i, r)
+		}
+	}
+	if _, err := NewEngine(Config{}); err == nil {
+		t.Error("empty rule set: want error")
+	}
+	dup := Rule{Name: "x", Kind: KindCeiling, Max: 1}
+	if _, err := NewEngine(Config{Rules: []Rule{dup, dup}}); err == nil {
+		t.Error("duplicate rule names: want error")
+	}
+	for _, r := range DefaultRules() {
+		if err := r.validate(); err != nil {
+			t.Errorf("DefaultRules contains invalid rule: %v", err)
+		}
+	}
+}
+
+func TestCeilingFiresAndResolves(t *testing.T) {
+	e, clk, _ := newTestEngine(t, Rule{Name: "cap", Kind: KindCeiling, Max: 2.0})
+	ctx := context.Background()
+
+	trs := e.Eval(ctx, "m", Input{Samples: series(clk, 1.0)})
+	if len(trs) != 0 {
+		t.Fatalf("below ceiling: want no transitions, got %+v", trs)
+	}
+	trs = e.Eval(ctx, "m", Input{Samples: series(clk, 1.0, 3.0)})
+	if len(trs) != 1 || trs[0].To != StateFiring || trs[0].From != StateInactive {
+		t.Fatalf("breach with For=0: want inactive->firing, got %+v", trs)
+	}
+	if got := stateOf(t, e, "m", "cap"); got.State != StateFiring || got.Value != 3.0 || got.Threshold != 2.0 {
+		t.Fatalf("firing status wrong: %+v", got)
+	}
+	if e.FiringCount() != 1 {
+		t.Fatalf("FiringCount = %d, want 1", e.FiringCount())
+	}
+	trs = e.Eval(ctx, "m", Input{Samples: series(clk, 3.0, 1.5)})
+	if len(trs) != 1 || trs[0].To != StateInactive || trs[0].From != StateFiring {
+		t.Fatalf("clear: want firing->inactive, got %+v", trs)
+	}
+	if e.FiringCount() != 0 {
+		t.Fatalf("FiringCount after resolve = %d, want 0", e.FiringCount())
+	}
+}
+
+func TestForHoldsPendingBeforeFiring(t *testing.T) {
+	e, clk, _ := newTestEngine(t,
+		Rule{Name: "cap", Kind: KindCeiling, Max: 1.0, For: 10 * time.Minute})
+	ctx := context.Background()
+	breach := Input{Samples: series(clk, 5.0)}
+
+	trs := e.Eval(ctx, "m", breach)
+	if len(trs) != 1 || trs[0].To != StatePending {
+		t.Fatalf("first breach: want ->pending, got %+v", trs)
+	}
+	clk.advance(5 * time.Minute)
+	if trs = e.Eval(ctx, "m", breach); len(trs) != 0 {
+		t.Fatalf("inside For: want no transition, got %+v", trs)
+	}
+	clk.advance(6 * time.Minute)
+	if trs = e.Eval(ctx, "m", breach); len(trs) != 1 || trs[0].To != StateFiring {
+		t.Fatalf("past For: want ->firing, got %+v", trs)
+	}
+
+	// A pending breach that clears goes straight back to inactive.
+	e2, clk2, _ := newTestEngine(t,
+		Rule{Name: "cap", Kind: KindCeiling, Max: 1.0, For: 10 * time.Minute})
+	e2.Eval(ctx, "m", Input{Samples: series(clk2, 5.0)})
+	trs = e2.Eval(ctx, "m", Input{Samples: series(clk2, 0.5)})
+	if len(trs) != 1 || trs[0].From != StatePending || trs[0].To != StateInactive {
+		t.Fatalf("pending clear: want pending->inactive, got %+v", trs)
+	}
+}
+
+func TestCooldownSuppressesRefire(t *testing.T) {
+	e, clk, reg := newTestEngine(t,
+		Rule{Name: "cap", Kind: KindCeiling, Max: 1.0, Cooldown: time.Hour})
+	ctx := context.Background()
+	breach := Input{Samples: series(clk, 5.0)}
+	clear := Input{Samples: series(clk, 0.5)}
+
+	e.Eval(ctx, "m", breach) // fires
+	e.Eval(ctx, "m", clear)  // resolves, cooldown starts
+	clk.advance(30 * time.Minute)
+	if trs := e.Eval(ctx, "m", breach); len(trs) != 0 {
+		t.Fatalf("inside cooldown: want suppressed, got %+v", trs)
+	}
+	if v := metricValue(t, reg, "rr_alert_suppressed_total"); v != 1 {
+		t.Fatalf("rr_alert_suppressed_total = %v, want 1", v)
+	}
+	clk.advance(31 * time.Minute)
+	if trs := e.Eval(ctx, "m", breach); len(trs) != 1 || trs[0].To != StateFiring {
+		t.Fatalf("past cooldown: want ->firing, got %+v", trs)
+	}
+	if got := stateOf(t, e, "m", "cap"); got.Fires != 2 {
+		t.Fatalf("Fires = %d, want 2", got.Fires)
+	}
+}
+
+func TestRegressionRule(t *testing.T) {
+	e, clk, _ := newTestEngine(t,
+		Rule{Name: "reg", Kind: KindRegression, Ratio: 1.5, Baseline: 4, Recent: 2})
+	ctx := context.Background()
+
+	// Too few samples: state frozen at inactive.
+	if trs := e.Eval(ctx, "m", Input{Samples: series(clk, 1, 1, 1)}); len(trs) != 0 {
+		t.Fatalf("short series: want nothing, got %+v", trs)
+	}
+	// Flat series: recent mean == baseline mean, no breach.
+	if trs := e.Eval(ctx, "m", Input{Samples: series(clk, 1, 1, 1, 1, 1, 1)}); len(trs) != 0 {
+		t.Fatalf("flat series: want nothing, got %+v", trs)
+	}
+	// Recent window jumps 2x over baseline: breach.
+	trs := e.Eval(ctx, "m", Input{Samples: series(clk, 1, 1, 1, 1, 2, 2)})
+	if len(trs) != 1 || trs[0].To != StateFiring {
+		t.Fatalf("2x regression: want ->firing, got %+v", trs)
+	}
+	if got := trs[0]; math.Abs(got.Value-2.0) > 1e-12 || math.Abs(got.Threshold-1.5) > 1e-12 {
+		t.Fatalf("regression value/threshold = %v/%v, want 2/1.5", got.Value, got.Threshold)
+	}
+}
+
+func TestRegressionEpsAbsorbsRoundoff(t *testing.T) {
+	e, clk, _ := newTestEngine(t,
+		Rule{Name: "reg", Kind: KindRegression, Ratio: 1.5, Baseline: 4, Recent: 2})
+	// A perfect model's GE wobbles at round-off scale; with Eps at the
+	// noise floor the ratio test must stay quiet.
+	in := Input{
+		Samples: series(clk, 1e-17, 2e-17, 1e-17, 2e-17, 8e-17, 9e-17),
+		Eps:     1e-9,
+	}
+	if trs := e.Eval(context.Background(), "m", in); len(trs) != 0 {
+		t.Fatalf("round-off regression with Eps: want nothing, got %+v", trs)
+	}
+}
+
+func TestSlopeRule(t *testing.T) {
+	e, clk, _ := newTestEngine(t,
+		Rule{Name: "drift", Kind: KindSlope, N: 5, MinSlope: 0.05})
+	ctx := context.Background()
+
+	if trs := e.Eval(ctx, "m", Input{Samples: series(clk, 1, 1, 1, 1, 1)}); len(trs) != 0 {
+		t.Fatalf("flat: want nothing, got %+v", trs)
+	}
+	// Steady climb: slope 0.25/sample over mean 1.5 ≈ 0.17/sample.
+	trs := e.Eval(ctx, "m", Input{Samples: series(clk, 1, 1.25, 1.5, 1.75, 2)})
+	if len(trs) != 1 || trs[0].To != StateFiring {
+		t.Fatalf("drift: want ->firing, got %+v", trs)
+	}
+	// A whole window at the noise floor never counts as drift.
+	e2, clk2, _ := newTestEngine(t,
+		Rule{Name: "drift", Kind: KindSlope, N: 5, MinSlope: 0.05})
+	in := Input{Samples: series(clk2, 1e-17, 2e-17, 3e-17, 4e-17, 5e-17), Eps: 1e-9}
+	if trs := e2.Eval(ctx, "m", in); len(trs) != 0 {
+		t.Fatalf("noise-floor drift with Eps: want nothing, got %+v", trs)
+	}
+}
+
+func TestSlopeIgnoresTimestampSpacing(t *testing.T) {
+	// Slope is per sample index, so irregular wall-clock gaps between
+	// the same values must give the same answer.
+	a := []Sample{{V: 1}, {V: 2}, {V: 3}, {V: 4}}
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b := []Sample{
+		{T: base, V: 1},
+		{T: base.Add(time.Second), V: 2},
+		{T: base.Add(time.Hour), V: 3},
+		{T: base.Add(49 * time.Hour), V: 4},
+	}
+	if sa, sb := SlopePerSample(a), SlopePerSample(b); math.Abs(sa-sb) > 1e-12 {
+		t.Fatalf("slope differs with spacing: %v vs %v", sa, sb)
+	}
+}
+
+func TestRejectionRateRule(t *testing.T) {
+	e, _, _ := newTestEngine(t,
+		Rule{Name: "rej", Kind: KindRejectionRate, Max: 0.5, Window: 4, MinCount: 3})
+	ctx := context.Background()
+
+	if trs := e.Eval(ctx, "m", Input{Outcomes: []bool{false, false}}); len(trs) != 0 {
+		t.Fatalf("below MinCount: want nothing, got %+v", trs)
+	}
+	if trs := e.Eval(ctx, "m", Input{Outcomes: []bool{true, true, false}}); len(trs) != 0 {
+		t.Fatalf("rate 1/3: want nothing, got %+v", trs)
+	}
+	trs := e.Eval(ctx, "m", Input{Outcomes: []bool{true, false, false, false}})
+	if len(trs) != 1 || trs[0].To != StateFiring {
+		t.Fatalf("rate 3/4: want ->firing, got %+v", trs)
+	}
+	// Only the trailing Window outcomes count: old rejections age out.
+	trs = e.Eval(ctx, "m", Input{Outcomes: []bool{false, false, false, true, true, true, true}})
+	if len(trs) != 1 || trs[0].To != StateInactive {
+		t.Fatalf("rejections aged out: want ->inactive, got %+v", trs)
+	}
+}
+
+func TestTargetsAreIndependent(t *testing.T) {
+	e, clk, _ := newTestEngine(t, Rule{Name: "cap", Kind: KindCeiling, Max: 1.0})
+	ctx := context.Background()
+	e.Eval(ctx, "a", Input{Samples: series(clk, 5.0)})
+	e.Eval(ctx, "b", Input{Samples: series(clk, 0.5)})
+
+	if got := stateOf(t, e, "a", "cap"); got.State != StateFiring {
+		t.Fatalf("target a: %+v", got)
+	}
+	if got := stateOf(t, e, "b", "cap"); got.State != StateInactive {
+		t.Fatalf("target b: %+v", got)
+	}
+
+	states, firing := e.Snapshot()
+	if firing != 1 || len(states) != 2 {
+		t.Fatalf("Snapshot: firing=%d len=%d, want 1/2", firing, len(states))
+	}
+	if states[0].Target != "a" || states[1].Target != "b" {
+		t.Fatalf("Snapshot not sorted by target: %+v", states)
+	}
+
+	e.Drop("a")
+	states, firing = e.Snapshot()
+	if firing != 0 || len(states) != 1 || states[0].Target != "b" {
+		t.Fatalf("after Drop(a): firing=%d states=%+v", firing, states)
+	}
+}
+
+func TestStatusesListsUnevaluatedRules(t *testing.T) {
+	e, _, _ := newTestEngine(t, DefaultRules()...)
+	got := e.Statuses("never-seen")
+	if len(got) != len(DefaultRules()) {
+		t.Fatalf("Statuses len = %d, want %d", len(got), len(DefaultRules()))
+	}
+	for _, st := range got {
+		if st.State != StateInactive {
+			t.Fatalf("unevaluated rule not inactive: %+v", st)
+		}
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	e, clk, reg := newTestEngine(t, Rule{Name: "cap", Kind: KindCeiling, Max: 1.0})
+	ctx := context.Background()
+	e.Eval(ctx, "m", Input{Samples: series(clk, 5.0)}) // fires
+	e.Eval(ctx, "m", Input{Samples: series(clk, 0.5)}) // resolves
+
+	if v := metricValue(t, reg, "rr_alert_evals_total"); v != 2 {
+		t.Fatalf("evals = %v, want 2", v)
+	}
+	if v := metricValue(t, reg, "rr_alert_firing"); v != 0 {
+		t.Fatalf("firing gauge = %v, want 0", v)
+	}
+	if v := labeledMetricValue(t, reg, "rr_alert_transitions_total", "firing"); v != 1 {
+		t.Fatalf("transitions{to=firing} = %v, want 1", v)
+	}
+	if v := labeledMetricValue(t, reg, "rr_alert_transitions_total", "inactive"); v != 1 {
+		t.Fatalf("transitions{to=inactive} = %v, want 1", v)
+	}
+}
+
+// metricValue reads an unlabeled series from a registry snapshot.
+func metricValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	v, ok := reg.Snapshot()[name]
+	if !ok {
+		t.Fatalf("metric %q not found", name)
+	}
+	return v
+}
+
+// labeledMetricValue reads a series with a single "to" label.
+func labeledMetricValue(t *testing.T, reg *obs.Registry, name, to string) float64 {
+	t.Helper()
+	return reg.Snapshot()[obs.SampleKey(name, map[string]string{"to": to})]
+}

@@ -1,0 +1,25 @@
+package alert
+
+import "ratiorules/internal/obs"
+
+// alertMetrics is the rr_alert_* family set. Cardinality stays bounded:
+// the only label is the transition's destination state.
+type alertMetrics struct {
+	evals       *obs.Counter
+	transitions *obs.CounterVec // to: pending|firing|inactive
+	firing      *obs.Gauge
+	suppressed  *obs.Counter
+}
+
+func newAlertMetrics(reg *obs.Registry) *alertMetrics {
+	return &alertMetrics{
+		evals: reg.Counter("rr_alert_evals_total",
+			"Rule evaluations performed (one per rule per Eval call)."),
+		transitions: reg.CounterVec("rr_alert_transitions_total",
+			"Alert state transitions by destination state.", "to"),
+		firing: reg.Gauge("rr_alert_firing",
+			"Alert (rule, target) pairs currently in the firing state."),
+		suppressed: reg.Counter("rr_alert_suppressed_total",
+			"Breaches ignored because the rule was inside its post-resolve cooldown."),
+	}
+}

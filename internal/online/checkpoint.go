@@ -43,6 +43,14 @@ type streamCheckpoint struct {
 	LastServGE  float64         `json:"last_served_ge"`
 	Reservoir   [][]float64     `json:"reservoir"`
 	Stream      json.RawMessage `json:"stream"`
+
+	// Quality-monitor state (format 1, additive: sidecars written
+	// before these fields existed load with empty monitor state).
+	GEHistory     []GESample      `json:"ge_history,omitempty"`
+	Outcomes      []bool          `json:"outcomes,omitempty"`
+	VersionGE     map[int]float64 `json:"version_ge,omitempty"`
+	GEEps         float64         `json:"ge_eps,omitempty"`
+	AutoRollbacks int             `json:"auto_rollbacks,omitempty"`
 }
 
 // checkpointPath is the sidecar path for a model; the name is
@@ -110,6 +118,17 @@ func (m *Manager) checkpoint(st *Stream) error {
 		LastServGE:  st.lastServedGE,
 		Reservoir:   append([][]float64(nil), st.reservoir...),
 		Stream:      stream.Bytes(),
+
+		GEHistory:     append([]GESample(nil), st.geHistory...),
+		Outcomes:      append([]bool(nil), st.outcomes...),
+		GEEps:         st.geEps,
+		AutoRollbacks: st.autoRollbacks,
+	}
+	if len(st.versionGE) > 0 {
+		cp.VersionGE = make(map[int]float64, len(st.versionGE))
+		for v, ge := range st.versionGE {
+			cp.VersionGE[v] = ge
+		}
 	}
 	st.mu.Unlock()
 
@@ -214,6 +233,21 @@ func (m *Manager) loadCheckpoint(path string) (*Stream, error) {
 		cp.Reservoir = cp.Reservoir[:m.cfg.ReservoirSize]
 	}
 	st.reservoir = cp.Reservoir
+	if n := len(cp.GEHistory); n > m.cfg.GEHistorySize {
+		cp.GEHistory = cp.GEHistory[n-m.cfg.GEHistorySize:]
+	}
+	st.geHistory = cp.GEHistory
+	if n := len(cp.Outcomes); n > outcomeWindow {
+		cp.Outcomes = cp.Outcomes[n-outcomeWindow:]
+	}
+	st.outcomes = cp.Outcomes
+	for v, ge := range cp.VersionGE {
+		if v > 0 {
+			st.versionGE[v] = ge
+		}
+	}
+	st.geEps = cp.GEEps
+	st.autoRollbacks = cp.AutoRollbacks
 	return st, nil
 }
 

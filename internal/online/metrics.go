@@ -16,6 +16,9 @@ type onlineMetrics struct {
 	promotions       *obs.Counter
 	checkpoints      *obs.CounterVec // result: ok|error
 	ge               *obs.GaugeVec   // role: candidate|served
+	geEvals          *obs.CounterVec // result: ok|error
+	geEvalSeconds    *obs.Histogram
+	autoRollbacks    *obs.Counter
 }
 
 func newOnlineMetrics(reg *obs.Registry) *onlineMetrics {
@@ -43,5 +46,11 @@ func newOnlineMetrics(reg *obs.Registry) *onlineMetrics {
 			"Stream checkpoint writes by result.", "result"),
 		ge: reg.GaugeVec("rr_online_ge",
 			"GE1 on the holdout at the last gate decision, by role.", "role"),
+		geEvals: reg.CounterVec("rr_online_ge_evals_total",
+			"Periodic served-model GE re-evaluations by result.", "result"),
+		geEvalSeconds: reg.Histogram("rr_online_ge_eval_seconds",
+			"Wall time of one served-model GE re-evaluation.", obs.DefBuckets),
+		autoRollbacks: reg.Counter("rr_online_auto_rollbacks_total",
+			"Served models rolled back to a prior version by the alert policy."),
 	}
 }

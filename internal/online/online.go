@@ -43,6 +43,7 @@ import (
 	"ratiorules/internal/core"
 	"ratiorules/internal/matrix"
 	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/alert"
 	"ratiorules/internal/obs/trace"
 )
 
@@ -111,6 +112,28 @@ type Config struct {
 	// Tracer roots online.republish spans for background republishes
 	// that have no request trace to join; nil leaves them untraced.
 	Tracer *trace.Tracer
+
+	// GEEvalEvery re-scores every stream's served model against its
+	// current reservoir on this interval once Start has been called,
+	// keeping the GE time series moving between republishes; 0 disables
+	// the tick (gate decisions still record samples).
+	GEEvalEvery time.Duration
+	// GEHistorySize caps the per-stream GE sample ring; <= 0 selects
+	// DefaultGEHistorySize.
+	GEHistorySize int
+	// Alerts evaluates quality rules after every GE sample; nil builds
+	// an engine with alert.DefaultRules on Metrics/Logger.
+	Alerts *alert.Engine
+	// AutoRollback lets a firing sustained-regression alert restore the
+	// best prior version (see monitor.go). Off by default.
+	AutoRollback bool
+	// RollbackMargin is the relative GE improvement a prior version
+	// must show before auto-rollback prefers it; <= 0 selects
+	// DefaultRollbackMargin.
+	RollbackMargin float64
+	// RollbackCooldown spaces auto-rollbacks of one stream; <= 0
+	// selects DefaultRollbackCooldown.
+	RollbackCooldown time.Duration
 }
 
 // withDefaults normalizes the zero values.
@@ -132,6 +155,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.Default()
+	}
+	if c.GEHistorySize <= 0 {
+		c.GEHistorySize = DefaultGEHistorySize
+	}
+	if c.RollbackMargin <= 0 {
+		c.RollbackMargin = DefaultRollbackMargin
+	}
+	if c.RollbackCooldown <= 0 {
+		c.RollbackCooldown = DefaultRollbackCooldown
 	}
 	return c
 }
@@ -164,6 +196,17 @@ func NewManager(store ModelStore, cfg Config) (*Manager, error) {
 		return nil, errors.New("online: nil model store")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Alerts == nil {
+		eng, err := alert.NewEngine(alert.Config{
+			Rules:   alert.DefaultRules(),
+			Metrics: cfg.Metrics,
+			Logger:  cfg.Logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Alerts = eng
+	}
 	m := &Manager{
 		cfg:     cfg,
 		store:   store,
@@ -204,6 +247,12 @@ func (m *Manager) loop() {
 		defer tick.Stop()
 		tickC = tick.C
 	}
+	var geTickC <-chan time.Time
+	if m.cfg.GEEvalEvery > 0 {
+		geTick := time.NewTicker(m.cfg.GEEvalEvery)
+		defer geTick.Stop()
+		geTickC = geTick.C
+	}
 	for {
 		select {
 		case <-m.done:
@@ -217,6 +266,8 @@ func (m *Manager) loop() {
 			for _, name := range m.Names() {
 				m.republishIfDirty(context.Background(), name)
 			}
+		case <-geTickC:
+			m.evalAll(context.Background())
 		}
 	}
 }
@@ -281,10 +332,11 @@ func (m *Manager) Stream(name string, decay float64, explicitDecay bool) (*Strea
 // newStream builds an empty stream; callers hold m.mu.
 func (m *Manager) newStream(name string, decay float64) *Stream {
 	return &Stream{
-		mgr:   m,
-		name:  name,
-		decay: decay,
-		rng:   rand.New(rand.NewSource(streamSeed(m.cfg.Seed, name))),
+		mgr:       m,
+		name:      name,
+		decay:     decay,
+		rng:       rand.New(rand.NewSource(streamSeed(m.cfg.Seed, name))),
+		versionGE: make(map[int]float64),
 	}
 }
 
@@ -316,6 +368,9 @@ func (m *Manager) Drop(name string) bool {
 		m.met.reservoir.Add(-float64(len(st.reservoir)))
 		st.mu.Unlock()
 		m.removeCheckpoint(name)
+		if m.cfg.Alerts != nil {
+			m.cfg.Alerts.Drop(name)
+		}
 	}
 	return ok
 }
@@ -368,6 +423,16 @@ type Stream struct {
 	lastVersion  int
 	lastCandGE   float64
 	lastServedGE float64
+
+	// Quality monitoring (monitor.go): the bounded served-GE series,
+	// trailing gate outcomes, per-version GE annotations for the
+	// auto-rollback candidate search, and the rollback flap gate.
+	geHistory     []GESample
+	outcomes      []bool
+	versionGE     map[int]float64
+	geEps         float64 // noise floor for relative alert thresholds
+	autoRollbacks int
+	lastRollback  time.Time
 }
 
 // Push folds one row into the stream and the holdout reservoir,
@@ -616,6 +681,11 @@ func (m *Manager) republish(ctx context.Context, name string) (RepublishResult, 
 			"slack", m.cfg.GESlack, "holdout", len(holdout))
 	}
 
+	// Gate decisions with real GE numbers feed the quality series;
+	// first_publish and width_changed promote without a comparable
+	// baseline (their GEs are zero), so the eval tick fills those in.
+	measured := res.Reason == "ge_ok" || res.Reason == "ge_regressed"
+
 	st.mu.Lock()
 	if res.Promoted {
 		st.promotions++
@@ -625,12 +695,21 @@ func (m *Manager) republish(ctx context.Context, name string) (RepublishResult, 
 	}
 	st.lastCandGE = res.CandidateGE
 	st.lastServedGE = res.ServedGE
+	if measured {
+		st.recordGateSample(res, rmsScale(holdout)*1e-9, m.cfg.GEHistorySize)
+	}
 	st.sinceCkpt++
 	ckpt := m.cfg.CheckpointDir != "" && st.sinceCkpt >= m.cfg.CheckpointEvery
 	if ckpt {
 		st.sinceCkpt = 0
 	}
 	st.mu.Unlock()
+	if res.Promoted && measured {
+		m.annotateVersionGE(name, res.Version, res.CandidateGE)
+	}
+	if measured {
+		m.runAlerts(ctx, name)
+	}
 	if ckpt {
 		m.checkpointLogged(st)
 	}

@@ -77,7 +77,9 @@ func TestV1Contract(t *testing.T) {
 		wantAllow   string
 	}{
 		{label: "health", method: "GET", path: "/healthz", wantStatus: 200},
+		{label: "ready", method: "GET", path: "/readyz", wantStatus: 200},
 		{label: "metrics", method: "GET", path: "/metrics", wantStatus: 200},
+		{label: "debug alerts", method: "GET", path: "/debug/alerts", wantStatus: 200},
 		{label: "unknown path", method: "GET", path: "/nope", wantStatus: 404, wantCode: CodeNotFound},
 		{label: "unknown v1 path", method: "POST", path: "/v1/bogus", wantStatus: 404, wantCode: CodeNotFound},
 
@@ -147,6 +149,15 @@ func TestV1Contract(t *testing.T) {
 		{label: "batch fill absent model", method: "POST", path: "/v1/rules/absent/batch/fill",
 			body: `[]`, wantStatus: 404, wantCode: CodeNotFound},
 
+		{label: "model health head", method: "GET", path: "/v1/rules/m/health", wantStatus: 200},
+		{label: "model health pinned", method: "GET", path: "/v1/rules/m/health?version=1", wantStatus: 200},
+		{label: "model health absent", method: "GET", path: "/v1/rules/absent/health",
+			wantStatus: 404, wantCode: CodeNotFound},
+		{label: "model health unretained pin", method: "GET", path: "/v1/rules/m/health?version=99",
+			wantStatus: 404, wantCode: CodeVersionNotFound},
+		{label: "model health malformed pin", method: "GET", path: "/v1/rules/m/health?version=abc",
+			wantStatus: 400, wantCode: CodeBadRequest},
+
 		{label: "ingest invalid decay", method: "POST", path: "/v1/rules/m/ingest?decay=2",
 			body: "[1,2]\n", wantStatus: 400, wantCode: CodeBadRequest},
 		{label: "stream status absent", method: "GET", path: "/v1/rules/m/stream",
@@ -172,6 +183,8 @@ func TestV1Contract(t *testing.T) {
 			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "POST"},
 		{label: "405 stream", method: "POST", path: "/v1/rules/m/stream",
 			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "GET, DELETE"},
+		{label: "405 model health", method: "POST", path: "/v1/rules/m/health",
+			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "GET"},
 	}
 
 	for _, tc := range cases {

@@ -1,0 +1,130 @@
+package server
+
+// Probe and model-health surface tests: the liveness/readiness split,
+// the wedged-store 503, and the ETag contract on the per-model health
+// endpoint. The happy-path status codes are covered by the contract
+// walk in contract_test.go; these tests pin the bodies.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ratiorules/internal/online"
+	"ratiorules/internal/store"
+)
+
+// TestReadyzWedgedStore: a wedged store turns /readyz into a 503 with
+// the v1 error envelope, while /healthz keeps answering 200 — a wedged
+// store must drain traffic, not restart the process.
+func TestReadyzWedgedStore(t *testing.T) {
+	reg := NewRegistry()
+	mgr, err := online.NewManager(reg, online.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	s := &service{
+		reg:    reg,
+		online: mgr,
+		failed: func() error { return store.ErrFailed },
+	}
+
+	rec := httptest.NewRecorder()
+	s.readyz(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz on wedged store = %d, want 503", rec.Code)
+	}
+	var env errorBody
+	if err := json.NewDecoder(rec.Body).Decode(&env); err != nil {
+		t.Fatalf("503 body is not the error envelope: %v", err)
+	}
+	if env.Error.Code != CodeStoreFailed {
+		t.Fatalf("envelope code = %q, want %q", env.Error.Code, CodeStoreFailed)
+	}
+
+	// Liveness is unaffected by the wedge.
+	rec = httptest.NewRecorder()
+	s.health(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz on wedged store = %d, want 200", rec.Code)
+	}
+}
+
+// TestModelHealthETag: the health endpoint mirrors the model GET's
+// version pinning and If-None-Match handling.
+func TestModelHealthETag(t *testing.T) {
+	ts := contractServer(t) // "m" at version 2 with version 1 retained
+
+	resp := doRaw(t, "GET", ts.URL+"/v1/rules/m/health", "", "")
+	var head struct {
+		Name           string  `json:"name"`
+		Status         string  `json:"status"`
+		Version        int     `json:"version"`
+		ServingVersion int     `json:"serving_version"`
+		Alerts         []any   `json:"alerts"`
+		Samples        int     `json:"samples"`
+		CurrentGE      float64 `json:"current_ge"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&head); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("ETag"); got != `"v2"` {
+		t.Fatalf("head health ETag %q, want %q", got, `"v2"`)
+	}
+	if head.Name != "m" || head.Status != "ok" || head.Version != 2 || head.ServingVersion != 2 {
+		t.Fatalf("head health = %+v", head)
+	}
+	if head.Alerts == nil {
+		t.Fatal("alerts must serialize as [], not null")
+	}
+
+	resp = doRaw(t, "GET", ts.URL+"/v1/rules/m/health?version=1", "", "")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("ETag"); got != `"v1"` {
+		t.Fatalf("pinned health ETag %q, want %q", got, `"v1"`)
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/rules/m/health", nil)
+	req.Header.Set("If-None-Match", `"v2"`)
+	got, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, got.Body)
+	got.Body.Close()
+	if got.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional health GET: status %d, want 304", got.StatusCode)
+	}
+}
+
+// TestDebugAlertsShape: /debug/alerts always answers with rules and
+// states arrays (never null) plus the firing count.
+func TestDebugAlertsShape(t *testing.T) {
+	ts := newTestServer(t)
+	resp := doRaw(t, "GET", ts.URL+"/debug/alerts", "", "")
+	defer resp.Body.Close()
+	var out struct {
+		Firing int               `json:"firing"`
+		Rules  []json.RawMessage `json:"rules"`
+		States []json.RawMessage `json:"states"`
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("debug/alerts body %s: %v", body, err)
+	}
+	if out.Firing != 0 {
+		t.Fatalf("fresh server firing = %d", out.Firing)
+	}
+	// The default engine ships rules; states start empty but present.
+	if len(out.Rules) == 0 {
+		t.Fatalf("default rules missing: %s", body)
+	}
+	if out.States == nil {
+		t.Fatalf("states must serialize as [], not null: %s", body)
+	}
+}

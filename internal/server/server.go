@@ -27,10 +27,13 @@
 //	POST   /v1/rules/{name}/ingest           stream rows into the live accumulator (NDJSON acks out)
 //	GET    /v1/rules/{name}/stream           live stream status (rows, reservoir, GE gate tallies)
 //	DELETE /v1/rules/{name}/stream           drop the live stream (published versions stay)
-//	GET    /healthz                          liveness probe
+//	GET    /v1/rules/{name}/health           model quality: GE trend, firing alerts (ETag/304)
+//	GET    /healthz                          liveness probe (process up, nothing else)
+//	GET    /readyz                           readiness: 503 when the store is wedged
 //	GET    /metrics                          Prometheus text exposition
 //	GET    /debug/traces                     flight recorder: recent trace summaries
 //	GET    /debug/traces/{id}                one trace's full span tree
+//	GET    /debug/alerts                     alert engine: rules and per-model states
 //
 // Every error response — including 404 fallthroughs and 405s — carries
 // the uniform envelope {"error": {"code": "...", "message": "..."}} with
@@ -139,6 +142,23 @@ func (r *Registry) Rollback(ctx context.Context, name string, version int) (*cor
 	return r.st.RollbackContext(ctx, name, version)
 }
 
+// SetVersionGE attaches the online monitor's GE₁ measurement to a
+// retained revision (advisory, in-memory; see store.SetVersionGE).
+func (r *Registry) SetVersionGE(name string, version int, ge float64) {
+	r.st.SetVersionGE(name, version, ge)
+}
+
+// VersionGE reads a revision's GE annotation.
+func (r *Registry) VersionGE(name string, version int) (float64, bool) {
+	return r.st.VersionGE(name, version)
+}
+
+// Failed reports the store wedge state (non-nil wraps store.ErrFailed);
+// /readyz keys off it.
+func (r *Registry) Failed() error {
+	return r.st.Failed()
+}
+
 // DefaultMaxBodyBytes caps request bodies unless WithMaxBodyBytes says
 // otherwise: 32 MiB comfortably fits millions of cells per mine request
 // while stopping accidental (or hostile) unbounded uploads.
@@ -180,6 +200,7 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 		batch:        newBatchMetrics(cfg.metrics),
 		tracer:       cfg.tracer,
 		online:       cfg.online,
+		failed:       reg.Failed,
 	}
 	mux := http.NewServeMux()
 	handle := func(method, path string, h http.HandlerFunc) {
@@ -198,9 +219,11 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	// every few seconds and would flush real traffic out of the flight
 	// recorder (and tracing the trace dump would be silly).
 	mux.Handle("GET /healthz", m.instrument("/healthz", http.HandlerFunc(s.health)))
+	mux.Handle("GET /readyz", m.instrument("/readyz", http.HandlerFunc(s.readyz)))
 	mux.Handle("GET /metrics", m.instrument("/metrics", cfg.metrics.Handler()))
 	mux.Handle("GET /debug/traces", m.instrument("/debug/traces", http.HandlerFunc(s.debugTraces)))
 	mux.Handle("GET /debug/traces/{id}", m.instrument("/debug/traces/{id}", http.HandlerFunc(s.debugTrace)))
+	mux.Handle("GET /debug/alerts", m.instrument("/debug/alerts", http.HandlerFunc(s.debugAlerts)))
 	handle("POST", "/v1/rules", s.mine)
 	handle("GET", "/v1/rules", s.list)
 	handle("GET", "/v1/rules/{name}", s.get)
@@ -219,6 +242,7 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	handleStream("POST", "/v1/rules/{name}/ingest", s.ingest)
 	handle("GET", "/v1/rules/{name}/stream", s.streamStatus)
 	handle("DELETE", "/v1/rules/{name}/stream", s.streamDrop)
+	handle("GET", "/v1/rules/{name}/health", s.modelHealth)
 	// Wrong-method fallbacks: the method-specific patterns above take
 	// precedence, so these catch everything else on known paths.
 	fallback := func(path, allow string) {
@@ -228,6 +252,7 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	fallback("/v1/rules/{name}", "GET, PUT, DELETE")
 	fallback("/v1/rules/{name}/versions", "GET")
 	fallback("/v1/rules/{name}/stream", "GET, DELETE")
+	fallback("/v1/rules/{name}/health", "GET")
 	for _, sub := range []string{"rollback", "fill", "forecast", "whatif", "project", "outliers",
 		"batch/fill", "batch/forecast", "batch/outliers", "ingest"} {
 		fallback("/v1/rules/{name}/"+sub, "POST")
@@ -259,6 +284,7 @@ type service struct {
 	batch        *batchMetrics
 	tracer       *trace.Tracer
 	online       *online.Manager
+	failed       func() error // readiness seam; Handler wires reg.Failed
 }
 
 // Stable machine-readable error codes carried by every v1 error
@@ -339,14 +365,6 @@ func errStatus(err error) (int, string) {
 func writeErrFor(w http.ResponseWriter, err error) {
 	status, code := errStatus(err)
 	writeErr(w, status, code, err)
-}
-
-// health answers liveness probes with the model count.
-func (s *service) health(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"models": len(s.reg.Names()),
-	})
 }
 
 // mineRequest is the POST /v1/rules body.

@@ -394,12 +394,21 @@ func TestPutModelRejectsGarbage(t *testing.T) {
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t)
 	mineModel(t, ts, "a")
+	// Liveness is pure: no dependency state, just "process up".
 	var out map[string]any
 	if got := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &out); got != http.StatusOK {
 		t.Fatalf("status = %d", got)
 	}
-	if out["status"] != "ok" || out["models"] != float64(1) {
+	if len(out) != 1 || out["status"] != "ok" {
 		t.Errorf("health = %v", out)
+	}
+	// Readiness carries the dependency picture.
+	var ready map[string]any
+	if got := doJSON(t, http.MethodGet, ts.URL+"/readyz", nil, &ready); got != http.StatusOK {
+		t.Fatalf("readyz status = %d", got)
+	}
+	if ready["status"] != "ready" || ready["models"] != float64(1) || ready["firing_alerts"] != float64(0) {
+		t.Errorf("readyz = %v", ready)
 	}
 }
 

@@ -115,6 +115,12 @@ type rev struct {
 	version int
 	rules   *core.Rules
 	raw     []byte
+	// ge is an advisory quality annotation (GE₁ measured by the online
+	// monitor), in-memory only: it describes a measurement against a
+	// transient holdout, not durable model state, so it is never
+	// journaled and vanishes on restart like the holdout itself.
+	ge    float64
+	hasGE bool
 }
 
 // model is the retained revision history of one name, ascending by
@@ -131,6 +137,9 @@ type VersionInfo struct {
 	TrainedRows int  `json:"trained_rows"`
 	Bytes       int  `json:"bytes"`
 	Head        bool `json:"head"`
+	// GE is the online monitor's last GE₁ measurement for this
+	// version, when one exists (see SetVersionGE).
+	GE *float64 `json:"ge,omitempty"`
 }
 
 // Store is a concurrency-safe versioned model store. Mutations are
@@ -583,8 +592,57 @@ func (s *Store) Versions(name string) (infos []VersionInfo, ok bool) {
 			Bytes:       len(r.raw),
 			Head:        i == len(m.revs)-1,
 		}
+		if r.hasGE {
+			ge := r.ge
+			infos[i].GE = &ge
+		}
 	}
 	return infos, true
+}
+
+// SetVersionGE attaches the online monitor's GE₁ measurement to a
+// retained revision. Advisory and in-memory only (never journaled);
+// unknown names or pruned versions are ignored.
+func (s *Store) SetVersionGE(name string, version int, ge float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.models[name]
+	if m == nil {
+		return
+	}
+	for i := range m.revs {
+		if m.revs[i].version == version {
+			m.revs[i].ge = ge
+			m.revs[i].hasGE = true
+			return
+		}
+	}
+}
+
+// VersionGE reads a revision's GE annotation, ok=false when none was
+// ever recorded (or the version is gone).
+func (s *Store) VersionGE(name string, version int) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.models[name]
+	if m == nil {
+		return 0, false
+	}
+	for _, r := range m.revs {
+		if r.version == version {
+			return r.ge, r.hasGE
+		}
+	}
+	return 0, false
+}
+
+// Failed reports the wedge state: non-nil (wrapping ErrFailed) when a
+// WAL rollback failed and the store refuses mutations. The readiness
+// probe keys off this.
+func (s *Store) Failed() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.failed
 }
 
 // Names lists live model names, sorted.
