@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify verify-api verify-store verify-trace verify-online verify-alert fuzz bench clean
+.PHONY: all build vet test race verify verify-api verify-store verify-trace verify-online verify-alert verify-cluster fuzz bench clean
 
 all: build
 
@@ -62,10 +62,21 @@ verify-alert:
 	$(GO) test -run 'TestV1Contract|TestModelHealth|TestReadyz|TestDebugAlerts' -count=1 ./internal/server
 	$(GO) test -race -run 'TestDrift' -count=1 ./cmd/rrserve
 
+# verify-cluster checks the sharded ingest/mining cluster
+# (docs/cluster.md): the wire framing, shard-merge exactness, failover,
+# and local-transport suites under the race detector twice (fan-out
+# teardown ordering is timing-sensitive), the coordinator-mode HTTP
+# contract, and the multi-node rrserve end-to-end test.
+verify-cluster:
+	$(GO) vet ./internal/cluster ./internal/server ./cmd/rrserve
+	$(GO) test -race -count=2 ./internal/cluster
+	$(GO) test -run 'TestCluster' -count=1 ./internal/server
+	$(GO) test -race -run 'TestClusterEndToEnd' -count=1 ./cmd/rrserve
+
 # verify is the gate for every change: vet, a full build, the race
 # detector across all packages, then the store persistence gauntlet,
-# the HTTP API contract, the tracing layer, the live-ingest loop and
-# the model-quality alert path.
+# the HTTP API contract, the tracing layer, the live-ingest loop, the
+# model-quality alert path and the sharded cluster.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -75,6 +86,7 @@ verify:
 	$(MAKE) verify-trace
 	$(MAKE) verify-online
 	$(MAKE) verify-alert
+	$(MAKE) verify-cluster
 
 # fuzz runs each core fuzz target for FUZZTIME (default 10s). Go allows
 # one -fuzz pattern per invocation, hence the separate runs.

@@ -43,7 +43,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rrbench", flag.ContinueOnError)
 	var (
-		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch, online, drift or all")
+		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch, online, drift, cluster or all")
 		batchRows     = fs.Int("batch-rows", 10000, "rows for the batch experiment")
 		batchPatterns = fs.Int("batch-patterns", 8, "distinct hole patterns for the batch experiment")
 		batchWorkers  = fs.Int("batch-workers", 0, "worker pool width for the batch experiment (<= 0 = one per CPU)")
@@ -51,6 +51,9 @@ func run(args []string, w io.Writer) error {
 		onlineWidth   = fs.Int("online-width", 32, "columns for the online ingest experiment")
 		driftRows     = fs.Int("drift-rows", 20000, "row budget for the drift detection experiment")
 		driftWidth    = fs.Int("drift-width", 16, "columns for the drift detection experiment")
+		clusterRows   = fs.Int("cluster-rows", 200000, "rows for the cluster experiment")
+		clusterWidth  = fs.Int("cluster-width", 32, "columns for the cluster experiment")
+		clusterNodes  = fs.Int("cluster-nodes", 4, "in-process worker nodes for the cluster experiment")
 		ds            = fs.String("dataset", "nba", "dataset for fig6/cutoff: nba, baseball or abalone")
 		sizes         = fs.String("sizes", "", "comma-separated row counts for fig8 (default: the paper's sweep)")
 		datDir        = fs.String("datdir", "", "also write the paper's gnuplot data files (nba.d2, scaleup.dat, ...) into this directory")
@@ -70,6 +73,7 @@ func run(args []string, w io.Writer) error {
 	}
 	var timings []benchExperiment
 	var driftRes *experiments.DriftResult
+	var clusterRes *experiments.ClusterResult
 
 	runOne := func(name string) error {
 		switch name {
@@ -172,6 +176,13 @@ func run(args []string, w io.Writer) error {
 			}
 			driftRes = res
 			fmt.Fprintln(w, res)
+		case "cluster":
+			res, err := experiments.RunCluster(*clusterRows, *clusterWidth, *clusterNodes)
+			if err != nil {
+				return err
+			}
+			clusterRes = res
+			fmt.Fprintln(w, res)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -194,7 +205,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "online", "drift", "fig8"} {
+		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "online", "drift", "cluster", "fig8"} {
 			fmt.Fprintf(w, "==================== %s ====================\n", name)
 			if err := timedRun(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -208,7 +219,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("creating -out file: %w", err)
 		}
-		if err := writeJSONSummary(f, timings, driftRes); err != nil {
+		if err := writeJSONSummary(f, timings, driftRes, clusterRes); err != nil {
 			f.Close()
 			return fmt.Errorf("writing %s: %w", *outFile, err)
 		}
@@ -218,7 +229,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote summary to %s\n", *outFile)
 	}
 	if *jsonOut {
-		return writeJSONSummary(jsonDst, timings, driftRes)
+		return writeJSONSummary(jsonDst, timings, driftRes, clusterRes)
 	}
 	return nil
 }
@@ -247,8 +258,24 @@ type benchSummary struct {
 	// Drift carries the drift experiment's detection/recovery figures
 	// when it ran (nil otherwise).
 	Drift *experiments.DriftResult `json:"drift,omitempty"`
+	// Cluster carries the sharded-cluster experiment's throughput,
+	// exactness and gate before/after figures when it ran.
+	Cluster *experiments.ClusterResult `json:"cluster,omitempty"`
+	// ClusterMetrics snapshots the coordinator/worker rr_cluster_*
+	// counters accumulated by the run.
+	ClusterMetrics clusterSummary `json:"cluster_metrics"`
 	// Alerts snapshots the rr_alert_* and monitor counters.
 	Alerts alertSummary `json:"alerts"`
+}
+
+// clusterSummary is the rr_cluster_* registry footprint.
+type clusterSummary struct {
+	Rows        map[string]float64 `json:"rows"`   // ok | rejected
+	Chunks      map[string]float64 `json:"chunks"` // ok | resharded | failed
+	Merges      map[string]float64 `json:"merges"` // ok | degraded | error
+	Pulls       map[string]float64 `json:"pulls"`  // ok | empty | error
+	WorkerRows  float64            `json:"worker_rows"`
+	Reshardings float64            `json:"reshardings"`
 }
 
 // alertSummary is the alert engine's and quality monitor's registry
@@ -291,7 +318,8 @@ type minerSummary struct {
 }
 
 // writeJSONSummary snapshots the obs registry into the -json document.
-func writeJSONSummary(w io.Writer, timings []benchExperiment, drift *experiments.DriftResult) error {
+func writeJSONSummary(w io.Writer, timings []benchExperiment, drift *experiments.DriftResult,
+	clusterRes *experiments.ClusterResult) error {
 	sum := benchSummary{
 		Experiments: timings,
 		Miner: minerSummary{
@@ -304,7 +332,14 @@ func writeJSONSummary(w io.Writer, timings []benchExperiment, drift *experiments
 			RowsIngested: make(map[string]float64),
 			Republishes:  make(map[string]float64),
 		},
-		Drift: drift,
+		Drift:   drift,
+		Cluster: clusterRes,
+		ClusterMetrics: clusterSummary{
+			Rows:   make(map[string]float64),
+			Chunks: make(map[string]float64),
+			Merges: make(map[string]float64),
+			Pulls:  make(map[string]float64),
+		},
 		Alerts: alertSummary{
 			Transitions: make(map[string]float64),
 			GEEvals:     make(map[string]float64),
@@ -369,6 +404,18 @@ func writeJSONSummary(w io.Writer, timings []benchExperiment, drift *experiments
 			sum.Alerts.GEEvals[s.Labels["result"]] = s.Value
 		case "rr_online_auto_rollbacks_total":
 			sum.Alerts.AutoRollbacks = s.Value
+		case "rr_cluster_rows_total":
+			sum.ClusterMetrics.Rows[s.Labels["result"]] = s.Value
+		case "rr_cluster_chunks_total":
+			sum.ClusterMetrics.Chunks[s.Labels["result"]] = s.Value
+		case "rr_cluster_merges_total":
+			sum.ClusterMetrics.Merges[s.Labels["result"]] = s.Value
+		case "rr_cluster_shard_pulls_total":
+			sum.ClusterMetrics.Pulls[s.Labels["result"]] = s.Value
+		case "rr_cluster_worker_rows_total":
+			sum.ClusterMetrics.WorkerRows = s.Value
+		case "rr_cluster_reshardings_total":
+			sum.ClusterMetrics.Reshardings = s.Value
 		}
 	}
 	if sum.Online.Republish.Seconds > 0 {

@@ -1,0 +1,153 @@
+package main
+
+// Cluster modes of rrserve (see docs/cluster.md).
+//
+// Worker node: `rrserve -node -addr :9301 -coordinator http://co:8080`
+// serves the internal shard API (binary fan-out ingest, shard
+// snapshots, health) plus /metrics, and announces itself to the
+// coordinator on startup. Nodes hold no model store, run no eigensolve
+// and publish nothing — they only fold rows into per-model shards.
+//
+// Coordinator: `rrserve -cluster-workers http://n1:9301,http://n2:9301`
+// runs the normal public API, but POST ingest fans rows out across the
+// workers and a background loop pulls shard snapshots, merges them
+// exactly, and republishes through the same GE gate and store as a
+// single node.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"ratiorules/internal/cluster"
+	"ratiorules/internal/obs"
+)
+
+// announceRetries is how many times a node retries its join announce —
+// the coordinator may still be booting when the node comes up.
+const announceRetries = 30
+
+// runNode serves one cluster worker node until ctx is cancelled.
+func runNode(ctx context.Context, logger *slog.Logger, addr, coordinator, advertise string) error {
+	reg := obs.Default()
+	obs.RegisterRuntime(reg)
+	w := cluster.NewWorker(cluster.WithWorkerObs(reg))
+	mux := http.NewServeMux()
+	mux.Handle("/", w.Handler())
+	mux.Handle("GET /metrics", reg.Handler())
+
+	srv := &http.Server{
+		Handler: mux,
+		// No global read/write timeouts: fan-out streams live as long as
+		// the coordinator session and guard themselves with rolling
+		// deadlines (see cluster.Worker.serveIngest).
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if advertise == "" {
+		advertise = advertiseURL(ln.Addr())
+	}
+	logger.Info("rrserve node listening",
+		"addr", ln.Addr().String(), "instance", w.Instance(), "advertise", advertise)
+	if notifyListening != nil {
+		notifyListening("node", ln.Addr().String())
+	}
+
+	if coordinator != "" {
+		go announce(ctx, logger, coordinator, advertise)
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		_ = srv.Close()
+		return err
+	}
+	logger.Info("node drained cleanly")
+	return nil
+}
+
+// advertiseURL derives the node's announce URL from its bound listener,
+// substituting loopback for the unspecified address a bare ":9301"
+// binds to.
+func advertiseURL(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return "http://" + a.String()
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// announce POSTs the node's URL to the coordinator's join route,
+// retrying with backoff until admitted or ctx ends.
+func announce(ctx context.Context, logger *slog.Logger, coordinator, self string) {
+	body, _ := json.Marshal(map[string]string{"url": self})
+	target := strings.TrimRight(coordinator, "/") + "/v1/cluster/join"
+	backoff := 200 * time.Millisecond
+	for attempt := 1; attempt <= announceRetries; attempt++ {
+		reqCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, target, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			logger.Error("building join announce", "err", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		cancel()
+		if err == nil {
+			status := resp.StatusCode
+			resp.Body.Close()
+			if status == http.StatusOK {
+				logger.Info("joined cluster", "coordinator", coordinator, "as", self)
+				return
+			}
+			err = fmt.Errorf("coordinator answered %d", status)
+		}
+		logger.Warn("join announce failed, retrying",
+			"coordinator", coordinator, "attempt", attempt, "err", err)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
+	}
+	logger.Error("giving up announcing to coordinator", "coordinator", coordinator)
+}
+
+// splitWorkers parses the -cluster-workers list.
+func splitWorkers(raw string) []string {
+	var out []string
+	for _, part := range strings.Split(raw, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package main
+
+// End-to-end cluster test over real processes' worth of wiring: two
+// rrserve -node workers and one coordinator rrserve, all through run()
+// on ephemeral ports. Rows ingested through the public API must spread
+// across both nodes, merge back into one published model, and a late
+// third node must be able to announce itself in via -coordinator.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClusterEndToEnd(t *testing.T) {
+	n1, stopN1 := startServe(t, "-node", "-addr", "127.0.0.1:0")
+	n2, stopN2 := startServe(t, "-node", "-addr", "127.0.0.1:0")
+	w1 := "http://" + n1["node"]
+	w2 := "http://" + n2["node"]
+
+	co, stopCo := startServe(t, "-addr", "127.0.0.1:0",
+		"-cluster-workers", w1+","+w2,
+		"-cluster-chunk", "32",
+		// Park the background merge loop; the test drives merges.
+		"-cluster-pull-every", "1h",
+		"-republish-rows", "1000000")
+	base := "http://" + co["main"]
+
+	// Both workers healthy in the admin view and in readyz.
+	var st struct {
+		Members []struct {
+			URL     string `json:"url"`
+			Healthy bool   `json:"healthy"`
+		} `json:"members"`
+		Healthy int `json:"healthy"`
+	}
+	_, body := get(t, base+"/v1/cluster/status")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("status decode: %v (%s)", err, body)
+	}
+	if st.Healthy != 2 || len(st.Members) != 2 {
+		t.Fatalf("cluster status = %s", body)
+	}
+	if code, rz := get(t, base+"/readyz"); code != 200 || !strings.Contains(rz, `"cluster"`) {
+		t.Fatalf("readyz = %d: %s", code, rz)
+	}
+
+	// Ingest 600 rows through the public endpoint; every row must ack.
+	var rows strings.Builder
+	for i := 1; i <= 600; i++ {
+		fmt.Fprintf(&rows, "[%d,%d,%d]\n", i, 2*i, 3*i)
+	}
+	resp, err := http.Post(base+"/v1/rules/clust/ingest", "application/x-ndjson",
+		strings.NewReader(rows.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(resp.Body)
+	acks, lastCount := 0, 0
+	var done *struct {
+		Rows     int `json:"rows"`
+		Accepted int `json:"accepted"`
+		Errors   int `json:"errors"`
+		Count    int `json:"count"`
+	}
+	for dec.More() {
+		var line struct {
+			Index *int `json:"index"`
+			Count int  `json:"count"`
+			Done  *struct {
+				Rows     int `json:"rows"`
+				Accepted int `json:"accepted"`
+				Errors   int `json:"errors"`
+				Count    int `json:"count"`
+			} `json:"done"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("ack decode after %d acks: %v", acks, err)
+		}
+		if line.Done != nil {
+			done = line.Done
+			break
+		}
+		if line.Index == nil || *line.Index != acks {
+			t.Fatalf("ack %d out of order: %+v", acks, line)
+		}
+		acks++
+		lastCount = line.Count
+	}
+	resp.Body.Close()
+	if acks != 600 || lastCount != 600 {
+		t.Fatalf("acks = %d, last count = %d", acks, lastCount)
+	}
+	if done == nil || done.Accepted != 600 || done.Errors != 0 {
+		t.Fatalf("done = %+v", done)
+	}
+
+	// The rows actually sharded: each worker holds some, neither all.
+	for _, w := range []string{w1, w2} {
+		var shards struct {
+			Shards []struct {
+				Name string `json:"name"`
+				Rows int    `json:"rows"`
+			} `json:"shards"`
+		}
+		_, sbody := get(t, w+"/v1/cluster/shards")
+		if err := json.Unmarshal([]byte(sbody), &shards); err != nil {
+			t.Fatalf("shards decode: %v", err)
+		}
+		if len(shards.Shards) != 1 || shards.Shards[0].Rows == 0 || shards.Shards[0].Rows == 600 {
+			t.Fatalf("worker %s shard spread: %s", w, sbody)
+		}
+	}
+
+	// Force the merge: the model publishes with every row, exactly once.
+	if code, pub := postJSON(t, base+"/v1/cluster/republish/clust", ""); code != 200 ||
+		!strings.Contains(pub, `"trained_rows":600`) {
+		t.Fatalf("republish = %d: %s", code, pub)
+	}
+	if code, _ := get(t, base+"/v1/rules/clust"); code != 200 {
+		t.Fatal("merged model not served")
+	}
+
+	// A third node announces itself via -coordinator and joins.
+	n3, stopN3 := startServe(t, "-node", "-addr", "127.0.0.1:0", "-coordinator", base)
+	w3 := "http://" + n3["node"]
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body := get(t, base+"/v1/cluster/status")
+		if strings.Contains(body, w3) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %s never joined: %s", w3, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Shut the coordinator down first (its close-time merge pulls from
+	// the workers), then the nodes.
+	if err := stopCo(); err != nil {
+		t.Fatalf("coordinator shutdown: %v", err)
+	}
+	for _, stop := range []func() error{stopN1, stopN2, stopN3} {
+		if err := stop(); err != nil {
+			t.Fatalf("node shutdown: %v", err)
+		}
+	}
+}

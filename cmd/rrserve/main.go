@@ -56,6 +56,19 @@
 //	-alert-ratio     regression alert ratio vs trailing baseline (1.5)
 //	-alert-for       breach duration before an alert fires (default 0)
 //	-alert-cooldown  post-resolve suppression window (default 5m)
+//	-node            run as a cluster worker node: serve only the
+//	                 internal shard API and /metrics (docs/cluster.md)
+//	-coordinator     coordinator base URL a -node announces itself to
+//	-advertise       public URL of this -node (default from -addr)
+//	-cluster-workers comma-separated worker URLs; non-empty makes this
+//	                 server the cluster coordinator: ingest fans out,
+//	                 merges republish through the normal GE gate
+//	-cluster-chunk   rows per fan-out chunk (default 512)
+//	-cluster-pull-every     pull-merge-republish interval (default 2s)
+//	-cluster-pull-retries   pull retries before degraded merge (3)
+//	-cluster-backoff        initial pull retry backoff (default 100ms)
+//	-cluster-health-every   membership probe interval (default 1s)
+//	-cluster-republish-rows acked rows forcing an early merge (65536)
 //	-v               debug logging (overrides RR_LOG_LEVEL)
 //	RR_LOG_LEVEL  debug|info|warn|error (default info)
 //	RR_LOG_FORMAT text|json (default text)
@@ -84,6 +97,7 @@ import (
 	"syscall"
 	"time"
 
+	"ratiorules/internal/cluster"
 	"ratiorules/internal/obs"
 	"ratiorules/internal/obs/alert"
 	"ratiorules/internal/obs/trace"
@@ -137,11 +151,26 @@ func run(ctx context.Context, args []string) error {
 		alertRatio       = fs.Float64("alert-ratio", 1.5, "GE regression alert fires when recent GE exceeds baseline by this factor")
 		alertFor         = fs.Duration("alert-for", 0, "breaches must persist this long before an alert fires (0 fires immediately)")
 		alertCooldown    = fs.Duration("alert-cooldown", 5*time.Minute, "suppression window after an alert resolves")
+
+		nodeMode    = fs.Bool("node", false, "run as a cluster worker node (shard API only; see docs/cluster.md)")
+		coordinator = fs.String("coordinator", "", "coordinator base URL a -node announces itself to")
+		advertise   = fs.String("advertise", "", "public URL of this -node for the coordinator (default: derived from -addr)")
+
+		clusterWorkers     = fs.String("cluster-workers", "", "comma-separated worker node URLs; non-empty runs this server as the cluster coordinator")
+		clusterChunk       = fs.Int("cluster-chunk", cluster.DefaultChunkRows, "rows per fan-out chunk in coordinator mode")
+		clusterPullEvery   = fs.Duration("cluster-pull-every", cluster.DefaultPullEvery, "shard pull-merge-republish interval")
+		clusterPullRetries = fs.Int("cluster-pull-retries", cluster.DefaultPullRetries, "shard pull retries before a merge degrades to the retained snapshot")
+		clusterBackoff     = fs.Duration("cluster-backoff", cluster.DefaultBackoff, "initial shard pull retry backoff (doubles per attempt)")
+		clusterHealth      = fs.Duration("cluster-health-every", cluster.DefaultHealthEvery, "worker membership probe interval")
+		clusterRepublish   = fs.Int("cluster-republish-rows", cluster.DefaultRepublishRows, "acked rows that trigger an early merge-republish for a model")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := obs.Setup(*verbose)
+	if *nodeMode {
+		return runNode(ctx, logger, *addr, *coordinator, *advertise)
+	}
 
 	reg := server.NewRegistry()
 	closeStore := func() {}
@@ -225,11 +254,43 @@ func run(ctx context.Context, args []string) error {
 		}
 	}()
 
+	handlerOpts := []server.HandlerOption{
+		server.WithLogger(logger), server.WithMaxBodyBytes(*maxBodyBytes),
+		server.WithBatchWorkers(*batchWorkers), server.WithTracer(tracer),
+		server.WithOnline(mgr),
+	}
+	if *clusterWorkers != "" {
+		coord, err := cluster.New(cluster.Config{
+			Workers:       splitWorkers(*clusterWorkers),
+			Manager:       mgr,
+			ChunkRows:     *clusterChunk,
+			PullEvery:     *clusterPullEvery,
+			PullRetries:   *clusterPullRetries,
+			Backoff:       *clusterBackoff,
+			HealthEvery:   *clusterHealth,
+			RepublishRows: *clusterRepublish,
+			Tracer:        tracer,
+			Logger:        logger,
+		})
+		if err != nil {
+			return fmt.Errorf("building cluster coordinator: %w", err)
+		}
+		coord.Start()
+		defer func() {
+			closeCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			defer cancel()
+			if err := coord.Close(closeCtx); err != nil {
+				logger.Error("closing cluster coordinator", "err", err)
+			}
+		}()
+		st := coord.Status()
+		logger.Info("cluster coordinator up",
+			"workers", len(st.Members), "healthy", st.Healthy)
+		handlerOpts = append(handlerOpts, server.WithCluster(coord))
+	}
+
 	srv := &http.Server{
-		Handler: server.Handler(reg,
-			server.WithLogger(logger), server.WithMaxBodyBytes(*maxBodyBytes),
-			server.WithBatchWorkers(*batchWorkers), server.WithTracer(tracer),
-			server.WithOnline(mgr)),
+		Handler: server.Handler(reg, handlerOpts...),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,

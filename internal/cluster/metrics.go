@@ -1,0 +1,52 @@
+package cluster
+
+import "ratiorules/internal/obs"
+
+// clusterMetrics is the coordinator's rr_cluster_* family set. Label
+// cardinality stays bounded — result enums only, never model names or
+// worker URLs (per-member detail is at GET /v1/cluster/status).
+type clusterMetrics struct {
+	rows           *obs.CounterVec // result: ok|rejected
+	chunks         *obs.CounterVec // result: ok|resharded|failed
+	sessions       *obs.Gauge
+	membersHealthy *obs.Gauge
+	membersTotal   *obs.Gauge
+	pulls          *obs.CounterVec // result: ok|empty|error
+	pullSeconds    *obs.Histogram
+	merges         *obs.CounterVec // result: ok|degraded|error
+	mergeSeconds   *obs.Histogram
+	retained       *obs.Gauge
+	degraded       *obs.Counter
+	reshardings    *obs.Counter
+}
+
+func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
+	return &clusterMetrics{
+		rows: reg.CounterVec("rr_cluster_rows_total",
+			"Rows fanned out to workers by per-row result.", "result"),
+		chunks: reg.CounterVec("rr_cluster_chunks_total",
+			"Fan-out chunks by outcome (ok, resharded after a worker failure, failed).",
+			"result"),
+		sessions: reg.Gauge("rr_cluster_sessions",
+			"Fan-out ingest sessions currently open."),
+		membersHealthy: reg.Gauge("rr_cluster_members_healthy",
+			"Workers currently passing health probes."),
+		membersTotal: reg.Gauge("rr_cluster_members",
+			"Workers known to the coordinator, healthy or not."),
+		pulls: reg.CounterVec("rr_cluster_shard_pulls_total",
+			"Shard pulls by result.", "result"),
+		pullSeconds: reg.Histogram("rr_cluster_shard_pull_seconds",
+			"Wall time of one worker shard pull including retries.", obs.DefBuckets),
+		merges: reg.CounterVec("rr_cluster_merges_total",
+			"Shard merges by result (degraded = at least one retained shard substituted).",
+			"result"),
+		mergeSeconds: reg.Histogram("rr_cluster_merge_seconds",
+			"Wall time of one pull + merge + republish cycle.", obs.DefBuckets),
+		retained: reg.Gauge("rr_cluster_retained_shards",
+			"Retained shard snapshots standing in for dead worker instances."),
+		degraded: reg.Counter("rr_cluster_degraded_republishes_total",
+			"Republishes that merged at least one retained shard because a worker was unreachable."),
+		reshardings: reg.Counter("rr_cluster_reshardings_total",
+			"Hash-ring rebuilds triggered by membership changes."),
+	}
+}

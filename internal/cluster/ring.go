@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is the virtual-node count per member: enough that losing
+// one of a handful of workers redistributes its keyspace roughly evenly
+// across the survivors instead of dumping it on one neighbour.
+const ringVnodes = 64
+
+// hashRing is an immutable consistent-hash ring over the healthy
+// members at build time. Sessions hash (model, chunk seq) onto it;
+// because shard-then-merge mining is partition-independent, *any*
+// stable assignment is exact, so the ring's only jobs are balance and
+// minimal movement when membership changes.
+type hashRing struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	m    *member
+}
+
+// buildRing hashes ringVnodes points per member. The FNV output is
+// post-mixed through splitmix64: vnode names share long prefixes, and
+// raw FNV-1a diffuses a 1–2 byte suffix difference poorly, which
+// clusters a member's points and lets its arc share collapse (observed
+// as one worker receiving no chunks at all).
+func buildRing(members []*member) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, len(members)*ringVnodes)}
+	for _, m := range members {
+		for i := 0; i < ringVnodes; i++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", m.url, i)
+			r.points = append(r.points, ringPoint{hash: splitmix64(h.Sum64()), m: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// lookup returns the member owning key, or nil on an empty ring.
+func (r *hashRing) lookup(key uint64) *member {
+	if len(r.points) == 0 {
+		return nil
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].m
+}
+
+// splitmix64 is the chunk-key mixer: cheap, stateless, and good enough
+// dispersion that consecutive chunk sequence numbers land on different
+// members.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

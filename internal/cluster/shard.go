@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"ratiorules/internal/core"
+)
+
+// shardFormat versions the shard-pull document.
+const shardFormat = 1
+
+// ShardDoc is the GET /v1/cluster/shard/{name} payload: the same
+// checksummed-wrapper idiom as the online manager's stream checkpoint
+// sidecars. Stream holds the raw core.StreamMiner Save output (base64
+// under JSON, so the bytes round-trip exactly) — the
+// sufficient-statistics encoding stays owned by internal/core; CRC is
+// Castagnoli over those raw bytes, letting the coordinator reject a
+// shard mangled in transit before it reaches the merge.
+type ShardDoc struct {
+	Format   int     `json:"format"`
+	Name     string  `json:"name"`
+	Instance string  `json:"instance"`
+	Width    int     `json:"width"`
+	Decay    float64 `json:"decay"`
+	Rows     int     `json:"rows"`
+	Stream   []byte  `json:"stream"`
+	CRC      uint32  `json:"crc"`
+}
+
+// EncodeShard wraps a snapshot of sm as a shard document. The caller
+// holds whatever lock guards sm.
+func EncodeShard(name, instance string, sm *core.StreamMiner) ([]byte, error) {
+	var raw bytes.Buffer
+	if err := sm.Save(&raw); err != nil {
+		return nil, fmt.Errorf("cluster: shard snapshot of %q: %w", name, err)
+	}
+	doc := ShardDoc{
+		Format:   shardFormat,
+		Name:     name,
+		Instance: instance,
+		Width:    sm.Width(),
+		Decay:    sm.Decay(),
+		Rows:     sm.Count(),
+		Stream:   raw.Bytes(),
+		CRC:      crc32.Checksum(raw.Bytes(), castagnoli),
+	}
+	return json.Marshal(doc)
+}
+
+// DecodeShard validates a shard document and reconstructs its miner.
+func DecodeShard(data []byte) (ShardDoc, *core.StreamMiner, error) {
+	var doc ShardDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, nil, fmt.Errorf("cluster: shard document: %w", err)
+	}
+	if doc.Format != shardFormat {
+		return doc, nil, fmt.Errorf("cluster: shard format %d, want %d", doc.Format, shardFormat)
+	}
+	if got := crc32.Checksum(doc.Stream, castagnoli); got != doc.CRC {
+		return doc, nil, fmt.Errorf("cluster: shard %q crc %08x, want %08x: %w",
+			doc.Name, got, doc.CRC, ErrBadFrame)
+	}
+	sm, err := core.LoadStreamMiner(bytes.NewReader(doc.Stream))
+	if err != nil {
+		return doc, nil, fmt.Errorf("cluster: shard %q stream: %w", doc.Name, err)
+	}
+	if sm.Width() != doc.Width || sm.Count() != doc.Rows {
+		return doc, nil, fmt.Errorf("cluster: shard %q header (%d wide, %d rows) disagrees with stream (%d wide, %d rows)",
+			doc.Name, doc.Width, doc.Rows, sm.Width(), sm.Count())
+	}
+	return doc, sm, nil
+}

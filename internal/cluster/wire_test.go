@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChunkRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		width, rows int
+		decay       float64
+	}{
+		{1, 1, 0}, {3, 2, 0}, {5, 257, 0.25}, {32, 64, 0}, {7, 0, 0.5},
+	}
+	var stream bytes.Buffer
+	want := make([]Chunk, 0, len(cases))
+	for i, tc := range cases {
+		payload := make([]float64, tc.rows*tc.width)
+		for j := range payload {
+			payload[j] = rng.NormFloat64() * 1e3
+		}
+		frame := AppendChunk(nil, uint64(i+1), tc.width, tc.decay, payload)
+		stream.Write(frame)
+		want = append(want, Chunk{Seq: uint64(i + 1), Width: tc.width, Decay: tc.decay, Rows: payload})
+	}
+	r := &stream
+	for i, w := range want {
+		got, err := ReadChunk(r)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if got.Seq != w.Seq || got.Width != w.Width || got.Decay != w.Decay {
+			t.Fatalf("chunk %d header: got %+v want %+v", i, got, w)
+		}
+		if len(got.Rows) != len(w.Rows) {
+			t.Fatalf("chunk %d: %d values, want %d", i, len(got.Rows), len(w.Rows))
+		}
+		for j := range w.Rows {
+			if got.Rows[j] != w.Rows[j] {
+				t.Fatalf("chunk %d value %d: got %v want %v", i, j, got.Rows[j], w.Rows[j])
+			}
+		}
+	}
+	if _, err := ReadChunk(r); err != io.EOF {
+		t.Fatalf("end of stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestChunkCorruption(t *testing.T) {
+	payload := []float64{1, 2, 3, 4, 5, 6}
+	frame := AppendChunk(nil, 42, 3, 0.5, payload)
+
+	// Flipping any single byte must fail the read: magic, dims, or CRC.
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, err := ReadChunk(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("byte %d flipped: read succeeded", i)
+		}
+	}
+	// Every truncation point must fail without passing io.EOF through
+	// (the frame started, so a clean EOF is a lie).
+	for n := 1; n < len(frame); n++ {
+		_, err := ReadChunk(bytes.NewReader(frame[:n]))
+		if err == nil || err == io.EOF {
+			t.Fatalf("truncated at %d: got %v", n, err)
+		}
+	}
+	// Absurd dims are rejected before allocating the payload.
+	huge := append([]byte(nil), frame...)
+	huge[8] = 0xff
+	huge[9] = 0xff
+	huge[10] = 0xff
+	huge[11] = 0x7f
+	if _, err := ReadChunk(bytes.NewReader(huge)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("absurd row count: got %v, want ErrBadFrame", err)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	var stream bytes.Buffer
+	want := []Ack{
+		{Seq: 1, Rows: 512, Code: AckOK, ShardRows: 512},
+		{Seq: 2, Rows: 9, Code: AckWidthConflict, ShardRows: 512},
+		{Seq: math.MaxUint64, Rows: 0, Code: AckBadChunk, ShardRows: math.MaxUint64},
+	}
+	for _, a := range want {
+		stream.Write(AppendAck(nil, a))
+	}
+	for i, w := range want {
+		got, err := ReadAck(&stream)
+		if err != nil {
+			t.Fatalf("ack %d: %v", i, err)
+		}
+		if got != w {
+			t.Fatalf("ack %d: got %+v want %+v", i, got, w)
+		}
+	}
+	if _, err := ReadAck(&stream); err != io.EOF {
+		t.Fatalf("end of stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestAckCorruption(t *testing.T) {
+	frame := AppendAck(nil, Ack{Seq: 3, Rows: 100, Code: AckOK, ShardRows: 300})
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x01
+		if _, err := ReadAck(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("byte %d flipped: read succeeded", i)
+		}
+	}
+	for n := 1; n < len(frame); n++ {
+		_, err := ReadAck(bytes.NewReader(frame[:n]))
+		if err == nil || err == io.EOF {
+			t.Fatalf("truncated at %d: got %v", n, err)
+		}
+	}
+}

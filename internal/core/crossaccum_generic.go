@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package core
+
+// Non-amd64 builds fold batches through the portable loops; the AVX2
+// kernels in crossaccum_amd64.s are the only architecture-specific
+// bodies.
+
+func crossAccum(cross, flat []float64, n, m int) { crossAccumGo(cross, flat, n, m) }
+
+func allFinite(flat []float64) bool { return allFiniteGo(flat) }

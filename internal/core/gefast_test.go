@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ratiorules/internal/matrix"
+)
+
+func minedRulesForGE(t *testing.T, n, m int) (*Rules, *matrix.Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	x := randomCorrelated(rng, n, m)
+	miner, err := NewMiner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := miner.MineMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := randomCorrelated(rng, n/2, m)
+	return rules, test
+}
+
+// GE1With must compute the same number as GE1 — bit-identical with one
+// worker, summation-order close with several.
+func TestGE1WithMatchesGE1(t *testing.T) {
+	rules, test := minedRulesForGE(t, 200, 8)
+	want, err := GE1(rules, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := GE1With(rules, test, GEOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1 != want {
+		t.Fatalf("one-worker GE1With %v != GE1 %v", got1, want)
+	}
+	got4, err := GE1With(rules, test, GEOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(got4-want) / math.Max(want, 1e-30); d > 1e-12 {
+		t.Fatalf("four-worker GE1With %v vs GE1 %v (rel %g)", got4, want, d)
+	}
+}
+
+// Non-*Rules estimators take the plain GE1 path unchanged.
+func TestGE1WithColAvgsFallback(t *testing.T) {
+	rules, test := minedRulesForGE(t, 120, 5)
+	avgs := NewColAvgs(rules.Means())
+	want, err := GE1(avgs, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GE1With(avgs, test, GEOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fallback GE1With %v != GE1 %v", got, want)
+	}
+}
+
+// The single-hole plans land in the shared plan cache: a second
+// evaluation (and any batch fill with the same pattern) reuses them.
+func TestGE1WithWarmsPlanCache(t *testing.T) {
+	rules, test := minedRulesForGE(t, 100, 6)
+	if got := rules.plans.len(); got != 0 {
+		t.Fatalf("fresh rules should have an empty plan cache, have %d", got)
+	}
+	if _, err := GE1With(rules, test, GEOptions{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rules.plans.len(); got != 6 {
+		t.Fatalf("want 6 cached single-hole plans, have %d", got)
+	}
+	// Second run must not grow the cache.
+	if _, err := GE1With(rules, test, GEOptions{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rules.plans.len(); got != 6 {
+		t.Fatalf("second run grew the cache to %d plans", got)
+	}
+}
+
+func TestGE1WithWidthMismatch(t *testing.T) {
+	rules, _ := minedRulesForGE(t, 80, 4)
+	rng := rand.New(rand.NewSource(1))
+	wrong := randomCorrelated(rng, 10, 5)
+	if _, err := GE1With(rules, wrong, GEOptions{}); err == nil {
+		t.Fatal("want width-mismatch error")
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ratiorules/internal/stats"
+)
+
+// PushBatch must be indistinguishable from Pushing each row in order —
+// the cluster's worker fold is only exact if this holds.
+func TestPushBatchEqualsSequentialPush(t *testing.T) {
+	for _, width := range []int{1, 2, 3, 5, 7, 32} {
+		for _, decay := range []float64{0, 0.3} {
+			rng := rand.New(rand.NewSource(int64(width)*100 + int64(decay*10)))
+			const rows = 257 // not a multiple of any kernel block size
+			flat := make([]float64, rows*width)
+			for i := range flat {
+				flat[i] = rng.NormFloat64()
+				if rng.Intn(9) == 0 {
+					flat[i] = 0 // exercise the v==0 skip in the scalar oracle
+				}
+			}
+
+			batched, err := NewStreamMiner(width, decay)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := batched.PushBatch(flat); err != nil {
+				t.Fatalf("width=%d decay=%g: PushBatch: %v", width, decay, err)
+			}
+			serial, err := NewStreamMiner(width, decay)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < rows; r++ {
+				if err := serial.Push(flat[r*width : (r+1)*width]); err != nil {
+					t.Fatalf("width=%d decay=%g: Push row %d: %v", width, decay, r, err)
+				}
+			}
+
+			if batched.Count() != serial.Count() {
+				t.Fatalf("width=%d decay=%g: count %d != %d", width, decay, batched.Count(), serial.Count())
+			}
+			if math.Abs(batched.weight-serial.weight) > 1e-9 {
+				t.Fatalf("width=%d decay=%g: weight %v != %v", width, decay, batched.weight, serial.weight)
+			}
+			for j := 0; j < width; j++ {
+				if d := relDiff(batched.sums[j], serial.sums[j]); d > 1e-12 {
+					t.Fatalf("width=%d decay=%g: sums[%d] %v vs %v (rel %g)",
+						width, decay, j, batched.sums[j], serial.sums[j], d)
+				}
+				for l := j; l < width; l++ {
+					b, s := batched.cross.At(j, l), serial.cross.At(j, l)
+					if d := relDiff(b, s); d > 1e-12 {
+						t.Fatalf("width=%d decay=%g: cross[%d][%d] %v vs %v (rel %g)",
+							width, decay, j, l, b, s, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if scale := math.Max(math.Abs(a), math.Abs(b)); scale > 1 {
+		return d / scale
+	}
+	return d
+}
+
+// Differential test pinning the assembly kernel to the portable oracle
+// across awkward widths and row counts (covers every tail path).
+func TestCrossAccumMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []int{1, 2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 31, 32, 33} {
+		for _, n := range []int{1, 2, 3, 17} {
+			flat := make([]float64, n*m)
+			for i := range flat {
+				flat[i] = rng.NormFloat64()
+			}
+			got := make([]float64, m*m)
+			want := make([]float64, m*m)
+			crossAccum(got, flat, n, m)
+			crossAccumGo(want, flat, n, m)
+			for i := range got {
+				if d := relDiff(got[i], want[i]); d > 1e-12 {
+					t.Fatalf("m=%d n=%d: cell %d: %v vs %v (rel %g)", m, n, i, got[i], want[i], d)
+				}
+			}
+		}
+	}
+}
+
+// The vectorized finite scan must agree with the portable one on every
+// position and length, for each kind of bad value.
+func TestAllFiniteMatchesOracle(t *testing.T) {
+	bads := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 17, 33} {
+		flat := make([]float64, n)
+		for i := range flat {
+			flat[i] = float64(i) - 1.5
+		}
+		if !allFinite(flat) || !allFiniteGo(flat) {
+			t.Fatalf("n=%d: clean slice reported non-finite", n)
+		}
+		for pos := 0; pos < n; pos++ {
+			for _, bad := range bads {
+				saved := flat[pos]
+				flat[pos] = bad
+				if allFinite(flat) {
+					t.Fatalf("n=%d pos=%d bad=%v: asm scan missed it", n, pos, bad)
+				}
+				if allFiniteGo(flat) {
+					t.Fatalf("n=%d pos=%d bad=%v: Go scan missed it", n, pos, bad)
+				}
+				flat[pos] = saved
+			}
+		}
+	}
+	if !allFinite(nil) {
+		t.Fatal("empty slice must be all-finite")
+	}
+}
+
+// A bad value anywhere in the batch rejects the whole batch with the
+// offending row/column named, and folds nothing.
+func TestPushBatchAllOrNothing(t *testing.T) {
+	sm, err := NewStreamMiner(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sm.PushBatch([]float64{1, 2, 3, 4, math.Inf(-1), 6})
+	if !errors.Is(err, stats.ErrBadValue) {
+		t.Fatalf("want ErrBadValue, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "row 1 column 1") {
+		t.Fatalf("error should name row 1 column 1: %v", err)
+	}
+	if sm.Count() != 0 {
+		t.Fatalf("nothing should be folded after a rejected batch, count=%d", sm.Count())
+	}
+
+	if err := sm.PushBatch([]float64{1, 2, 3, 4}); !errors.Is(err, ErrWidth) {
+		t.Fatalf("ragged batch: want ErrWidth, got %v", err)
+	}
+	if err := sm.PushBatch(nil); err != nil {
+		t.Fatalf("empty batch must be a no-op, got %v", err)
+	}
+}
+
+// RowAllFinite is the coordinator's pre-validation entry point.
+func TestRowAllFinite(t *testing.T) {
+	if !RowAllFinite([]float64{1, -2, 0, 3.5}) {
+		t.Fatal("finite row rejected")
+	}
+	if RowAllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN row accepted")
+	}
+	if RowAllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("Inf row accepted")
+	}
+}

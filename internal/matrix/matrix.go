@@ -137,6 +137,12 @@ func (m *Dense) RawRow(i int) []float64 {
 	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
+// RawData returns the row-major backing slice aliasing the matrix
+// storage. Mutating the returned slice mutates the matrix; it exists
+// for kernels that update many rows in one pass (the stream miner's
+// batched covariance fold).
+func (m *Dense) RawData() []float64 { return m.data }
+
 // Row returns a copy of the i-th row.
 func (m *Dense) Row(i int) []float64 {
 	out := make([]float64, m.cols)

@@ -137,7 +137,7 @@ func (m *Manager) evalGE(ctx context.Context, name string) (GESample, error) {
 	if err != nil {
 		return GESample{}, fmt.Errorf("online: building holdout for %q: %w", name, err)
 	}
-	ge, err := core.GE1(served, test)
+	ge, err := core.GE1With(served, test, core.GEOptions{Workers: m.cfg.GateWorkers})
 	if err != nil {
 		return GESample{}, fmt.Errorf("online: evaluating served GE for %q: %w", name, err)
 	}
@@ -307,7 +307,8 @@ func (m *Manager) maybeAutoRollback(ctx context.Context, name string, tr alert.T
 	if err != nil {
 		return
 	}
-	servedGE, err := core.GE1(served, test)
+	geOpts := core.GEOptions{Workers: m.cfg.GateWorkers}
+	servedGE, err := core.GE1With(served, test, geOpts)
 	if err != nil {
 		return
 	}
@@ -325,7 +326,7 @@ func (m *Manager) maybeAutoRollback(ctx context.Context, name string, tr alert.T
 		if !ok || rules.Width() != served.Width() {
 			continue
 		}
-		ge, err := core.GE1(rules, test)
+		ge, err := core.GE1With(rules, test, geOpts)
 		if err != nil {
 			continue
 		}

@@ -134,6 +134,9 @@ type Config struct {
 	// RollbackCooldown spaces auto-rollbacks of one stream; <= 0
 	// selects DefaultRollbackCooldown.
 	RollbackCooldown time.Duration
+	// GateWorkers caps the row-parallelism of holdout GE evaluations
+	// (the dominant republish cost); <= 0 selects GOMAXPROCS.
+	GateWorkers int
 }
 
 // withDefaults normalizes the zero values.
@@ -744,11 +747,12 @@ func (m *Manager) geGate(ctx context.Context, name string, candidate *core.Rules
 	if err != nil {
 		return RepublishResult{}, fmt.Errorf("online: building holdout for %q: %w", name, err)
 	}
-	candGE, err := core.GE1(candidate, test)
+	geOpts := core.GEOptions{Workers: m.cfg.GateWorkers}
+	candGE, err := core.GE1With(candidate, test, geOpts)
 	if err != nil {
 		return RepublishResult{}, fmt.Errorf("online: candidate GE for %q: %w", name, err)
 	}
-	servedGE, err := core.GE1(served, test)
+	servedGE, err := core.GE1With(served, test, geOpts)
 	if err != nil {
 		return RepublishResult{}, fmt.Errorf("online: served GE for %q: %w", name, err)
 	}

@@ -196,39 +196,28 @@ func serveBatch[J, R any](
 	results := run(ctx, jobs, opts)
 	w.Header().Set("Content-Type", ndjsonContentType)
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
+	lw := newLineWriter(w)
+	defer lw.release()
 	rows := 0
 	for res := range results {
 		if rows%256 == 0 {
 			extend()
 		}
 		idx, v, rowErr := line(res)
+		rows++
 		if rowErr == nil {
 			// An unencodable value (e.g. a NaN that leaked into a result)
-			// downgrades to a row error rather than corrupting the stream.
-			if b, err := json.Marshal(v); err == nil {
-				rows++
+			// downgrades to a row error rather than corrupting the stream:
+			// emit writes nothing on encode failure.
+			if lw.emit(v) {
 				s.batch.rows.With(op, "ok").Inc()
-				if _, err := w.Write(append(b, '\n')); err != nil {
-					return
-				}
-				if flusher != nil {
-					flusher.Flush()
-				}
 				continue
-			} else {
-				rowErr = fmt.Errorf("encoding result: %w", err)
 			}
+			rowErr = fmt.Errorf("encoding result for row %d failed", idx)
 		}
-		rows++
 		s.batch.rows.With(op, "error").Inc()
-		_, code := errStatus(rowErr)
-		b, _ := json.Marshal(lineError{Index: idx, Error: errorInfo{Code: code, Message: rowErr.Error()}})
-		if _, err := w.Write(append(b, '\n')); err != nil {
+		if !lw.emitErr(idx, rowErr) {
 			return
-		}
-		if flusher != nil {
-			flusher.Flush()
 		}
 	}
 	s.batch.size.With(op).Observe(float64(rows))

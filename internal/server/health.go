@@ -33,16 +33,27 @@ func (s *service) health(w http.ResponseWriter, _ *http.Request) {
 
 // readyzResponse is the GET /readyz success body.
 type readyzResponse struct {
-	Status       string `json:"status"` // "ready" | "degraded"
-	Models       int    `json:"models"`
-	FiringAlerts int    `json:"firing_alerts"`
+	Status       string         `json:"status"` // "ready" | "degraded"
+	Models       int            `json:"models"`
+	FiringAlerts int            `json:"firing_alerts"`
+	Cluster      *readyzCluster `json:"cluster,omitempty"` // coordinator mode only
+}
+
+// readyzCluster summarizes cluster health in the readiness body.
+type readyzCluster struct {
+	Members  int  `json:"members"`
+	Healthy  int  `json:"healthy"`
+	Degraded bool `json:"degraded"` // last merge fell back to retained shards
 }
 
 // readyz answers readiness probes. A wedged store (mutations failing
 // with store.ErrFailed) answers 503 with the v1 error envelope so load
 // balancers drain the instance; firing quality alerts mark the body
 // "degraded" but keep the instance routable — the served models still
-// answer queries, they are just suspected stale.
+// answer queries, they are just suspected stale. In coordinator mode a
+// degraded cluster (dead workers, merges running on retained shard
+// snapshots) likewise marks the body degraded without failing the
+// probe: serving and single-path ingest still work.
 func (s *service) readyz(w http.ResponseWriter, _ *http.Request) {
 	if err := s.failed(); err != nil {
 		writeErr(w, http.StatusServiceUnavailable, CodeStoreFailed,
@@ -54,11 +65,23 @@ func (s *service) readyz(w http.ResponseWriter, _ *http.Request) {
 	if firing > 0 {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, readyzResponse{
-		Status:       status,
+	resp := readyzResponse{
 		Models:       len(s.reg.Names()),
 		FiringAlerts: firing,
-	})
+	}
+	if s.cluster != nil {
+		cs := s.cluster.Status()
+		resp.Cluster = &readyzCluster{
+			Members:  len(cs.Members),
+			Healthy:  cs.Healthy,
+			Degraded: cs.Degraded,
+		}
+		if cs.Degraded || cs.Healthy < len(cs.Members) {
+			status = "degraded"
+		}
+	}
+	resp.Status = status
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // modelHealthResponse is the GET /v1/rules/{name}/health body: the

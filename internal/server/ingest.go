@@ -97,6 +97,10 @@ func (s *service) ingest(w http.ResponseWriter, req *http.Request) {
 	if !ok {
 		return
 	}
+	if s.cluster != nil {
+		s.ingestClustered(w, req, name, decay, explicit)
+		return
+	}
 	st, err := s.online.Stream(name, decay, explicit)
 	if err != nil {
 		if errors.Is(err, online.ErrDecayConflict) {
@@ -123,20 +127,8 @@ func (s *service) ingest(w http.ResponseWriter, req *http.Request) {
 	ctx := req.Context()
 	w.Header().Set("Content-Type", ndjsonContentType)
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	emit := func(v any) bool {
-		b, err := json.Marshal(v)
-		if err != nil {
-			return false
-		}
-		if _, err := w.Write(append(b, '\n')); err != nil {
-			return false
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		return true
-	}
+	lw := newLineWriter(w)
+	defer lw.release()
 
 	var done ingestDone
 	for index := 0; ; index++ {
@@ -157,22 +149,130 @@ func (s *service) ingest(w http.ResponseWriter, req *http.Request) {
 			if count, rowErr = st.Push(ctx, row); rowErr == nil {
 				done.Accepted++
 				done.Count = count
-				if !emit(ingestAck{Index: index, Count: count}) {
+				if !lw.emit(ingestAck{Index: index, Count: count}) {
 					return
 				}
 				continue
 			}
 		}
 		done.Errors++
-		_, code := errStatus(rowErr)
-		if !emit(lineError{Index: index, Error: errorInfo{Code: code, Message: rowErr.Error()}}) {
+		if !lw.emitErr(index, rowErr) {
 			return
 		}
 	}
 	s.logger.Info("rows ingested",
 		"model", name, "rows", done.Rows, "accepted", done.Accepted,
 		"errors", done.Errors, "count", done.Count)
-	emit(ingestDoneLine{Done: done})
+	lw.emit(ingestDoneLine{Done: done})
+}
+
+// ingestClustered serves POST ingest when the server fronts a sharded
+// cluster: rows go into a fan-out session that hash-shards them across
+// worker nodes, and the per-row NDJSON response is reassembled from the
+// session's in-order chunk acks. The response contract is identical to
+// the single-node path — acks and error lines in input order, one per
+// row, then the done summary — so clients cannot tell how many machines
+// are behind the endpoint.
+func (s *service) ingestClustered(w http.ResponseWriter, req *http.Request, name string, decay float64, explicit bool) {
+	sess, err := s.cluster.Ingest(req.Context(), name, decay, explicit)
+	if err != nil {
+		if errors.Is(err, online.ErrDecayConflict) {
+			writeErr(w, http.StatusConflict, CodeConflict, err)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	extend := func() {
+		t := time.Now().Add(batchDeadlineSlack)
+		_ = rc.SetReadDeadline(t)
+		_ = rc.SetWriteDeadline(t)
+	}
+	extend()
+
+	src := batchSource(req)
+	ctx := req.Context()
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	lw := newLineWriter(w)
+	defer lw.release()
+
+	// The ack drainer is the only goroutine writing the response while
+	// the request loop below feeds the session; session emission order is
+	// input order, so per-row lines come out exactly as the single-node
+	// path would produce them. Chunk acks cover a run of rows: the run's
+	// final count minus its length recovers each row's running total.
+	var accepted, errs int
+	var lastCount int64
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		index := 0
+		for ev := range sess.Acks() {
+			if ev.Err == nil {
+				base := ev.Count - int64(ev.Rows)
+				for j := 0; j < ev.Rows; j++ {
+					if index%256 == 0 {
+						extend()
+					}
+					accepted++
+					lastCount = base + int64(j) + 1
+					if !lw.emit(ingestAck{Index: index, Count: int(lastCount)}) {
+						return
+					}
+					index++
+				}
+				continue
+			}
+			for j := 0; j < ev.Rows; j++ {
+				errs++
+				if !lw.emitErr(index, ev.Err) {
+					return
+				}
+				index++
+			}
+		}
+	}()
+
+	rows := 0
+	for {
+		raw, rowErr, more := src()
+		if !more || ctx.Err() != nil {
+			break
+		}
+		if rows%256 == 0 {
+			extend()
+		}
+		rows++
+		var row []float64
+		if rowErr == nil {
+			row, rowErr = decodeIngestRow(raw)
+		}
+		if rowErr != nil {
+			sess.PushError(rowErr)
+			continue
+		}
+		if err := sess.Push(row); err != nil {
+			// Session-fatal: no healthy workers remain. The rows already
+			// dispatched surface as error events on Acks; stop feeding.
+			s.logger.Error("cluster ingest aborted", "model", name, "error", err)
+			break
+		}
+	}
+	closeErr := sess.Close()
+	<-drained
+	if closeErr != nil {
+		s.logger.Error("cluster ingest session closed with error",
+			"model", name, "error", closeErr)
+	}
+	done := ingestDone{Rows: rows, Accepted: accepted, Errors: errs, Count: int(lastCount)}
+	s.logger.Info("rows ingested via cluster",
+		"model", name, "rows", done.Rows, "accepted", done.Accepted,
+		"errors", done.Errors, "count", done.Count)
+	lw.emit(ingestDoneLine{Done: done})
 }
 
 // streamStatus reports a model's live stream (GET .../stream): row and

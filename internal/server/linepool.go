@@ -1,0 +1,92 @@
+package server
+
+// Pooled NDJSON line encoding shared by the streaming write paths
+// (batch inference and ingest acks). Those handlers emit one small JSON
+// line per input row; encoding each line with json.Marshal allocates a
+// fresh byte slice per row, which at millions of rows per request makes
+// the garbage collector a measurable cost on the response path. A
+// lineWriter instead rents a buffer + encoder pair from a process-wide
+// sync.Pool for the duration of the request and reuses it for every
+// line. json.Encoder appends the trailing '\n' itself, so the framing
+// is byte-identical to the old Marshal+append form.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// lineBuf is one pooled encode buffer; enc writes into buf.
+type lineBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var linePool = sync.Pool{
+	New: func() any {
+		lb := &lineBuf{}
+		lb.enc = json.NewEncoder(&lb.buf)
+		return lb
+	},
+}
+
+// lineWriter emits NDJSON lines to one response, flushing after each so
+// clients see acks while still sending. Not safe for concurrent use —
+// each request path has exactly one emitting goroutine.
+type lineWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	lb      *lineBuf
+}
+
+// newLineWriter rents a pooled buffer for the request. Callers must
+// release() when the response is done.
+func newLineWriter(w http.ResponseWriter) *lineWriter {
+	flusher, _ := w.(http.Flusher)
+	return &lineWriter{w: w, flusher: flusher, lb: linePool.Get().(*lineBuf)}
+}
+
+// emit encodes v as one NDJSON line and flushes it. It reports false
+// when the value cannot be encoded or the client is gone; callers stop
+// streaming on false. Nothing is written on an encode failure, so the
+// line framing can never be corrupted mid-stream.
+func (lw *lineWriter) emit(v any) bool {
+	lw.lb.buf.Reset()
+	if err := lw.lb.enc.Encode(v); err != nil {
+		return false
+	}
+	if _, err := lw.w.Write(lw.lb.buf.Bytes()); err != nil {
+		return false
+	}
+	if lw.flusher != nil {
+		lw.flusher.Flush()
+	}
+	return true
+}
+
+// emitErr encodes a row-error line for index with the envelope code
+// derived from err — the shared shape of every streaming endpoint.
+func (lw *lineWriter) emitErr(index int, err error) bool {
+	_, code := errStatus(err)
+	return lw.emit(lineError{Index: index, Error: errorInfo{Code: code, Message: err.Error()}})
+}
+
+// release returns the encode buffer to the pool. The buffer is reset on
+// next rent; oversized buffers (a huge batch result line) are dropped
+// rather than pooled so one outlier row does not pin memory.
+func (lw *lineWriter) release() {
+	if lw.lb == nil {
+		return
+	}
+	if lw.lb.buf.Cap() <= maxPooledLineBytes {
+		linePool.Put(lw.lb)
+	}
+	lw.lb = nil
+}
+
+// maxPooledLineBytes bounds what a returned buffer may retain: lines
+// are typically well under 1 KiB, so 64 KiB keeps every normal workload
+// allocation-free while letting rare megabyte-class outlier lines be
+// garbage collected.
+const maxPooledLineBytes = 64 << 10

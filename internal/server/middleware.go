@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"ratiorules/internal/cluster"
 	"ratiorules/internal/obs"
 	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/online"
@@ -19,6 +20,7 @@ type handlerConfig struct {
 	batchWorkers int
 	tracer       *trace.Tracer
 	online       *online.Manager
+	cluster      *cluster.Coordinator
 }
 
 // HandlerOption customizes Handler.
@@ -67,6 +69,19 @@ func WithTracer(t *trace.Tracer) HandlerOption {
 // so the routes work out of the box.
 func WithOnline(m *online.Manager) HandlerOption {
 	return func(c *handlerConfig) { c.online = m }
+}
+
+// WithCluster puts the server in coordinator mode: POST ingest fans
+// rows out to the cluster's worker nodes instead of folding them into
+// the local accumulator, /readyz reports cluster membership and
+// degradation, and the /v1/cluster/* admin routes (status, join, force
+// republish) are mounted. The coordinator must share its online.Manager
+// with WithOnline — merged shards republish through it, so promotion
+// gating, versioning and alerts behave exactly as on a single node. The
+// caller owns the coordinator's Start/Close lifecycle (rrserve wires
+// -cluster-workers and friends through it).
+func WithCluster(c *cluster.Coordinator) HandlerOption {
+	return func(cfg *handlerConfig) { cfg.cluster = c }
 }
 
 // httpMetrics is the per-handler request accounting: counts by route,

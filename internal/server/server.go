@@ -61,6 +61,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ratiorules/internal/cluster"
 	"ratiorules/internal/core"
 	"ratiorules/internal/matrix"
 	"ratiorules/internal/obs"
@@ -200,6 +201,7 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 		batch:        newBatchMetrics(cfg.metrics),
 		tracer:       cfg.tracer,
 		online:       cfg.online,
+		cluster:      cfg.cluster,
 		failed:       reg.Failed,
 	}
 	mux := http.NewServeMux()
@@ -243,6 +245,13 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	handle("GET", "/v1/rules/{name}/stream", s.streamStatus)
 	handle("DELETE", "/v1/rules/{name}/stream", s.streamDrop)
 	handle("GET", "/v1/rules/{name}/health", s.modelHealth)
+	// Cluster admin routes exist only in coordinator mode; plain servers
+	// fall through to the uniform 404.
+	if cfg.cluster != nil {
+		handle("GET", "/v1/cluster/status", s.clusterStatus)
+		handle("POST", "/v1/cluster/join", s.clusterJoin)
+		handle("POST", "/v1/cluster/republish/{name}", s.clusterRepublish)
+	}
 	// Wrong-method fallbacks: the method-specific patterns above take
 	// precedence, so these catch everything else on known paths.
 	fallback := func(path, allow string) {
@@ -284,7 +293,8 @@ type service struct {
 	batch        *batchMetrics
 	tracer       *trace.Tracer
 	online       *online.Manager
-	failed       func() error // readiness seam; Handler wires reg.Failed
+	cluster      *cluster.Coordinator // nil unless coordinator mode (WithCluster)
+	failed       func() error         // readiness seam; Handler wires reg.Failed
 }
 
 // Stable machine-readable error codes carried by every v1 error
@@ -297,6 +307,7 @@ const (
 	CodeStoreFailed      = "store_failed"       // durable store rejected the mutation
 	CodeMethodNotAllowed = "method_not_allowed" // known path, wrong verb
 	CodeConflict         = "conflict"           // request contradicts live stream state (decay mismatch)
+	CodeClusterJoin      = "cluster_join"       // worker node failed its admission probe
 	CodeInternal         = "internal"           // unexpected server-side failure
 )
 
