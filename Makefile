@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify verify-api verify-store verify-trace verify-online verify-alert verify-cluster fuzz bench clean
+.PHONY: all build vet test race verify verify-api verify-store verify-trace verify-online verify-alert verify-cluster verify-replica fuzz bench clean
 
 all: build
 
@@ -73,10 +73,24 @@ verify-cluster:
 	$(GO) test -run 'TestCluster' -count=1 ./internal/server
 	$(GO) test -race -run 'TestClusterEndToEnd' -count=1 ./cmd/rrserve
 
+# verify-replica checks WAL-shipped follower replication
+# (docs/replication.md): the wire framing, follower loop and store
+# replication surface under the race detector twice (reconnect/stall
+# paths are timing-sensitive), the role-gated HTTP contract, and the
+# rrserve leader/follower end-to-end test (kill/restart both sides,
+# byte-identical reads, checkpointed resume with no duplicate replay).
+verify-replica:
+	$(GO) vet ./internal/replica ./internal/store ./internal/server ./cmd/rrserve
+	$(GO) test -race -count=2 ./internal/replica
+	$(GO) test -race -run 'TestEventsSince|TestChangedWakesTailers|TestApplyEvent|TestRestoreSnapshot' -count=1 ./internal/store
+	$(GO) test -run 'TestV1Contract|TestFollower|TestReplicateRouteOnLeader' -count=1 ./internal/server
+	$(GO) test -race -run 'TestFollower' -count=1 ./cmd/rrserve
+
 # verify is the gate for every change: vet, a full build, the race
 # detector across all packages, then the store persistence gauntlet,
 # the HTTP API contract, the tracing layer, the live-ingest loop, the
-# model-quality alert path and the sharded cluster.
+# model-quality alert path, the sharded cluster and follower
+# replication.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -87,6 +101,7 @@ verify:
 	$(MAKE) verify-online
 	$(MAKE) verify-alert
 	$(MAKE) verify-cluster
+	$(MAKE) verify-replica
 
 # fuzz runs each core fuzz target for FUZZTIME (default 10s). Go allows
 # one -fuzz pattern per invocation, hence the separate runs.

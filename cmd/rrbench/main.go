@@ -43,7 +43,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rrbench", flag.ContinueOnError)
 	var (
-		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch, online, drift, cluster or all")
+		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch, online, drift, cluster, replica or all")
 		batchRows     = fs.Int("batch-rows", 10000, "rows for the batch experiment")
 		batchPatterns = fs.Int("batch-patterns", 8, "distinct hole patterns for the batch experiment")
 		batchWorkers  = fs.Int("batch-workers", 0, "worker pool width for the batch experiment (<= 0 = one per CPU)")
@@ -54,6 +54,8 @@ func run(args []string, w io.Writer) error {
 		clusterRows   = fs.Int("cluster-rows", 200000, "rows for the cluster experiment")
 		clusterWidth  = fs.Int("cluster-width", 32, "columns for the cluster experiment")
 		clusterNodes  = fs.Int("cluster-nodes", 4, "in-process worker nodes for the cluster experiment")
+		replicaEvents = fs.Int("replica-events", 2000, "committed models for the replica experiment")
+		replicaWidth  = fs.Int("replica-width", 32, "columns per model for the replica experiment")
 		ds            = fs.String("dataset", "nba", "dataset for fig6/cutoff: nba, baseball or abalone")
 		sizes         = fs.String("sizes", "", "comma-separated row counts for fig8 (default: the paper's sweep)")
 		datDir        = fs.String("datdir", "", "also write the paper's gnuplot data files (nba.d2, scaleup.dat, ...) into this directory")
@@ -74,6 +76,7 @@ func run(args []string, w io.Writer) error {
 	var timings []benchExperiment
 	var driftRes *experiments.DriftResult
 	var clusterRes *experiments.ClusterResult
+	var replicaRes *experiments.ReplicaResult
 
 	runOne := func(name string) error {
 		switch name {
@@ -183,6 +186,13 @@ func run(args []string, w io.Writer) error {
 			}
 			clusterRes = res
 			fmt.Fprintln(w, res)
+		case "replica":
+			res, err := experiments.RunReplica(*replicaEvents, *replicaWidth)
+			if err != nil {
+				return err
+			}
+			replicaRes = res
+			fmt.Fprintln(w, res)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -205,7 +215,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "online", "drift", "cluster", "fig8"} {
+		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "online", "drift", "cluster", "replica", "fig8"} {
 			fmt.Fprintf(w, "==================== %s ====================\n", name)
 			if err := timedRun(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -219,7 +229,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("creating -out file: %w", err)
 		}
-		if err := writeJSONSummary(f, timings, driftRes, clusterRes); err != nil {
+		if err := writeJSONSummary(f, timings, driftRes, clusterRes, replicaRes); err != nil {
 			f.Close()
 			return fmt.Errorf("writing %s: %w", *outFile, err)
 		}
@@ -229,7 +239,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote summary to %s\n", *outFile)
 	}
 	if *jsonOut {
-		return writeJSONSummary(jsonDst, timings, driftRes, clusterRes)
+		return writeJSONSummary(jsonDst, timings, driftRes, clusterRes, replicaRes)
 	}
 	return nil
 }
@@ -261,6 +271,9 @@ type benchSummary struct {
 	// Cluster carries the sharded-cluster experiment's throughput,
 	// exactness and gate before/after figures when it ran.
 	Cluster *experiments.ClusterResult `json:"cluster,omitempty"`
+	// Replica carries the WAL-shipped replication experiment's catch-up
+	// throughput and steady-state propagation latency when it ran.
+	Replica *experiments.ReplicaResult `json:"replica,omitempty"`
 	// ClusterMetrics snapshots the coordinator/worker rr_cluster_*
 	// counters accumulated by the run.
 	ClusterMetrics clusterSummary `json:"cluster_metrics"`
@@ -319,7 +332,7 @@ type minerSummary struct {
 
 // writeJSONSummary snapshots the obs registry into the -json document.
 func writeJSONSummary(w io.Writer, timings []benchExperiment, drift *experiments.DriftResult,
-	clusterRes *experiments.ClusterResult) error {
+	clusterRes *experiments.ClusterResult, replicaRes *experiments.ReplicaResult) error {
 	sum := benchSummary{
 		Experiments: timings,
 		Miner: minerSummary{
@@ -334,6 +347,7 @@ func writeJSONSummary(w io.Writer, timings []benchExperiment, drift *experiments
 		},
 		Drift:   drift,
 		Cluster: clusterRes,
+		Replica: replicaRes,
 		ClusterMetrics: clusterSummary{
 			Rows:   make(map[string]float64),
 			Chunks: make(map[string]float64),

@@ -8,6 +8,13 @@
 // -trace-buffer / -trace-slow), and the server drains in-flight
 // requests for up to 10s on SIGINT/SIGTERM before exiting.
 //
+// With -follow the server runs as a read-only follower replica: it
+// tails the leader's committed WAL over GET /v1/replicate into its own
+// store (durable with -data-dir, resuming from the checkpointed seq
+// after a restart), serves every GET and inference route with bodies
+// and ETags byte-identical to the leader, and answers mutating routes
+// 403 read_only pointing at the leader (docs/replication.md).
+//
 // Usage:
 //
 //	rrserve -addr :8080 [-data-dir ./models] [-debug-addr :6060] [-v]
@@ -69,6 +76,14 @@
 //	-cluster-backoff        initial pull retry backoff (default 100ms)
 //	-cluster-health-every   membership probe interval (default 1s)
 //	-cluster-republish-rows acked rows forcing an early merge (65536)
+//	-follow          leader base URL; non-empty runs this server as a
+//	                 read-only follower replica tailing the leader's WAL
+//	                 (incompatible with -node and -cluster-workers)
+//	-max-replica-lag replication staleness bound; beyond it a follower's
+//	                 /readyz answers 503 replica_lagging (default 30s)
+//	-replication-log committed events retained in memory for follower
+//	                 catch-up; followers further behind bootstrap from a
+//	                 snapshot frame instead (default 1024)
 //	-v               debug logging (overrides RR_LOG_LEVEL)
 //	RR_LOG_LEVEL  debug|info|warn|error (default info)
 //	RR_LOG_FORMAT text|json (default text)
@@ -102,6 +117,7 @@ import (
 	"ratiorules/internal/obs/alert"
 	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/online"
+	"ratiorules/internal/replica"
 	"ratiorules/internal/server"
 	"ratiorules/internal/store"
 )
@@ -163,21 +179,39 @@ func run(ctx context.Context, args []string) error {
 		clusterBackoff     = fs.Duration("cluster-backoff", cluster.DefaultBackoff, "initial shard pull retry backoff (doubles per attempt)")
 		clusterHealth      = fs.Duration("cluster-health-every", cluster.DefaultHealthEvery, "worker membership probe interval")
 		clusterRepublish   = fs.Int("cluster-republish-rows", cluster.DefaultRepublishRows, "acked rows that trigger an early merge-republish for a model")
+
+		follow         = fs.String("follow", "", "leader base URL; non-empty runs this server as a read-only follower replica")
+		maxReplicaLag  = fs.Duration("max-replica-lag", server.DefaultMaxReplicaLag, "replication staleness beyond which a follower's /readyz answers 503")
+		replicationLog = fs.Int("replication-log", store.DefaultReplicationLog, "committed events retained in memory for follower catch-up")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *follow != "" {
+		if *nodeMode {
+			return errors.New("-follow and -node are mutually exclusive: a follower replicates a leader, a node serves cluster shards")
+		}
+		if *clusterWorkers != "" {
+			return errors.New("-follow and -cluster-workers are mutually exclusive: a follower is read-only and cannot coordinate ingest")
+		}
 	}
 	logger := obs.Setup(*verbose)
 	if *nodeMode {
 		return runNode(ctx, logger, *addr, *coordinator, *advertise)
 	}
 
-	reg := server.NewRegistry()
+	// The store (memory or durable) carries the replication surface in
+	// every role: leaders stream their replog to followers, and a
+	// follower's own store keeps the log too, so it can feed further
+	// followers (cascading fan-out).
+	storeOpts := []store.Option{
+		store.WithLogger(logger), store.WithSnapshotEvery(*snapshotEvery),
+		store.WithMaxVersions(*maxVersions), store.WithReplicationLog(*replicationLog),
+	}
+	reg := server.NewRegistryWithStore(store.OpenMemory(storeOpts...))
 	closeStore := func() {}
 	if *dataDir != "" {
-		st, err := store.Open(*dataDir,
-			store.WithLogger(logger), store.WithSnapshotEvery(*snapshotEvery),
-			store.WithMaxVersions(*maxVersions))
+		st, err := store.Open(*dataDir, storeOpts...)
 		if err != nil {
 			return fmt.Errorf("opening model store: %w", err)
 		}
@@ -288,9 +322,40 @@ func run(ctx context.Context, args []string) error {
 			"workers", len(st.Members), "healthy", st.Healthy)
 		handlerOpts = append(handlerOpts, server.WithCluster(coord))
 	}
+	if *follow != "" {
+		fol, err := replica.New(replica.Options{
+			Leader:   *follow,
+			Store:    reg.Store(),
+			Logger:   logger,
+			Registry: obs.Default(),
+		})
+		if err != nil {
+			return fmt.Errorf("building follower replica: %w", err)
+		}
+		folCtx, folCancel := context.WithCancel(ctx)
+		folDone := make(chan struct{})
+		go func() {
+			defer close(folDone)
+			if err := fol.Run(folCtx); err != nil && !errors.Is(err, context.Canceled) {
+				logger.Error("replica tail stopped", "err", err)
+			}
+		}()
+		defer func() {
+			folCancel()
+			<-folDone
+		}()
+		logger.Info("following leader", "leader", *follow, "max_lag", *maxReplicaLag)
+		handlerOpts = append(handlerOpts, server.WithFollower(fol, *follow, *maxReplicaLag))
+	}
 
+	// baseCancel ends the long-lived replication streams (they select on
+	// the request context) so a graceful Shutdown can actually drain:
+	// followers reconnect and resume from their applied seq.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
 	srv := &http.Server{
-		Handler: server.Handler(reg, handlerOpts...),
+		Handler:           server.Handler(reg, handlerOpts...),
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -326,6 +391,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	logger.Info("shutting down, draining in-flight requests", "timeout", drainTimeout)
+	baseCancel()
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	err = srv.Shutdown(drainCtx)

@@ -1,0 +1,198 @@
+package main
+
+// End-to-end replication acceptance: a follower rrserve process tails a
+// leader rrserve process over the real wire, serves byte-identical
+// bodies and ETags, survives a leader kill/restart, and resumes from
+// its own checkpointed seq after a restart of its own — no duplicate
+// replay, no spurious snapshot bootstrap.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// tryGet is the non-fatal probe used while polling: unlike get it
+// reports dial errors (a dead leader) instead of failing the test.
+func tryGet(url string) (int, string, http.Header, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, string(body), resp.Header, nil
+}
+
+// getWithETag fetches url and returns (ETag, body), failing on non-200.
+func getWithETag(t *testing.T, url string) (string, string) {
+	t.Helper()
+	code, body, hdr, err := tryGet(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	if code != 200 {
+		t.Fatalf("GET %s = %d: %s", url, code, body)
+	}
+	return hdr.Get("ETag"), body
+}
+
+// versionSummary fetches /versions and returns (head, retained count).
+func versionSummary(t *testing.T, base, name string) (int, int) {
+	t.Helper()
+	var vers struct {
+		Head     int               `json:"head"`
+		Versions []json.RawMessage `json:"versions"`
+	}
+	_, body := get(t, base+"/v1/rules/"+name+"/versions")
+	if err := json.Unmarshal([]byte(body), &vers); err != nil {
+		t.Fatalf("versions decode: %v (%s)", err, body)
+	}
+	return vers.Head, len(vers.Versions)
+}
+
+func TestFollowerEndToEnd(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+
+	// Boot #1 of the leader; mine a model.
+	lAddrs, lShutdown := startServe(t, "-addr", "127.0.0.1:0", "-data-dir", leaderDir)
+	leaderAddr := lAddrs["main"]
+	lbase := "http://" + leaderAddr
+	if code, body := postJSON(t, lbase+"/v1/rules",
+		`{"name":"a","rows":[[1,2],[2,4],[3,6],[4,8],[5,10]]}`); code != 201 {
+		t.Fatalf("mine a = %d: %s", code, body)
+	}
+	wantAEtag, wantA := getWithETag(t, lbase+"/v1/rules/a")
+
+	// Boot #1 of the follower: its own data dir (never the leader's —
+	// the store flock forbids sharing), tailing the leader's WAL.
+	fAddrs, fShutdown := startServe(t, "-addr", "127.0.0.1:0",
+		"-data-dir", followerDir, "-follow", lbase, "-max-replica-lag", "1m")
+	fbase := "http://" + fAddrs["main"]
+
+	waitFor(t, "follower catch-up", func() bool {
+		code, _, _, err := tryGet(fbase + "/v1/rules/a")
+		return err == nil && code == 200
+	})
+
+	// Byte-identical serving: same body, same ETag, at the same seq.
+	gotAEtag, gotA := getWithETag(t, fbase+"/v1/rules/a")
+	if gotAEtag != wantAEtag {
+		t.Errorf("follower ETag %q != leader ETag %q", gotAEtag, wantAEtag)
+	}
+	if gotA != wantA {
+		t.Errorf("follower body differs from leader (%d vs %d bytes)", len(gotA), len(wantA))
+	}
+
+	// The follower refuses writes with the stable envelope code and
+	// points clients at the leader.
+	if code, body := postJSON(t, fbase+"/v1/rules",
+		`{"name":"x","rows":[[1,1],[2,2],[3,3]]}`); code != 403 ||
+		!strings.Contains(body, `"read_only"`) || !strings.Contains(body, lbase) {
+		t.Fatalf("mine on follower = %d: %s", code, body)
+	}
+
+	// Readiness reports the follower role and, once synced, stays ready.
+	waitFor(t, "follower synced readyz", func() bool {
+		code, body, _, err := tryGet(fbase + "/readyz")
+		return err == nil && code == 200 &&
+			strings.Contains(body, `"role":"follower"`) &&
+			strings.Contains(body, `"synced":true`)
+	})
+
+	// Kill the leader. The follower keeps serving consistent reads.
+	if err := lShutdown(); err != nil {
+		t.Fatalf("leader shutdown: %v", err)
+	}
+	if etag, body := getWithETag(t, fbase+"/v1/rules/a"); etag != wantAEtag || body != wantA {
+		t.Error("follower reads changed while the leader was down")
+	}
+
+	// Restart the leader on the same address and data dir; mine a second
+	// model. The follower reconnects by itself and tails the new write.
+	_, lShutdown = startServe(t, "-addr", leaderAddr, "-data-dir", leaderDir)
+	if code, body := postJSON(t, lbase+"/v1/rules",
+		`{"name":"b","rows":[[1,3],[2,6],[3,9],[4,12],[5,15]]}`); code != 201 {
+		t.Fatalf("mine b = %d: %s", code, body)
+	}
+	wantBEtag, wantB := getWithETag(t, lbase+"/v1/rules/b")
+	waitFor(t, "follower tails the restarted leader", func() bool {
+		code, _, _, err := tryGet(fbase + "/v1/rules/b")
+		return err == nil && code == 200
+	})
+	if etag, body := getWithETag(t, fbase+"/v1/rules/b"); etag != wantBEtag || body != wantB {
+		t.Error("follower model b differs from the restarted leader")
+	}
+
+	// No duplicate replay across the reconnect: model a still has exactly
+	// one retained version on the follower, head 1, same as the leader.
+	if head, n := versionSummary(t, fbase, "a"); head != 1 || n != 1 {
+		t.Errorf("follower a history after leader restart: head %d, %d versions; want 1, 1", head, n)
+	}
+
+	// Restart the follower cold: its durable store resumes from the
+	// checkpointed applied seq — no re-replay, no snapshot bootstrap.
+	if err := fShutdown(); err != nil {
+		t.Fatalf("follower shutdown: %v", err)
+	}
+	fAddrs, fShutdown = startServe(t, "-addr", "127.0.0.1:0",
+		"-data-dir", followerDir, "-follow", lbase, "-max-replica-lag", "1m")
+	fbase = "http://" + fAddrs["main"]
+	waitFor(t, "restarted follower serves", func() bool {
+		code, body, _, err := tryGet(fbase + "/readyz")
+		return err == nil && code == 200 && strings.Contains(body, `"synced":true`)
+	})
+	for name, want := range map[string][2]string{
+		"a": {wantAEtag, wantA}, "b": {wantBEtag, wantB},
+	} {
+		if etag, body := getWithETag(t, fbase+"/v1/rules/"+name); etag != want[0] || body != want[1] {
+			t.Errorf("restarted follower model %s differs from leader", name)
+		}
+	}
+	if head, n := versionSummary(t, fbase, "a"); head != 1 || n != 1 {
+		t.Errorf("restarted follower a history: head %d, %d versions; want 1, 1 (duplicate replay?)", head, n)
+	}
+
+	// The replica surfaced its position in /metrics: applied seq 2 (two
+	// committed leader events), zero snapshot bootstraps anywhere in this
+	// whole exercise — every catch-up rode the event log.
+	if code, metrics := get(t, fbase+"/metrics"); code != 200 {
+		t.Fatalf("metrics = %d", code)
+	} else {
+		for _, want := range []string{
+			"rr_replica_applied_seq 2",
+			"rr_replica_connected 1",
+			"rr_replica_snapshot_bootstraps_total 0",
+		} {
+			if !strings.Contains(metrics, want) {
+				t.Errorf("follower metrics missing %q", want)
+			}
+		}
+	}
+
+	if err := fShutdown(); err != nil {
+		t.Fatalf("follower shutdown #2: %v", err)
+	}
+	if err := lShutdown(); err != nil {
+		t.Fatalf("leader shutdown #2: %v", err)
+	}
+}
+
+// TestFollowerFlagConflicts pins the flag validation: a follower cannot
+// simultaneously be a cluster node or coordinator.
+func TestFollowerFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-follow", "http://leader:8080", "-node"},
+		{"-follow", "http://leader:8080", "-cluster-workers", "http://w1:8081"},
+	} {
+		if err := run(t.Context(), args); err == nil ||
+			!strings.Contains(err.Error(), "mutually exclusive") {
+			t.Errorf("run(%v) = %v, want a mutually-exclusive flag error", args, err)
+		}
+	}
+}

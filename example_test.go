@@ -16,8 +16,7 @@ func Example() {
 		{3, 6},
 		{4, 8},
 	})
-	miner, _ := ratiorules.NewMiner(ratiorules.WithAttrNames([]string{"bread", "milk"}))
-	rules, _ := miner.MineMatrix(sales)
+	rules, _ := ratiorules.Mine(sales, ratiorules.AttrNames("bread", "milk"))
 
 	rr1 := rules.Rule(0)
 	fmt.Printf("bread : milk = %.3f : %.3f\n", rr1[0], rr1[1])
@@ -39,8 +38,7 @@ func ExampleGE1() {
 	test, _ := ratiorules.MatrixFromRows([][]float64{
 		{2.5, 7.5}, {3.5, 10.5},
 	})
-	miner, _ := ratiorules.NewMiner()
-	rules, _ := miner.MineMatrix(train)
+	rules, _ := ratiorules.Mine(train)
 
 	geRR, _ := ratiorules.GE1(rules, test)
 	geCA, _ := ratiorules.GE1(ratiorules.NewColAvgs(rules.Means()), test)
@@ -56,8 +54,7 @@ func ExampleRules_WhatIf() {
 	history, _ := ratiorules.MatrixFromRows([][]float64{
 		{2, 3}, {4, 6}, {6, 9}, {8, 12},
 	})
-	miner, _ := ratiorules.NewMiner(ratiorules.WithAttrNames([]string{"cereal", "milk"}))
-	rules, _ := miner.MineMatrix(history)
+	rules, _ := ratiorules.Mine(history, ratiorules.AttrNames("cereal", "milk"))
 
 	base := rules.Means()
 	out, _ := rules.WhatIf(ratiorules.Scenario{Given: map[int]float64{0: 2 * base[0]}})

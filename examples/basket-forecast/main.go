@@ -21,12 +21,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	miner, err := ratiorules.NewMiner(ratiorules.WithMaxK(12))
-	if err != nil {
-		log.Fatal(err)
-	}
 	start := time.Now()
-	rules, err := miner.Mine(src)
+	rules, err := ratiorules.MineStream(src, ratiorules.MaxK(12))
 	if err != nil {
 		log.Fatal(err)
 	}

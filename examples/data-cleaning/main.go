@@ -195,16 +195,12 @@ func mineOnCompleteRows(x *ratiorules.Matrix, attrs []string) (*ratiorules.Rules
 			intact = append(intact, i)
 		}
 	}
-	miner, err := ratiorules.NewMiner(ratiorules.WithAttrNames(attrs))
-	if err != nil {
-		return nil, err
-	}
-	return miner.MineMatrix(x.SelectRows(intact))
+	return ratiorules.Mine(x.SelectRows(intact), ratiorules.AttrNames(attrs...))
 }
 
 // refillHoles replaces the holes of every row of x in place with their
 // Ratio-Rules reconstruction, producing a best-estimate complete matrix.
 func refillHoles(rules *ratiorules.Rules, x *ratiorules.Matrix) error {
-	_, err := ratiorules.FillMatrix(rules, x)
+	_, err := ratiorules.Clean(rules, x)
 	return err
 }

@@ -54,14 +54,10 @@ func main() {
 		}
 	}
 
-	miner, err := ratiorules.NewMiner(
-		ratiorules.WithFixedK(2), // one concept axis per topic
-		ratiorules.WithAttrNames(vocabulary),
+	rules, err := ratiorules.Mine(x,
+		ratiorules.FixedK(2), // one concept axis per topic
+		ratiorules.AttrNames(vocabulary...),
 	)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rules, err := miner.MineMatrix(x)
 	if err != nil {
 		log.Fatal(err)
 	}

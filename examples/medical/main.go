@@ -56,11 +56,7 @@ func main() {
 		}
 	}
 
-	miner, err := ratiorules.NewMiner(ratiorules.WithAttrNames(attrs), ratiorules.WithMaxK(3))
-	if err != nil {
-		log.Fatal(err)
-	}
-	rules, err := miner.MineMatrix(x)
+	rules, err := ratiorules.Mine(x, ratiorules.AttrNames(attrs...), ratiorules.MaxK(3))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,14 +14,10 @@ import (
 func main() {
 	ds := dataset.NBA()
 
-	miner, err := ratiorules.NewMiner(
-		ratiorules.WithFixedK(3),
-		ratiorules.WithAttrNames(ds.Attrs),
+	rules, err := ratiorules.Mine(ds.X,
+		ratiorules.FixedK(3),
+		ratiorules.AttrNames(ds.Attrs...),
 	)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rules, err := miner.MineMatrix(ds.X)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,11 +27,7 @@ func main() {
 	}
 
 	// Mine with the paper's defaults: single pass, 85% energy cutoff.
-	miner, err := ratiorules.NewMiner(ratiorules.WithAttrNames(attrs))
-	if err != nil {
-		log.Fatal(err)
-	}
-	rules, err := miner.MineMatrix(x)
+	rules, err := ratiorules.Mine(x, ratiorules.AttrNames(attrs...))
 	if err != nil {
 		log.Fatal(err)
 	}

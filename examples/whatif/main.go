@@ -35,11 +35,7 @@ func main() {
 		x.Set(i, coffee, caffeine*(1+0.05*rng.NormFloat64()))
 	}
 
-	miner, err := ratiorules.NewMiner(ratiorules.WithAttrNames(attrs))
-	if err != nil {
-		log.Fatal(err)
-	}
-	rules, err := miner.MineMatrix(x)
+	rules, err := ratiorules.Mine(x, ratiorules.AttrNames(attrs...))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"ratiorules/internal/core"
+	"ratiorules/internal/matrix"
+	"ratiorules/internal/replica"
+	"ratiorules/internal/store"
+)
+
+// ReplicaResult measures WAL-shipped follower replication over the real
+// HTTP wire: how fast a cold follower catches up to a leader holding
+// Events committed models — once riding the in-memory event log, once
+// forced through a full snapshot bootstrap — and the steady-state
+// propagation latency of a single leader write becoming visible on the
+// replica (the read-staleness a follower-served GET can observe).
+type ReplicaResult struct {
+	Events     int `json:"events"`
+	Width      int `json:"width"`
+	ModelBytes int `json:"model_bytes"` // canonical JSON size of one replicated model
+
+	// Cold follower, leader log covers every event: catch-up rides
+	// event frames.
+	CatchupSeconds    float64 `json:"catchup_seconds"`
+	CatchupEventsPerS float64 `json:"catchup_events_per_second"`
+	CatchupMBPerS     float64 `json:"catchup_mb_per_second"`
+
+	// Cold follower, leader log trimmed: catch-up is one snapshot frame
+	// carrying all models.
+	BootstrapSeconds    float64 `json:"bootstrap_seconds"`
+	BootstrapModelsPerS float64 `json:"bootstrap_models_per_second"`
+
+	// Steady state: per-write leader-commit → follower-applied latency.
+	SteadyEvents     int     `json:"steady_events"`
+	PropagateP50Ms   float64 `json:"propagate_p50_ms"`
+	PropagateP95Ms   float64 `json:"propagate_p95_ms"`
+	PropagateMaxMs   float64 `json:"propagate_max_ms"`
+	SteadyMaxLagRecs uint64  `json:"steady_max_lag_records"`
+}
+
+// startReplicaLeader serves st's replication stream on a loopback
+// listener, returning the base URL and a stop func.
+func startReplicaLeader(st *store.Store, quiet *slog.Logger) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/replicate", &replica.Handler{
+		Store:     st,
+		Logger:    quiet,
+		Heartbeat: 200 * time.Millisecond,
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	stop := func() { srv.Close() }
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// tailUntil runs a cold follower against leaderURL until its store
+// reaches seq, returning the elapsed catch-up time and the follower for
+// status inspection.
+func tailUntil(leaderURL string, fstore *store.Store, seq uint64, quiet *slog.Logger) (time.Duration, *replica.Follower, error) {
+	f, err := replica.New(replica.Options{
+		Leader:     leaderURL,
+		Store:      fstore,
+		Logger:     quiet,
+		MinBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = f.Run(ctx) }()
+	start := time.Now()
+	for fstore.Seq() < seq {
+		if ctx.Err() != nil {
+			cancel()
+			<-done
+			return 0, nil, fmt.Errorf("experiments: follower stuck at seq %d of %d", fstore.Seq(), seq)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	cancel()
+	<-done
+	return elapsed, f, nil
+}
+
+// RunReplica benchmarks follower replication with events committed
+// models (default 2000) of width columns (default 32).
+func RunReplica(events, width int) (*ReplicaResult, error) {
+	if events <= 0 {
+		events = 2000
+	}
+	if width <= 0 {
+		width = 32
+	}
+	out := &ReplicaResult{Events: events, Width: width}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// One mined model, committed under many names: every replication
+	// event ships the same canonical Rules JSON, so the measured rate is
+	// the pipeline's (framing, HTTP, validate, journal), not the miner's.
+	rows, _, err := clusterData(256, width, 1)
+	if err != nil {
+		return nil, err
+	}
+	x, err := matrix.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	miner, err := core.NewMiner(core.WithMaxK(4))
+	if err != nil {
+		return nil, err
+	}
+	rules, err := miner.MineMatrix(x)
+	if err != nil {
+		return nil, err
+	}
+
+	// Leader A: the event log covers everything ever committed.
+	leader := store.OpenMemory(store.WithLogger(quiet),
+		store.WithReplicationLog(events+64))
+	for i := 0; i < events; i++ {
+		if _, err := leader.Put(fmt.Sprintf("m%05d", i), rules); err != nil {
+			return nil, err
+		}
+	}
+	if raw, _, ok := leader.GetRaw("m00000"); ok {
+		out.ModelBytes = len(raw)
+	}
+	url, stop, err := startReplicaLeader(leader, quiet)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+
+	// Cold catch-up over event frames.
+	elapsed, _, err := tailUntil(url, store.OpenMemory(store.WithLogger(quiet)),
+		uint64(events), quiet)
+	if err != nil {
+		return nil, err
+	}
+	out.CatchupSeconds = elapsed.Seconds()
+	if out.CatchupSeconds > 0 {
+		out.CatchupEventsPerS = float64(events) / out.CatchupSeconds
+		out.CatchupMBPerS = float64(events*out.ModelBytes) / out.CatchupSeconds / 1e6
+	}
+
+	// Leader B: same committed state, log bound 1 — a cold follower is
+	// always behind the retained log and must bootstrap from the
+	// snapshot frame.
+	leaderB := store.OpenMemory(store.WithLogger(quiet), store.WithReplicationLog(1))
+	for i := 0; i < events; i++ {
+		if _, err := leaderB.Put(fmt.Sprintf("m%05d", i), rules); err != nil {
+			return nil, err
+		}
+	}
+	urlB, stopB, err := startReplicaLeader(leaderB, quiet)
+	if err != nil {
+		return nil, err
+	}
+	defer stopB()
+	elapsed, fB, err := tailUntil(urlB, store.OpenMemory(store.WithLogger(quiet)),
+		uint64(events), quiet)
+	if err != nil {
+		return nil, err
+	}
+	if got := fB.Status().SnapshotBootstraps; got != 1 {
+		return nil, fmt.Errorf("experiments: expected exactly 1 snapshot bootstrap, got %d", got)
+	}
+	out.BootstrapSeconds = elapsed.Seconds()
+	if out.BootstrapSeconds > 0 {
+		out.BootstrapModelsPerS = float64(events) / out.BootstrapSeconds
+	}
+
+	// Steady state against leader A: a caught-up live follower, one
+	// write at a time, commit→applied latency per write.
+	steady := 200
+	out.SteadyEvents = steady
+	fstore := store.OpenMemory(store.WithLogger(quiet))
+	f, err := replica.New(replica.Options{
+		Leader: url, Store: fstore, Logger: quiet,
+		MinBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = f.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+	for fstore.Seq() < uint64(events) {
+		time.Sleep(200 * time.Microsecond)
+	}
+	lat := make([]float64, 0, steady)
+	deadline := time.Now().Add(2 * time.Minute)
+	for i := 0; i < steady; i++ {
+		start := time.Now()
+		if _, err := leader.Put("steady", rules); err != nil {
+			return nil, err
+		}
+		want := leader.Seq()
+		for fstore.Seq() < want {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("experiments: steady-state follower stuck at seq %d of %d",
+					fstore.Seq(), want)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		lat = append(lat, time.Since(start).Seconds()*1e3)
+		if lag := f.Status().LagRecords; lag > out.SteadyMaxLagRecs {
+			out.SteadyMaxLagRecs = lag
+		}
+	}
+	sort.Float64s(lat)
+	out.PropagateP50Ms = lat[len(lat)/2]
+	out.PropagateP95Ms = lat[len(lat)*95/100]
+	out.PropagateMaxMs = lat[len(lat)-1]
+	return out, nil
+}
+
+// String renders the replication figures.
+func (r *ReplicaResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "WAL-shipped replication: %d committed models x %d cols (%d bytes each)\n\n",
+		r.Events, r.Width, r.ModelBytes)
+	fmt.Fprintf(&b, "%-36s %14.0f events/s (%.2fs, %.1f MB/s)\n", "cold catch-up (event log)",
+		r.CatchupEventsPerS, r.CatchupSeconds, r.CatchupMBPerS)
+	fmt.Fprintf(&b, "%-36s %14.0f models/s (%.2fs)\n", "cold catch-up (snapshot bootstrap)",
+		r.BootstrapModelsPerS, r.BootstrapSeconds)
+	fmt.Fprintf(&b, "\nsteady state over %d single writes:\n", r.SteadyEvents)
+	fmt.Fprintf(&b, "%-36s %14.2f ms\n", "commit->applied p50", r.PropagateP50Ms)
+	fmt.Fprintf(&b, "%-36s %14.2f ms\n", "commit->applied p95", r.PropagateP95Ms)
+	fmt.Fprintf(&b, "%-36s %14.2f ms\n", "commit->applied max", r.PropagateMaxMs)
+	fmt.Fprintf(&b, "%-36s %14d records\n", "max observed lag", r.SteadyMaxLagRecs)
+	return b.String()
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestRunReplica runs the replication experiment small and checks the
+// properties the benchmark exists to demonstrate: both catch-up paths
+// complete and are timed (the trimmed-log leader forcing exactly one
+// snapshot bootstrap), and steady-state propagation latency is
+// measured per write.
+func TestRunReplica(t *testing.T) {
+	res, err := RunReplica(200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CatchupEventsPerS <= 0 || res.BootstrapModelsPerS <= 0 {
+		t.Fatalf("catch-up not measured: %+v", res)
+	}
+	if res.ModelBytes <= 0 {
+		t.Fatalf("model size not measured: %+v", res)
+	}
+	if res.PropagateP50Ms <= 0 || res.PropagateMaxMs < res.PropagateP50Ms {
+		t.Fatalf("propagation latency not measured: %+v", res)
+	}
+	if s := res.String(); s == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,143 @@
+package replica
+
+import (
+	"errors"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ratiorules/internal/store"
+)
+
+// DefaultHeartbeat is the idle heartbeat interval of the leader stream.
+const DefaultHeartbeat = 5 * time.Second
+
+// streamDeadlineSlack is how far read/write deadlines are rolled ahead
+// while the stream makes progress — generous enough that several missed
+// heartbeats, not one slow write, end the connection.
+const streamDeadlineSlack = 60 * time.Second
+
+// Handler is the leader side of replication: GET ?from=N streams
+// committed events after seq N as CRC frames, interleaved with idle
+// heartbeats carrying the head seq. When N precedes the retained
+// replication log (follower too far behind, or the leader restarted) a
+// full snapshot frame ships first and the stream resumes from its seq.
+// The response never ends on its own — it runs until the client goes
+// away or the server shuts down.
+type Handler struct {
+	Store     *store.Store
+	Logger    *slog.Logger
+	Heartbeat time.Duration // idle heartbeat interval; DefaultHeartbeat if 0
+
+	// WriteError answers an invalid request. The server mounts its
+	// error-envelope writer here; bare http.Error is the fallback.
+	WriteError func(w http.ResponseWriter, status int, err error)
+}
+
+func (h *Handler) writeError(w http.ResponseWriter, status int, err error) {
+	if h.WriteError != nil {
+		h.WriteError(w, status, err)
+		return
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	from := uint64(0)
+	if raw := req.URL.Query().Get("from"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			h.writeError(w, http.StatusBadRequest,
+				errors.New("invalid from: want a decimal sequence number"))
+			return
+		}
+		from = v
+	}
+	heartbeat := h.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = DefaultHeartbeat
+	}
+	logger := h.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+
+	// Long-lived stream on a server with finite Read/WriteTimeouts: roll
+	// both deadlines forward on every iteration, exactly like /ingest.
+	rc := http.NewResponseController(w)
+	extend := func() {
+		t := time.Now().Add(streamDeadlineSlack)
+		_ = rc.SetReadDeadline(t)
+		_ = rc.SetWriteDeadline(t)
+	}
+	extend()
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+
+	ctx := req.Context()
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+
+	// The first frame is always a heartbeat so a fresh follower learns
+	// the head seq (and its lag) before any catch-up data arrives.
+	buf := AppendHeartbeat(nil, h.Store.Seq())
+	cursor := from
+	logger.Info("replication stream opened", "from", from, "head", h.Store.Seq())
+	frames := 0
+	for {
+		if len(buf) > 0 {
+			if _, err := w.Write(buf); err != nil {
+				logger.Info("replication stream closed", "from", from,
+					"cursor", cursor, "frames", frames, "reason", err)
+				return
+			}
+			_ = rc.Flush()
+			buf = buf[:0]
+			extend()
+		}
+
+		// Arm the change channel BEFORE reading the log: a commit landing
+		// between EventsSince and the select below still wakes us.
+		changed := h.Store.Changed()
+		events, err := h.Store.EventsSince(cursor)
+		switch {
+		case errors.Is(err, store.ErrSnapshotNeeded):
+			doc := h.Store.SnapshotDoc()
+			if buf, err = AppendSnapshot(buf, doc); err != nil {
+				logger.Error("replication snapshot encode failed", "error", err)
+				return
+			}
+			logger.Info("replication snapshot shipped", "from", cursor, "seq", doc.Seq)
+			cursor = doc.Seq
+			frames++
+			continue
+		case err != nil:
+			logger.Error("replication log read failed", "from", cursor, "error", err)
+			return
+		}
+		if len(events) > 0 {
+			for _, ev := range events {
+				if buf, err = AppendEvent(buf, ev); err != nil {
+					logger.Error("replication event encode failed", "error", err)
+					return
+				}
+			}
+			cursor = events[len(events)-1].Seq
+			frames += len(events)
+			continue
+		}
+
+		select {
+		case <-ctx.Done():
+			logger.Info("replication stream closed", "from", from,
+				"cursor", cursor, "frames", frames, "reason", ctx.Err())
+			return
+		case <-changed:
+		case <-ticker.C:
+			buf = AppendHeartbeat(buf, h.Store.Seq())
+			frames++
+		}
+	}
+}

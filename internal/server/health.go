@@ -14,6 +14,7 @@ import (
 
 	"ratiorules/internal/obs/alert"
 	"ratiorules/internal/online"
+	"ratiorules/internal/replica"
 )
 
 // The online manager's optional store capabilities must keep being
@@ -33,10 +34,12 @@ func (s *service) health(w http.ResponseWriter, _ *http.Request) {
 
 // readyzResponse is the GET /readyz success body.
 type readyzResponse struct {
-	Status       string         `json:"status"` // "ready" | "degraded"
-	Models       int            `json:"models"`
-	FiringAlerts int            `json:"firing_alerts"`
-	Cluster      *readyzCluster `json:"cluster,omitempty"` // coordinator mode only
+	Status       string          `json:"status"` // "ready" | "degraded"
+	Role         string          `json:"role"`   // "leader" | "follower" | "coordinator"
+	Models       int             `json:"models"`
+	FiringAlerts int             `json:"firing_alerts"`
+	Cluster      *readyzCluster  `json:"cluster,omitempty"` // coordinator mode only
+	Replica      *replica.Status `json:"replica,omitempty"` // follower mode only
 }
 
 // readyzCluster summarizes cluster health in the readiness body.
@@ -53,12 +56,26 @@ type readyzCluster struct {
 // answer queries, they are just suspected stale. In coordinator mode a
 // degraded cluster (dead workers, merges running on retained shard
 // snapshots) likewise marks the body degraded without failing the
-// probe: serving and single-path ingest still work.
+// probe: serving and single-path ingest still work. In follower mode
+// the replica's lag decides: staleness beyond -max-replica-lag answers
+// 503 replica_lagging with a Retry-After so load balancers drain the
+// replica until it catches up; behind-but-within-bound reports
+// "degraded" and keeps serving (reads are consistent, just stale).
 func (s *service) readyz(w http.ResponseWriter, _ *http.Request) {
 	if err := s.failed(); err != nil {
 		writeErr(w, http.StatusServiceUnavailable, CodeStoreFailed,
 			fmt.Errorf("store wedged: %w", err))
 		return
+	}
+	if s.follower != nil {
+		rs := s.follower.Status()
+		if rs.LagSeconds > s.maxReplicaLag.Seconds() {
+			w.Header().Set("Retry-After", replicaRetryAfter)
+			writeErr(w, http.StatusServiceUnavailable, CodeReplicaLagging,
+				fmt.Errorf("replica %.1fs behind leader %s (max %s): applied seq %d, leader seq %d",
+					rs.LagSeconds, rs.Leader, s.maxReplicaLag, rs.AppliedSeq, rs.LeaderSeq))
+			return
+		}
 	}
 	_, firing := s.online.Alerts()
 	status := "ready"
@@ -66,6 +83,7 @@ func (s *service) readyz(w http.ResponseWriter, _ *http.Request) {
 		status = "degraded"
 	}
 	resp := readyzResponse{
+		Role:         s.role.String(),
 		Models:       len(s.reg.Names()),
 		FiringAlerts: firing,
 	}
@@ -80,9 +98,21 @@ func (s *service) readyz(w http.ResponseWriter, _ *http.Request) {
 			status = "degraded"
 		}
 	}
+	if s.follower != nil {
+		rs := s.follower.Status()
+		resp.Replica = &rs
+		if !rs.Synced {
+			status = "degraded"
+		}
+	}
 	resp.Status = status
 	writeJSON(w, http.StatusOK, resp)
 }
+
+// replicaRetryAfter is the Retry-After (seconds) on 503 replica_lagging
+// responses: long enough for a reconnect + catch-up round, short enough
+// that a recovered replica takes traffic again promptly.
+const replicaRetryAfter = "5"
 
 // modelHealthResponse is the GET /v1/rules/{name}/health body: the
 // online monitor's quality summary plus the pinned version's stored GE

@@ -5,22 +5,27 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"time"
 
 	"ratiorules/internal/cluster"
 	"ratiorules/internal/obs"
 	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/online"
+	"ratiorules/internal/replica"
 )
 
 // handlerConfig carries the observability and limit wiring for Handler.
 type handlerConfig struct {
-	metrics      *obs.Registry
-	logger       *slog.Logger
-	maxBodyBytes int64
-	batchWorkers int
-	tracer       *trace.Tracer
-	online       *online.Manager
-	cluster      *cluster.Coordinator
+	metrics       *obs.Registry
+	logger        *slog.Logger
+	maxBodyBytes  int64
+	batchWorkers  int
+	tracer        *trace.Tracer
+	online        *online.Manager
+	cluster       *cluster.Coordinator
+	follower      *replica.Follower
+	leaderURL     string
+	maxReplicaLag time.Duration
 }
 
 // HandlerOption customizes Handler.
@@ -82,6 +87,22 @@ func WithOnline(m *online.Manager) HandlerOption {
 // -cluster-workers and friends through it).
 func WithCluster(c *cluster.Coordinator) HandlerOption {
 	return func(cfg *handlerConfig) { cfg.cluster = c }
+}
+
+// WithFollower puts the server in read-only follower mode: every GET
+// and inference route serves from the local replica (bodies and ETags
+// byte-identical to the leader at the same seq), mutating routes answer
+// 403 read_only pointing clients at leaderURL, and /readyz reports the
+// follower's replication lag — degraded while behind, 503
+// replica_lagging (with Retry-After) once staleness exceeds maxLag
+// (DefaultMaxReplicaLag if <= 0). The caller owns the follower's Run
+// lifecycle (rrserve wires -follow and -max-replica-lag through this).
+func WithFollower(f *replica.Follower, leaderURL string, maxLag time.Duration) HandlerOption {
+	return func(cfg *handlerConfig) {
+		cfg.follower = f
+		cfg.leaderURL = leaderURL
+		cfg.maxReplicaLag = maxLag
+	}
 }
 
 // httpMetrics is the per-handler request accounting: counts by route,

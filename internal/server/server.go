@@ -28,12 +28,22 @@
 //	GET    /v1/rules/{name}/stream           live stream status (rows, reservoir, GE gate tallies)
 //	DELETE /v1/rules/{name}/stream           drop the live stream (published versions stay)
 //	GET    /v1/rules/{name}/health           model quality: GE trend, firing alerts (ETag/304)
+//	GET    /v1/replicate                     WAL replication stream (CRC frames; ?from=N)
 //	GET    /healthz                          liveness probe (process up, nothing else)
 //	GET    /readyz                           readiness: 503 when the store is wedged
 //	GET    /metrics                          Prometheus text exposition
 //	GET    /debug/traces                     flight recorder: recent trace summaries
 //	GET    /debug/traces/{id}                one trace's full span tree
 //	GET    /debug/alerts                     alert engine: rules and per-model states
+//
+// The server runs as one of three roles (see routes.go): a plain
+// leader, a coordinator (WithCluster: adds the /v1/cluster admin
+// surface), or a read-only follower (WithFollower: a replica tailing a
+// leader's WAL). Followers serve every GET and inference route with
+// bodies and ETags byte-identical to the leader at the same replicated
+// seq; mutating routes answer 403 read_only naming the leader, and
+// /readyz reports replication lag (503 replica_lagging + Retry-After
+// past -max-replica-lag). See docs/replication.md.
 //
 // Every error response — including 404 fallthroughs and 405s — carries
 // the uniform envelope {"error": {"code": "...", "message": "..."}} with
@@ -60,6 +70,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"ratiorules/internal/cluster"
 	"ratiorules/internal/core"
@@ -67,6 +78,7 @@ import (
 	"ratiorules/internal/obs"
 	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/online"
+	"ratiorules/internal/replica"
 	"ratiorules/internal/store"
 )
 
@@ -160,6 +172,13 @@ func (r *Registry) Failed() error {
 	return r.st.Failed()
 }
 
+// Store exposes the backing store for replication wiring (the
+// /v1/replicate stream and rrserve's follower mode read and apply
+// committed events through it).
+func (r *Registry) Store() *store.Store {
+	return r.st
+}
+
 // DefaultMaxBodyBytes caps request bodies unless WithMaxBodyBytes says
 // otherwise: 32 MiB comfortably fits millions of cells per mine request
 // while stopping accidental (or hostile) unbounded uploads.
@@ -193,30 +212,43 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 			Logger: cfg.logger, Metrics: cfg.metrics, Tracer: cfg.tracer,
 		})
 	}
+	// The role decides which table entries mount: a plain server is a
+	// leader, WithCluster adds the coordinator admin surface, and
+	// WithFollower turns the whole instance read-only.
+	role := RoleLeader
+	if cfg.cluster != nil {
+		role |= RoleCoordinator
+	}
+	if cfg.follower != nil {
+		role = RoleFollower
+	}
+	maxLag := cfg.maxReplicaLag
+	if maxLag <= 0 {
+		maxLag = DefaultMaxReplicaLag
+	}
 	m := newHTTPMetrics(cfg.metrics, cfg.logger, cfg.tracer)
 	s := &service{
-		reg:          reg,
-		logger:       cfg.logger,
-		batchWorkers: cfg.batchWorkers,
-		batch:        newBatchMetrics(cfg.metrics),
-		tracer:       cfg.tracer,
-		online:       cfg.online,
-		cluster:      cfg.cluster,
-		failed:       reg.Failed,
+		reg:           reg,
+		logger:        cfg.logger,
+		batchWorkers:  cfg.batchWorkers,
+		batch:         newBatchMetrics(cfg.metrics),
+		tracer:        cfg.tracer,
+		online:        cfg.online,
+		cluster:       cfg.cluster,
+		failed:        reg.Failed,
+		role:          role,
+		follower:      cfg.follower,
+		leaderURL:     cfg.leaderURL,
+		maxReplicaLag: maxLag,
+		replication: &replica.Handler{
+			Store:  reg.Store(),
+			Logger: cfg.logger,
+			WriteError: func(w http.ResponseWriter, status int, err error) {
+				writeErr(w, status, CodeBadRequest, err)
+			},
+		},
 	}
 	mux := http.NewServeMux()
-	handle := func(method, path string, h http.HandlerFunc) {
-		if cfg.maxBodyBytes > 0 {
-			h = limitBody(cfg.maxBodyBytes, h)
-		}
-		mux.Handle(method+" "+path, m.instrumentTraced(path, h))
-	}
-	// Batch routes are registered without the body cap: they stream
-	// row-by-row in bounded memory, so total body size is unbounded by
-	// design (per-line size is still capped, see batch.go).
-	handleStream := func(method, path string, h http.HandlerFunc) {
-		mux.Handle(method+" "+path, m.instrumentTraced(path, h))
-	}
 	// Probe and introspection routes stay untraced: scrapers hit them
 	// every few seconds and would flush real traffic out of the flight
 	// recorder (and tracing the trace dump would be silly).
@@ -226,46 +258,10 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	mux.Handle("GET /debug/traces", m.instrument("/debug/traces", http.HandlerFunc(s.debugTraces)))
 	mux.Handle("GET /debug/traces/{id}", m.instrument("/debug/traces/{id}", http.HandlerFunc(s.debugTrace)))
 	mux.Handle("GET /debug/alerts", m.instrument("/debug/alerts", http.HandlerFunc(s.debugAlerts)))
-	handle("POST", "/v1/rules", s.mine)
-	handle("GET", "/v1/rules", s.list)
-	handle("GET", "/v1/rules/{name}", s.get)
-	handle("PUT", "/v1/rules/{name}", s.put)
-	handle("DELETE", "/v1/rules/{name}", s.del)
-	handle("GET", "/v1/rules/{name}/versions", s.versions)
-	handle("POST", "/v1/rules/{name}/rollback", s.rollback)
-	handle("POST", "/v1/rules/{name}/fill", s.fill)
-	handle("POST", "/v1/rules/{name}/forecast", s.forecast)
-	handle("POST", "/v1/rules/{name}/whatif", s.whatIf)
-	handle("POST", "/v1/rules/{name}/project", s.project)
-	handle("POST", "/v1/rules/{name}/outliers", s.outliers)
-	handleStream("POST", "/v1/rules/{name}/batch/fill", s.batchFill)
-	handleStream("POST", "/v1/rules/{name}/batch/forecast", s.batchForecast)
-	handleStream("POST", "/v1/rules/{name}/batch/outliers", s.batchOutliers)
-	handleStream("POST", "/v1/rules/{name}/ingest", s.ingest)
-	handle("GET", "/v1/rules/{name}/stream", s.streamStatus)
-	handle("DELETE", "/v1/rules/{name}/stream", s.streamDrop)
-	handle("GET", "/v1/rules/{name}/health", s.modelHealth)
-	// Cluster admin routes exist only in coordinator mode; plain servers
-	// fall through to the uniform 404.
-	if cfg.cluster != nil {
-		handle("GET", "/v1/cluster/status", s.clusterStatus)
-		handle("POST", "/v1/cluster/join", s.clusterJoin)
-		handle("POST", "/v1/cluster/republish/{name}", s.clusterRepublish)
-	}
-	// Wrong-method fallbacks: the method-specific patterns above take
-	// precedence, so these catch everything else on known paths.
-	fallback := func(path, allow string) {
-		mux.Handle(path, m.instrument(path, methodNotAllowed(allow)))
-	}
-	fallback("/v1/rules", "GET, POST")
-	fallback("/v1/rules/{name}", "GET, PUT, DELETE")
-	fallback("/v1/rules/{name}/versions", "GET")
-	fallback("/v1/rules/{name}/stream", "GET, DELETE")
-	fallback("/v1/rules/{name}/health", "GET")
-	for _, sub := range []string{"rollback", "fill", "forecast", "whatif", "project", "outliers",
-		"batch/fill", "batch/forecast", "batch/outliers", "ingest"} {
-		fallback("/v1/rules/{name}/"+sub, "POST")
-	}
+	// The whole /v1 surface — handlers, role gating, body caps, and the
+	// derived wrong-method fallbacks — mounts from the declarative route
+	// table in routes.go.
+	mountRoutes(mux, s, m, cfg.maxBodyBytes)
 	// Catch-all: unknown paths answer the uniform envelope instead of
 	// net/http's plain-text 404.
 	mux.Handle("/", m.instrument("(unmatched)", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -295,7 +291,17 @@ type service struct {
 	online       *online.Manager
 	cluster      *cluster.Coordinator // nil unless coordinator mode (WithCluster)
 	failed       func() error         // readiness seam; Handler wires reg.Failed
+
+	role          Role
+	follower      *replica.Follower // nil unless follower mode (WithFollower)
+	leaderURL     string            // follower mode: where writes should go
+	maxReplicaLag time.Duration     // follower mode: /readyz 503 threshold
+	replication   http.Handler      // GET /v1/replicate (internal/replica)
 }
+
+// DefaultMaxReplicaLag is the follower staleness beyond which /readyz
+// answers 503 replica_lagging (rrserve -max-replica-lag overrides).
+const DefaultMaxReplicaLag = 30 * time.Second
 
 // Stable machine-readable error codes carried by every v1 error
 // envelope. Clients should branch on these, not on message text.
@@ -308,6 +314,8 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed" // known path, wrong verb
 	CodeConflict         = "conflict"           // request contradicts live stream state (decay mismatch)
 	CodeClusterJoin      = "cluster_join"       // worker node failed its admission probe
+	CodeReadOnly         = "read_only"          // mutation sent to a follower replica; write to the leader
+	CodeReplicaLagging   = "replica_lagging"    // follower too far behind the leader (503 + Retry-After)
 	CodeInternal         = "internal"           // unexpected server-side failure
 )
 

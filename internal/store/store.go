@@ -78,11 +78,12 @@ var (
 
 // options collects the Open/OpenMemory knobs.
 type options struct {
-	snapshotEvery int
-	maxVersions   int
-	noSync        bool
-	metrics       *obs.Registry
-	logger        *slog.Logger
+	snapshotEvery  int
+	maxVersions    int
+	replicationLog int
+	noSync         bool
+	metrics        *obs.Registry
+	logger         *slog.Logger
 }
 
 // Option customizes Open and OpenMemory.
@@ -159,10 +160,18 @@ type Store struct {
 	sinceSnap   int            // events since the last snapshot
 	closed      bool
 	failed      error // non-nil wedges mutations (wraps ErrFailed)
+
+	// Replication: recent committed events retained for follower
+	// catch-up (see replication.go). replog covers (replogBase, seq];
+	// changed is closed-and-replaced on every commit to wake tailers.
+	replog     []Event
+	replogBase uint64
+	changed    chan struct{}
 }
 
 func newStore(dir string, opts []Option) *Store {
-	o := options{snapshotEvery: 64, maxVersions: 32, metrics: obs.Default(), logger: obs.NopLogger()}
+	o := options{snapshotEvery: 64, maxVersions: 32, replicationLog: DefaultReplicationLog,
+		metrics: obs.Default(), logger: obs.NopLogger()}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -172,6 +181,7 @@ func newStore(dir string, opts []Option) *Store {
 		met:         newStoreMetrics(o.metrics),
 		models:      make(map[string]*model),
 		lastVersion: make(map[string]int),
+		changed:     make(chan struct{}),
 	}
 }
 
@@ -274,6 +284,11 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	// Replayed events are dirty relative to the snapshot: count them so
 	// the periodic compaction still triggers after a crash-loop.
 	s.sinceSnap = replayed
+
+	// Recovery replays without journaling, so the replication log starts
+	// empty at the recovered head: a follower attached before the
+	// restart re-bootstraps from a snapshot.
+	s.replogBase = s.seq
 
 	s.met.recoveredRecords.Add(float64(replayed))
 	s.met.recoveredModels.Set(float64(len(s.models)))
@@ -386,6 +401,8 @@ func (s *Store) journal(ctx context.Context, ev walEvent) error {
 	}
 	s.seq = ev.Seq
 	s.sinceSnap++
+	s.appendReplog(ev)
+	s.notifyChanged()
 	return nil
 }
 

@@ -168,6 +168,14 @@ func MineStream(src RowSource, opts ...Opt) (*Rules, error) {
 	return miner.Mine(src)
 }
 
+// CoreMiner builds the low-level Miner from the same Opt setters as
+// Mine/MineRows/MineStream — the escape hatch to the extension surface
+// that lives on Miner methods (MineSharded, MineSparse, MineWeighted,
+// MineRobust, MineWithHoles).
+func CoreMiner(opts ...Opt) (*Miner, error) {
+	return core.NewMiner(buildOptions(opts).minerOptions()...)
+}
+
 // Fill reconstructs the listed holes of one record (nil holes derives
 // them from Hole markers), honoring the Solver option.
 func Fill(rules *Rules, record []float64, holes []int, opts ...Opt) ([]float64, error) {

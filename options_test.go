@@ -55,6 +55,20 @@ func TestMineWithOptions(t *testing.T) {
 	if stream.K() == 0 {
 		t.Fatal("MineStream: no rules")
 	}
+
+	// CoreMiner lowers the same Opt setters onto the Miner surface.
+	miner, err := ratiorules.CoreMiner(ratiorules.FixedK(1),
+		ratiorules.MinerOpts(ratiorules.WithJacobiSolver()))
+	if err != nil {
+		t.Fatalf("CoreMiner: %v", err)
+	}
+	viaMiner, err := miner.MineMatrix(x)
+	if err != nil {
+		t.Fatalf("CoreMiner mine: %v", err)
+	}
+	if viaMiner.K() != 1 {
+		t.Fatalf("CoreMiner FixedK: K = %d, want 1", viaMiner.K())
+	}
 }
 
 func TestMineRejectsBadOptions(t *testing.T) {

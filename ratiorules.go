@@ -120,8 +120,9 @@ const (
 // covariance accumulation, tred2/tql2 eigensolver and the 85% energy
 // cutoff.
 //
-// Deprecated: use Mine, MineRows or MineStream with Opt setters; raw
-// core options still apply through MinerOpts.
+// Deprecated: use Mine, MineRows or MineStream with Opt setters (raw
+// core options still apply through MinerOpts), or CoreMiner when the
+// Miner method surface itself is needed.
 func NewMiner(opts ...Option) (*Miner, error) { return core.NewMiner(opts...) }
 
 // WithEnergy sets the Eq. 1 variance-coverage threshold in (0, 1].
