@@ -1,7 +1,10 @@
 GO ?= go
 FUZZTIME ?= 10s
+# Pinned staticcheck build for `make lint`; used via `go run` only when
+# no staticcheck binary is on PATH (needs network for the first run).
+STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet test race verify verify-api verify-store verify-trace verify-online verify-alert verify-cluster verify-replica fuzz bench clean
+.PHONY: all build vet test race lint verify verify-api verify-store verify-trace verify-online verify-alert verify-cluster verify-replica verify-fleet fuzz bench clean
 
 all: build
 
@@ -19,6 +22,19 @@ test:
 # stress tests (see internal/obs/race_test.go, internal/server).
 race:
 	$(GO) test -race ./...
+
+# lint runs staticcheck: the PATH binary when present, else the pinned
+# version via `go run` (which downloads it — CI does this; offline
+# machines without the binary get a skip, not a failure, which is why
+# lint is a CI step and not part of the offline `make verify` gate).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "lint: staticcheck unavailable (offline?); skipping"; \
+	fi
 
 # verify-store hammers the durable model store: race detector plus
 # -count=3 so every run re-exercises open/recover/compact on fresh
@@ -86,11 +102,26 @@ verify-replica:
 	$(GO) test -run 'TestV1Contract|TestFollower|TestReplicateRouteOnLeader' -count=1 ./internal/server
 	$(GO) test -race -run 'TestFollower' -count=1 ./cmd/rrserve
 
+# verify-fleet checks the fleet-wide observability layer
+# (docs/observability.md, "Fleet observability"): the federated fleet
+# collector and the continuous-profiling ring under the race detector
+# twice (scrape fan-out and ring eviction are concurrency-sensitive),
+# plus the cross-node trace propagation suites (coordinator→worker over
+# the RRC2 wire, leader→follower over replication stamps) and the
+# fleet/profile HTTP surface.
+verify-fleet:
+	$(GO) vet ./internal/obs/fleet ./internal/obs/profile ./internal/cluster ./internal/replica ./internal/server
+	$(GO) test -race -count=2 ./internal/obs/fleet ./internal/obs/profile
+	$(GO) test -race -run 'TestCrossNodeTracePropagation|TestUntracedIngestOpensNoWorkerTrace|TestChunkTrace' -count=1 ./internal/cluster
+	$(GO) test -race -run 'TestFollowerContinuesLeaderTrace|TestUntracedCommitAppliesQuietly' -count=1 ./internal/replica
+	$(GO) test -run 'TestV1Contract|TestFleetRoutes|TestProfileRoutes|TestMetricsServesBuildInfo' -count=1 ./internal/server
+
 # verify is the gate for every change: vet, a full build, the race
 # detector across all packages, then the store persistence gauntlet,
 # the HTTP API contract, the tracing layer, the live-ingest loop, the
-# model-quality alert path, the sharded cluster and follower
-# replication.
+# model-quality alert path, the sharded cluster, follower replication
+# and the fleet observability layer. (Lint is a separate CI step — it
+# may need the network to fetch staticcheck.)
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -102,6 +133,7 @@ verify:
 	$(MAKE) verify-alert
 	$(MAKE) verify-cluster
 	$(MAKE) verify-replica
+	$(MAKE) verify-fleet
 
 # fuzz runs each core fuzz target for FUZZTIME (default 10s). Go allows
 # one -fuzz pattern per invocation, hence the separate runs.

@@ -43,12 +43,14 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rrbench", flag.ContinueOnError)
 	var (
-		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch, online, drift, cluster, replica or all")
+		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch, online, drift, cluster, replica, profile or all")
 		batchRows     = fs.Int("batch-rows", 10000, "rows for the batch experiment")
 		batchPatterns = fs.Int("batch-patterns", 8, "distinct hole patterns for the batch experiment")
 		batchWorkers  = fs.Int("batch-workers", 0, "worker pool width for the batch experiment (<= 0 = one per CPU)")
 		onlineRows    = fs.Int("online-rows", 100000, "rows for the online ingest experiment")
 		onlineWidth   = fs.Int("online-width", 32, "columns for the online ingest experiment")
+		profileRows   = fs.Int("profile-rows", 400000, "rows per pass for the profiling-overhead experiment")
+		profileWidth  = fs.Int("profile-width", 32, "columns for the profiling-overhead experiment")
 		driftRows     = fs.Int("drift-rows", 20000, "row budget for the drift detection experiment")
 		driftWidth    = fs.Int("drift-width", 16, "columns for the drift detection experiment")
 		clusterRows   = fs.Int("cluster-rows", 200000, "rows for the cluster experiment")
@@ -77,6 +79,7 @@ func run(args []string, w io.Writer) error {
 	var driftRes *experiments.DriftResult
 	var clusterRes *experiments.ClusterResult
 	var replicaRes *experiments.ReplicaResult
+	var profileRes *experiments.ProfileResult
 
 	runOne := func(name string) error {
 		switch name {
@@ -193,6 +196,13 @@ func run(args []string, w io.Writer) error {
 			}
 			replicaRes = res
 			fmt.Fprintln(w, res)
+		case "profile":
+			res, err := experiments.RunProfileOverhead(*profileRows, *profileWidth)
+			if err != nil {
+				return err
+			}
+			profileRes = res
+			fmt.Fprintln(w, res)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -215,7 +225,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "online", "drift", "cluster", "replica", "fig8"} {
+		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "online", "drift", "cluster", "replica", "profile", "fig8"} {
 			fmt.Fprintf(w, "==================== %s ====================\n", name)
 			if err := timedRun(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -229,7 +239,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("creating -out file: %w", err)
 		}
-		if err := writeJSONSummary(f, timings, driftRes, clusterRes, replicaRes); err != nil {
+		if err := writeJSONSummary(f, timings, driftRes, clusterRes, replicaRes, profileRes); err != nil {
 			f.Close()
 			return fmt.Errorf("writing %s: %w", *outFile, err)
 		}
@@ -239,7 +249,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote summary to %s\n", *outFile)
 	}
 	if *jsonOut {
-		return writeJSONSummary(jsonDst, timings, driftRes, clusterRes, replicaRes)
+		return writeJSONSummary(jsonDst, timings, driftRes, clusterRes, replicaRes, profileRes)
 	}
 	return nil
 }
@@ -274,6 +284,9 @@ type benchSummary struct {
 	// Replica carries the WAL-shipped replication experiment's catch-up
 	// throughput and steady-state propagation latency when it ran.
 	Replica *experiments.ReplicaResult `json:"replica,omitempty"`
+	// Profile carries the continuous-profiling overhead comparison
+	// (ingest throughput ring-off vs ring-on) when it ran.
+	Profile *experiments.ProfileResult `json:"profile,omitempty"`
 	// ClusterMetrics snapshots the coordinator/worker rr_cluster_*
 	// counters accumulated by the run.
 	ClusterMetrics clusterSummary `json:"cluster_metrics"`
@@ -332,7 +345,8 @@ type minerSummary struct {
 
 // writeJSONSummary snapshots the obs registry into the -json document.
 func writeJSONSummary(w io.Writer, timings []benchExperiment, drift *experiments.DriftResult,
-	clusterRes *experiments.ClusterResult, replicaRes *experiments.ReplicaResult) error {
+	clusterRes *experiments.ClusterResult, replicaRes *experiments.ReplicaResult,
+	profileRes *experiments.ProfileResult) error {
 	sum := benchSummary{
 		Experiments: timings,
 		Miner: minerSummary{
@@ -348,6 +362,7 @@ func writeJSONSummary(w io.Writer, timings []benchExperiment, drift *experiments
 		Drift:   drift,
 		Cluster: clusterRes,
 		Replica: replicaRes,
+		Profile: profileRes,
 		ClusterMetrics: clusterSummary{
 			Rows:   make(map[string]float64),
 			Chunks: make(map[string]float64),

@@ -28,6 +28,7 @@ import (
 
 	"ratiorules/internal/cluster"
 	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/trace"
 )
 
 // announceRetries is how many times a node retries its join announce —
@@ -38,7 +39,16 @@ const announceRetries = 30
 func runNode(ctx context.Context, logger *slog.Logger, addr, coordinator, advertise string) error {
 	reg := obs.Default()
 	obs.RegisterRuntime(reg)
-	w := cluster.NewWorker(cluster.WithWorkerObs(reg))
+	obs.RegisterBuildInfo(reg)
+	// The worker tracer continues coordinator fan-out traces: each wire
+	// chunk carries the coordinator's traceparent, the fold spans parent
+	// onto it, and GET /debug/traces/{id} here serves this node's share
+	// of the trace.
+	tracer := trace.New(trace.Config{
+		Logger:  logger,
+		Dropped: obs.SpanDropCounter(reg),
+	})
+	w := cluster.NewWorker(cluster.WithWorkerObs(reg), cluster.WithWorkerTracer(tracer))
 	mux := http.NewServeMux()
 	mux.Handle("/", w.Handler())
 	mux.Handle("GET /metrics", reg.Handler())

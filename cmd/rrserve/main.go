@@ -84,6 +84,19 @@
 //	-replication-log committed events retained in memory for follower
 //	                 catch-up; followers further behind bootstrap from a
 //	                 snapshot frame instead (default 1024)
+//	-profile-every   continuous-profiling capture cadence (default 1m;
+//	                 0 disables the loop — /debug/profiles then lists
+//	                 an empty ring)
+//	-profile-cpu     CPU capture window per cycle (default 50ms; 0
+//	                 keeps only heap/goroutine snapshots)
+//	-fleet-members   comma-separated [name=]url member list; non-empty
+//	                 (or coordinator mode, which feeds live cluster
+//	                 membership automatically) starts the fleet
+//	                 collector serving GET /metrics/fleet and
+//	                 GET /debug/fleet (docs/observability.md)
+//	-fleet-every     fleet scrape interval (default 5s)
+//	-fleet-self      node label for this node's own series in the
+//	                 fleet exposition (default "self")
 //	-v               debug logging (overrides RR_LOG_LEVEL)
 //	RR_LOG_LEVEL  debug|info|warn|error (default info)
 //	RR_LOG_FORMAT text|json (default text)
@@ -109,12 +122,15 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"ratiorules/internal/cluster"
 	"ratiorules/internal/obs"
 	"ratiorules/internal/obs/alert"
+	"ratiorules/internal/obs/fleet"
+	"ratiorules/internal/obs/profile"
 	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/online"
 	"ratiorules/internal/replica"
@@ -183,6 +199,13 @@ func run(ctx context.Context, args []string) error {
 		follow         = fs.String("follow", "", "leader base URL; non-empty runs this server as a read-only follower replica")
 		maxReplicaLag  = fs.Duration("max-replica-lag", server.DefaultMaxReplicaLag, "replication staleness beyond which a follower's /readyz answers 503")
 		replicationLog = fs.Int("replication-log", store.DefaultReplicationLog, "committed events retained in memory for follower catch-up")
+
+		profileEvery = fs.Duration("profile-every", time.Minute, "continuous-profiling capture cadence (0 disables the capture loop)")
+		profileCPU   = fs.Duration("profile-cpu", 50*time.Millisecond, "CPU capture window per profiling cycle (0 keeps only snapshots)")
+
+		fleetMembers = fs.String("fleet-members", "", "comma-separated [name=]url fleet member list; non-empty starts the fleet collector")
+		fleetEvery   = fs.Duration("fleet-every", fleet.DefaultInterval, "fleet scrape interval")
+		fleetSelf    = fs.String("fleet-self", "self", "node label for this node's own series in the fleet exposition")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -231,6 +254,7 @@ func run(ctx context.Context, args []string) error {
 		BufferSize: *traceBuffer,
 		Slow:       *traceSlow,
 		Logger:     logger,
+		Dropped:    obs.SpanDropCounter(obs.Default()),
 	})
 
 	// Alert rules: the defaults (regression ratio, drift slope,
@@ -293,8 +317,9 @@ func run(ctx context.Context, args []string) error {
 		server.WithBatchWorkers(*batchWorkers), server.WithTracer(tracer),
 		server.WithOnline(mgr),
 	}
+	var coord *cluster.Coordinator // non-nil in coordinator mode; feeds the fleet collector
 	if *clusterWorkers != "" {
-		coord, err := cluster.New(cluster.Config{
+		coord, err = cluster.New(cluster.Config{
 			Workers:       splitWorkers(*clusterWorkers),
 			Manager:       mgr,
 			ChunkRows:     *clusterChunk,
@@ -328,6 +353,7 @@ func run(ctx context.Context, args []string) error {
 			Store:    reg.Store(),
 			Logger:   logger,
 			Registry: obs.Default(),
+			Tracer:   tracer,
 		})
 		if err != nil {
 			return fmt.Errorf("building follower replica: %w", err)
@@ -346,6 +372,63 @@ func run(ctx context.Context, args []string) error {
 		}()
 		logger.Info("following leader", "leader", *follow, "max_lag", *maxReplicaLag)
 		handlerOpts = append(handlerOpts, server.WithFollower(fol, *follow, *maxReplicaLag))
+	}
+
+	// Continuous profiling: an always-on ring of short CPU captures and
+	// heap/goroutine snapshots served at /debug/profiles. -profile-every 0
+	// leaves the default passive ring in place (empty listing).
+	if *profileEvery > 0 {
+		cpu := *profileCPU
+		if cpu <= 0 {
+			cpu = -1 // profile.New: negative disables CPU captures, 0 means default
+		}
+		ring := profile.New(profile.Config{
+			Interval:    *profileEvery,
+			CPUDuration: cpu,
+			Logger:      logger,
+			Metrics:     obs.Default(),
+		})
+		go ring.Run(ctx)
+		logger.Info("continuous profiling on",
+			"every", ring.Interval(), "cpu", ring.CPUDuration())
+		handlerOpts = append(handlerOpts, server.WithProfiles(ring))
+	}
+
+	// Fleet collector: static -fleet-members plus, in coordinator mode,
+	// the live cluster membership. Serves /metrics/fleet + /debug/fleet.
+	if *fleetMembers != "" || coord != nil {
+		selfRole := "leader"
+		switch {
+		case *follow != "":
+			selfRole = "follower"
+		case coord != nil:
+			selfRole = "coordinator"
+		}
+		fleetCfg := fleet.Config{
+			Members:     parseFleetMembers(*fleetMembers),
+			Interval:    *fleetEvery,
+			Logger:      logger,
+			Metrics:     obs.Default(),
+			SelfName:    *fleetSelf,
+			SelfRole:    selfRole,
+			SelfMetrics: obs.Default(),
+		}
+		if coord != nil {
+			c := coord
+			fleetCfg.Source = func() []fleet.Member {
+				var out []fleet.Member
+				for _, m := range c.Status().Members {
+					out = append(out, fleet.Member{Name: m.Instance, URL: m.URL, Role: "worker"})
+				}
+				return out
+			}
+		}
+		collector := fleet.New(fleetCfg)
+		go collector.Run(ctx)
+		logger.Info("fleet collector up",
+			"static_members", len(fleetCfg.Members), "coordinator_sourced", coord != nil,
+			"every", collector.Interval())
+		handlerOpts = append(handlerOpts, server.WithFleet(collector))
 	}
 
 	// baseCancel ends the long-lived replication streams (they select on
@@ -405,6 +488,24 @@ func run(ctx context.Context, args []string) error {
 	}
 	logger.Info("drained cleanly")
 	return nil
+}
+
+// parseFleetMembers parses the -fleet-members list: comma-separated
+// entries, each "url" or "name=url".
+func parseFleetMembers(raw string) []fleet.Member {
+	var out []fleet.Member
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m := fleet.Member{URL: part}
+		if name, url, ok := strings.Cut(part, "="); ok {
+			m.Name, m.URL = strings.TrimSpace(name), strings.TrimSpace(url)
+		}
+		out = append(out, m)
+	}
+	return out
 }
 
 // startDebugServer serves net/http/pprof on its own listener so

@@ -151,7 +151,7 @@ type Coordinator struct {
 	mu       sync.Mutex
 	members  []*member
 	ring     *hashRing
-	tainted  map[string]bool // instances barred until process restart
+	tainted  map[string]bool                         // instances barred until process restart
 	retained map[string]map[string]*core.StreamMiner // model -> instance -> last pulled shard
 	models   map[string]*modelState
 	degraded bool // last merge cycle substituted a retained shard

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"sync"
 	"time"
 
@@ -76,7 +77,20 @@ type Session struct {
 	closed   bool
 
 	span *trace.Span
-	rows int64
+	// tctx carries the fanout span for in-process folds: a local
+	// worker's FoldChunk attaches its cluster.fold span directly into
+	// this session's trace instead of continuing it by wire context.
+	tctx context.Context
+	// traceCtx is the fanout span's W3C traceparent, stamped into every
+	// chunk (v2 frames on the wire, Chunk.Trace in process) so worker
+	// fold spans continue this session's trace across the node boundary.
+	traceCtx string
+	rows     int64
+	// sentTo records every member URL that received chunks, published on
+	// the fanout span as remote_node attrs — the remote-child references
+	// /debug/traces/{id} surfaces so an operator knows which nodes hold
+	// the rest of the trace.
+	sentTo map[string]bool
 }
 
 // Ingest opens a fan-out session for one model. decay semantics match
@@ -89,7 +103,7 @@ func (c *Coordinator) Ingest(ctx context.Context, name string, decay float64, ex
 	}
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(name))
-	_, span := trace.Start(ctx, "cluster.fanout")
+	fctx, span := trace.Start(ctx, "cluster.fanout")
 	if span != nil {
 		span.SetAttr("model", name)
 	}
@@ -106,6 +120,11 @@ func (c *Coordinator) Ingest(ctx context.Context, name string, decay float64, ex
 		free:     make(chan []float64, maxInflightChunks+2),
 		streams:  make(map[*member]fanoutStream),
 		span:     span,
+		tctx:     fctx,
+		sentTo:   make(map[string]bool),
+	}
+	if span != nil {
+		s.traceCtx = trace.Traceparent(span.TraceID(), span.SpanID())
 	}
 	s.cond = sync.NewCond(&s.mu)
 	c.met.sessions.Inc()
@@ -300,6 +319,7 @@ func (s *Session) dispatch(payload []float64) error {
 			s.mu.Unlock()
 		}
 		if ws.trySend(inf) {
+			s.noteSent(m)
 			return nil
 		}
 		// The stream died between lookup and send; its failover drain
@@ -310,6 +330,16 @@ func (s *Session) dispatch(payload []float64) error {
 
 // release frees one inflight slot.
 func (s *Session) release() { <-s.sem }
+
+// noteSent records a member as holding part of this session's trace.
+func (s *Session) noteSent(m *member) {
+	if s.span == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sentTo[m.url] = true
+	s.mu.Unlock()
+}
 
 // drain emits contiguous completed head-of-line events in input order.
 // One goroutine at a time owns emission; others return immediately.
@@ -378,6 +408,16 @@ func (s *Session) Close() error {
 	if s.span != nil {
 		s.span.SetAttr("rows", s.rows)
 		s.span.SetAttr("chunks", s.seq)
+		s.mu.Lock()
+		nodes := make([]string, 0, len(s.sentTo))
+		for u := range s.sentTo {
+			nodes = append(nodes, u)
+		}
+		s.mu.Unlock()
+		sort.Strings(nodes)
+		for _, u := range nodes {
+			s.span.SetAttr(trace.RemoteNodeAttr, u)
+		}
 		if fatal != nil {
 			s.span.SetAttr("error", fatal.Error())
 		}
@@ -432,8 +472,9 @@ type localStream struct {
 }
 
 func (ls *localStream) trySend(inf *inflight) bool {
-	ack := ls.m.local.FoldChunk(ls.s.name, Chunk{
-		Seq: inf.seq, Width: ls.s.width, Decay: ls.s.decay, Rows: inf.payload,
+	ack := ls.m.local.FoldChunk(ls.s.tctx, ls.s.name, Chunk{
+		Seq: inf.seq, Width: ls.s.width, Decay: ls.s.decay,
+		Trace: ls.s.traceCtx, Rows: inf.payload,
 	})
 	var err error
 	if ack.Code != AckOK {
@@ -570,7 +611,7 @@ func (ws *workerStream) sender() {
 		ws.qmu.Lock()
 		ws.sentq = append(ws.sentq, inf)
 		ws.qmu.Unlock()
-		buf = AppendChunk(buf[:0], inf.seq, ws.s.width, ws.s.decay, inf.payload)
+		buf = AppendChunkTrace(buf[:0], inf.seq, ws.s.width, ws.s.decay, ws.s.traceCtx, inf.payload)
 		if _, err := ws.pw.Write(buf); err != nil {
 			ws.fail(fmt.Errorf("cluster: writing to %s: %w", ws.m.url, err))
 			return
@@ -698,18 +739,20 @@ func (s *Session) reshard(inf *inflight, tried map[*member]bool) {
 // direct fold for an in-process survivor).
 func (s *Session) postChunk(m *member, inf *inflight) error {
 	if m.local != nil {
-		ack := m.local.FoldChunk(s.name, Chunk{
-			Seq: inf.seq, Width: s.width, Decay: s.decay, Rows: inf.payload,
+		ack := m.local.FoldChunk(s.tctx, s.name, Chunk{
+			Seq: inf.seq, Width: s.width, Decay: s.decay,
+			Trace: s.traceCtx, Rows: inf.payload,
 		})
 		var ackErr error
 		if ack.Code != AckOK {
 			ackErr = ackError(ack.Code)
 		}
 		s.c.met.chunks.With("resharded").Inc()
+		s.noteSent(m)
 		s.onAcked(inf, ackErr)
 		return nil
 	}
-	body := AppendChunk(nil, inf.seq, s.width, s.decay, inf.payload)
+	body := AppendChunkTrace(nil, inf.seq, s.width, s.decay, s.traceCtx, inf.payload)
 	resp, err := s.c.client.Post(m.url+"/v1/cluster/ingest/"+s.escName,
 		"application/octet-stream", bytes.NewReader(body))
 	if err != nil {
@@ -731,6 +774,7 @@ func (s *Session) postChunk(m *member, inf *inflight) error {
 		ackErr = ackError(ack.Code)
 	}
 	s.c.met.chunks.With("resharded").Inc()
+	s.noteSent(m)
 	s.onAcked(inf, ackErr)
 	return nil
 }

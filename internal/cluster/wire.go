@@ -21,24 +21,43 @@ import (
 // The row fan-out speaks a fixed little-endian binary framing rather
 // than NDJSON: the coordinator already parsed and validated the public
 // JSON stream, so re-encoding rows as text for the worker hop would
-// dominate the per-row budget. A chunk is
+// dominate the per-row budget. A v1 chunk is
 //
 //	magic "RRC1" | width u32 | rows u32 | seq u64 | decay f64 |
 //	rows·width float64 payload | crc32c u32
 //
-// and each chunk is acknowledged by a fixed 32-byte frame
+// A v2 chunk carries the coordinator's trace context between the fixed
+// header and the payload, so worker-side fold spans parent onto the
+// fan-out trace:
+//
+//	magic "RRC2" | width u32 | rows u32 | seq u64 | decay f64 |
+//	ctxLen u16 | ctx (W3C traceparent, ctxLen bytes) |
+//	rows·width float64 payload | crc32c u32
+//
+// Decoders accept both magics, and encoders emit v1 whenever there is
+// no trace context, so mixed-version fleets interoperate: an old worker
+// only ever sees v2 frames if the coordinator traced the session, and a
+// new worker folds v1 frames exactly as before.
+//
+// Each chunk is acknowledged by a fixed 32-byte frame
 //
 //	magic "RRA1" | seq u64 | rows u32 | code u32 | shardRows u64 | crc32c u32
 //
-// Both CRCs are Castagnoli over every byte before the checksum, the
+// All CRCs are Castagnoli over every byte before the checksum, the
 // same polynomial the store WAL uses.
 
 const (
-	chunkMagic = uint32('R')<<24 | uint32('R')<<16 | uint32('C')<<8 | uint32('1')
-	ackMagic   = uint32('R')<<24 | uint32('R')<<16 | uint32('A')<<8 | uint32('1')
+	chunkMagic  = uint32('R')<<24 | uint32('R')<<16 | uint32('C')<<8 | uint32('1')
+	chunkMagic2 = uint32('R')<<24 | uint32('R')<<16 | uint32('C')<<8 | uint32('2')
+	ackMagic    = uint32('R')<<24 | uint32('R')<<16 | uint32('A')<<8 | uint32('1')
 
 	chunkHeaderLen = 4 + 4 + 4 + 8 + 8
 	ackFrameLen    = 4 + 8 + 4 + 4 + 8 + 4
+
+	// MaxChunkTrace bounds the v2 trace-context field; a W3C
+	// traceparent is 55 bytes, the slack tolerates future vendor
+	// suffixes without letting a corrupt length field allocate much.
+	MaxChunkTrace = 128
 
 	// MaxChunkRows bounds a single wire chunk; with the width cap below
 	// a frame stays under 8 MiB however it is filled.
@@ -67,6 +86,10 @@ type Chunk struct {
 	Seq   uint64
 	Width int
 	Decay float64
+	// Trace is the coordinator's W3C traceparent ("" on v1 frames and
+	// untraced sessions): the remote parent a worker's cluster.fold
+	// span continues, making one trace ID span the process boundary.
+	Trace string
 	// Rows is the row-major payload, len = n·Width.
 	Rows []float64
 }
@@ -96,17 +119,40 @@ func floatsAsBytes(f []float64) []byte {
 	return unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), len(f)*8)
 }
 
-// AppendChunk encodes one chunk frame onto dst and returns the extended
-// slice. The payload must be n·width long with n <= MaxChunkRows.
+// AppendChunk encodes one v1 (context-free) chunk frame onto dst and
+// returns the extended slice. The payload must be n·width long with
+// n <= MaxChunkRows.
 func AppendChunk(dst []byte, seq uint64, width int, decay float64, payload []float64) []byte {
+	return AppendChunkTrace(dst, seq, width, decay, "", payload)
+}
+
+// AppendChunkTrace encodes one chunk frame onto dst, stamping the
+// sender's traceparent into a v2 frame when non-empty and falling back
+// to the v1 framing when empty — so untraced sessions stay
+// byte-identical with older senders. An oversized traceparent is
+// dropped rather than producing an undecodable frame.
+func AppendChunkTrace(dst []byte, seq uint64, width int, decay float64, traceparent string, payload []float64) []byte {
+	if len(traceparent) > MaxChunkTrace {
+		traceparent = ""
+	}
 	start := len(dst)
 	var hdr [chunkHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:], chunkMagic)
+	magic := uint32(chunkMagic)
+	if traceparent != "" {
+		magic = chunkMagic2
+	}
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(width))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)/width))
 	binary.LittleEndian.PutUint64(hdr[12:], seq)
 	binary.LittleEndian.PutUint64(hdr[20:], math.Float64bits(decay))
 	dst = append(dst, hdr[:]...)
+	if traceparent != "" {
+		var n [2]byte
+		binary.LittleEndian.PutUint16(n[:], uint16(len(traceparent)))
+		dst = append(dst, n[:]...)
+		dst = append(dst, traceparent...)
+	}
 	if hostLittle {
 		dst = append(dst, floatsAsBytes(payload)...)
 	} else {
@@ -120,10 +166,11 @@ func AppendChunk(dst []byte, seq uint64, width int, decay float64, payload []flo
 	return binary.LittleEndian.AppendUint32(dst, crc)
 }
 
-// ReadChunk decodes the next chunk frame from r. The payload lands in
-// a fresh []float64 whose backing bytes are filled directly from the
-// stream on little-endian hosts (no intermediate buffer). io.EOF is
-// returned untouched when the stream ends cleanly between frames.
+// ReadChunk decodes the next chunk frame from r, accepting both the v1
+// and the trace-carrying v2 framing. The payload lands in a fresh
+// []float64 whose backing bytes are filled directly from the stream on
+// little-endian hosts (no intermediate buffer). io.EOF is returned
+// untouched when the stream ends cleanly between frames.
 func ReadChunk(r io.Reader) (Chunk, error) {
 	var hdr [chunkHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
@@ -132,7 +179,8 @@ func ReadChunk(r io.Reader) (Chunk, error) {
 	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
 		return Chunk{}, fmt.Errorf("cluster: truncated chunk header: %w", ErrBadFrame)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != chunkMagic {
+	magic := binary.LittleEndian.Uint32(hdr[0:])
+	if magic != chunkMagic && magic != chunkMagic2 {
 		return Chunk{}, fmt.Errorf("cluster: chunk magic %x: %w", hdr[:4], ErrBadFrame)
 	}
 	width := int(binary.LittleEndian.Uint32(hdr[4:]))
@@ -147,6 +195,23 @@ func ReadChunk(r io.Reader) (Chunk, error) {
 		Rows:  make([]float64, rows*width),
 	}
 	crc := crc32.Checksum(hdr[:], castagnoli)
+	if magic == chunkMagic2 {
+		var n [2]byte
+		if _, err := io.ReadFull(r, n[:]); err != nil {
+			return Chunk{}, fmt.Errorf("cluster: truncated chunk trace length: %w", ErrBadFrame)
+		}
+		ctxLen := int(binary.LittleEndian.Uint16(n[:]))
+		if ctxLen == 0 || ctxLen > MaxChunkTrace {
+			return Chunk{}, fmt.Errorf("cluster: chunk trace length %d: %w", ctxLen, ErrBadFrame)
+		}
+		ctx := make([]byte, ctxLen)
+		if _, err := io.ReadFull(r, ctx); err != nil {
+			return Chunk{}, fmt.Errorf("cluster: truncated chunk trace: %w", ErrBadFrame)
+		}
+		crc = crc32.Update(crc, castagnoli, n[:])
+		crc = crc32.Update(crc, castagnoli, ctx)
+		c.Trace = string(ctx)
+	}
 	if hostLittle {
 		buf := floatsAsBytes(c.Rows)
 		if _, err := io.ReadFull(r, buf); err != nil {

@@ -122,3 +122,84 @@ func TestAckCorruption(t *testing.T) {
 		}
 	}
 }
+
+func TestChunkTraceRoundTrip(t *testing.T) {
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	payload := []float64{1, 2, 3, 4, 5, 6}
+	var stream bytes.Buffer
+	stream.Write(AppendChunkTrace(nil, 7, 3, 0.5, tp, payload))
+	stream.Write(AppendChunkTrace(nil, 8, 3, 0.5, "", payload))
+
+	got, err := ReadChunk(&stream)
+	if err != nil {
+		t.Fatalf("v2 chunk: %v", err)
+	}
+	if got.Trace != tp || got.Seq != 7 || got.Width != 3 || got.Decay != 0.5 {
+		t.Fatalf("v2 chunk: %+v, want trace %q seq 7", got, tp)
+	}
+	for j, v := range payload {
+		if got.Rows[j] != v {
+			t.Fatalf("v2 chunk value %d: got %v want %v", j, got.Rows[j], v)
+		}
+	}
+	// A traced and an untraced frame interleave on one stream.
+	got, err = ReadChunk(&stream)
+	if err != nil {
+		t.Fatalf("v1 chunk after v2: %v", err)
+	}
+	if got.Trace != "" || got.Seq != 8 {
+		t.Fatalf("v1 chunk after v2: %+v, want empty trace seq 8", got)
+	}
+}
+
+// TestChunkTraceBackCompat pins the wire contract: an empty traceparent
+// must emit a frame byte-identical to the v1 encoder, so untraced
+// coordinators keep feeding old workers.
+func TestChunkTraceBackCompat(t *testing.T) {
+	payload := []float64{3, 1, 4, 1, 5, 9}
+	v1 := AppendChunk(nil, 11, 2, 0.25, payload)
+	v2 := AppendChunkTrace(nil, 11, 2, 0.25, "", payload)
+	if !bytes.Equal(v1, v2) {
+		t.Fatalf("untraced AppendChunkTrace differs from AppendChunk:\n v1 %x\n v2 %x", v1, v2)
+	}
+}
+
+// TestChunkTraceOversized: a traceparent past MaxChunkTrace is dropped
+// (falls back to v1 framing) rather than producing an undecodable
+// frame.
+func TestChunkTraceOversized(t *testing.T) {
+	big := string(bytes.Repeat([]byte{'a'}, MaxChunkTrace+1))
+	payload := []float64{1, 2}
+	frame := AppendChunkTrace(nil, 1, 2, 0, big, payload)
+	got, err := ReadChunk(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("oversized-trace frame unreadable: %v", err)
+	}
+	if got.Trace != "" {
+		t.Fatalf("oversized trace survived: %q", got.Trace)
+	}
+}
+
+func TestChunkTraceCorruption(t *testing.T) {
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	frame := AppendChunkTrace(nil, 9, 2, 0, tp, []float64{1, 2, 3, 4})
+	// Every single-byte flip must fail: magic, dims, the trace length,
+	// the trace bytes, payload, or CRC.
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x01
+		if _, err := ReadChunk(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("byte %d flipped: read succeeded", i)
+		}
+	}
+	// Truncation anywhere must surface as a framing error, not io.EOF.
+	for n := 1; n < len(frame); n++ {
+		_, err := ReadChunk(bytes.NewReader(frame[:n]))
+		if err == nil || err == io.EOF {
+			t.Fatalf("truncated at %d: got %v", n, err)
+		}
+	}
+	if _, err := ReadChunk(bytes.NewReader(frame)); err != nil {
+		t.Fatalf("pristine frame: %v", err)
+	}
+}

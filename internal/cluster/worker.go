@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -14,6 +15,7 @@ import (
 
 	"ratiorules/internal/core"
 	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/trace"
 )
 
 // workerDeadlineSlack is the rolling read/write deadline a worker keeps
@@ -31,6 +33,7 @@ const deadlineEveryChunks = 256
 // gate, or publish — they only fold rows.
 type Worker struct {
 	instance string
+	tracer   *trace.Tracer
 
 	chunks *obs.CounterVec // result: ok|width_conflict|decay_conflict|bad_chunk
 	rows   *obs.Counter
@@ -51,13 +54,21 @@ type workerShard struct {
 type WorkerOption func(*workerConfig)
 
 type workerConfig struct {
-	reg *obs.Registry
+	reg    *obs.Registry
+	tracer *trace.Tracer
 }
 
 // WithWorkerObs registers the worker's rr_cluster_worker_* metrics on
 // reg instead of a private registry.
 func WithWorkerObs(reg *obs.Registry) WorkerOption {
 	return func(c *workerConfig) { c.reg = reg }
+}
+
+// WithWorkerTracer records cluster.fold spans on t. Chunks carrying a
+// coordinator trace context (v2 frames, or Chunk.Trace in process)
+// continue that trace, so one trace ID spans the fan-out across nodes.
+func WithWorkerTracer(t *trace.Tracer) WorkerOption {
+	return func(c *workerConfig) { c.tracer = t }
 }
 
 // NewWorker creates an empty node with a fresh random instance ID. The
@@ -78,6 +89,7 @@ func NewWorker(opts ...WorkerOption) *Worker {
 	}
 	return &Worker{
 		instance: hex.EncodeToString(b[:]),
+		tracer:   cfg.tracer,
 		chunks: cfg.reg.CounterVec("rr_cluster_worker_chunks_total",
 			"Fan-out chunks folded by result.", "result"),
 		rows: cfg.reg.Counter("rr_cluster_worker_rows_total",
@@ -99,7 +111,57 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cluster/shard/{name}", w.serveShard)
 	mux.HandleFunc("GET /v1/cluster/shards", w.serveShards)
 	mux.HandleFunc("GET /healthz", w.serveHealth)
+	if w.tracer != nil {
+		mux.HandleFunc("GET /debug/traces", w.serveTraces)
+		mux.HandleFunc("GET /debug/traces/{id}", w.serveTrace)
+	}
 	return mux
+}
+
+// serveTraces lists the node's recent traces — the worker-node
+// equivalent of the server's GET /debug/traces, so a coordinator trace
+// ID can be chased onto any node that folded part of it.
+func (w *Worker) serveTraces(rw http.ResponseWriter, _ *http.Request) {
+	rec := w.tracer.Recorder()
+	out := struct {
+		Retained int             `json:"retained"`
+		Total    uint64          `json:"total"`
+		Traces   []trace.Summary `json:"traces"`
+	}{Retained: rec.Len(), Total: rec.Total(), Traces: rec.Summaries(50, false)}
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(out)
+}
+
+// serveTrace returns this node's local subtree of one trace plus its
+// remote references (for fold streams, a "parent" ref naming the
+// coordinator span that fanned out to us).
+func (w *Worker) serveTrace(rw http.ResponseWriter, r *http.Request) {
+	td, ok := w.tracer.Recorder().Get(r.PathValue("id"))
+	if !ok {
+		http.Error(rw, "unknown trace", http.StatusNotFound)
+		return
+	}
+	out := struct {
+		TraceID    string            `json:"trace_id"`
+		Name       string            `json:"name"`
+		Start      time.Time         `json:"start"`
+		DurationMS float64           `json:"duration_ms"`
+		Spans      int               `json:"spans"`
+		Dropped    int               `json:"dropped"`
+		Remote     []trace.RemoteRef `json:"remote,omitempty"`
+		Tree       []*trace.SpanNode `json:"tree"`
+	}{
+		TraceID:    td.TraceID,
+		Name:       td.Name,
+		Start:      td.Start,
+		DurationMS: float64(td.Duration) / 1e6,
+		Spans:      len(td.Spans),
+		Dropped:    td.Dropped,
+		Remote:     trace.RemoteRefs(td.Spans),
+		Tree:       trace.BuildTree(td.Spans),
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(out)
 }
 
 // getShard returns the named shard, creating an empty slot on first
@@ -134,7 +196,33 @@ func ackResult(code uint32) string {
 // it per decoded wire frame, and in-process coordinators (see
 // Config.LocalWorkers) call it directly with the chunk they just
 // built — same validation, same all-or-nothing PushBatch, no wire.
-func (w *Worker) FoldChunk(name string, c Chunk) Ack {
+//
+// Each fold records a "cluster.fold" span: a child of the trace in ctx
+// when one is active (in-process transport, where the coordinator's
+// fanout span is live on this tracer), otherwise a continuation root
+// parented on the chunk's remote trace context — so either way the
+// span carries the coordinator's trace ID across the fold.
+func (w *Worker) FoldChunk(ctx context.Context, name string, c Chunk) Ack {
+	_, sp := trace.Start(ctx, "cluster.fold")
+	if sp == nil && w.tracer != nil && c.Trace != "" {
+		if remote, err := trace.ParseTraceparent(c.Trace); err == nil {
+			_, sp = w.tracer.StartRoot(ctx, "cluster.fold", remote)
+		}
+	}
+	ack := w.fold(name, c)
+	if sp != nil {
+		sp.SetAttr("model", name)
+		sp.SetAttr("seq", c.Seq)
+		sp.SetAttr("rows", ack.Rows)
+		sp.SetAttr("instance", w.instance)
+		sp.SetAttr("result", ackResult(ack.Code))
+		sp.End()
+	}
+	return ack
+}
+
+// fold is FoldChunk minus the span bookkeeping.
+func (w *Worker) fold(name string, c Chunk) Ack {
 	ack := Ack{Seq: c.Seq, Rows: len(c.Rows) / c.Width}
 	sh := w.getShard(name)
 	sh.mu.Lock()
@@ -168,7 +256,10 @@ func (w *Worker) FoldChunk(name string, c Chunk) Ack {
 
 // serveIngest is the fan-out receiver: binary chunk frames in, one ack
 // frame out per chunk, full-duplex on one connection for the life of
-// the coordinator session.
+// the coordinator session. The first trace-carrying chunk roots a
+// "cluster.fold_stream" span continuing the coordinator's trace, so
+// the whole stream's folds land in one local subtree under the remote
+// fanout parent.
 func (w *Worker) serveIngest(rw http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	rc := http.NewResponseController(rw)
@@ -178,6 +269,16 @@ func (w *Worker) serveIngest(rw http.ResponseWriter, r *http.Request) {
 	rw.Header().Set("Content-Type", "application/octet-stream")
 	rw.WriteHeader(http.StatusOK)
 	_ = rc.Flush()
+
+	sctx := r.Context()
+	var root *trace.Span
+	chunks := 0
+	defer func() {
+		if root != nil {
+			root.SetAttr("chunks", chunks)
+			root.End()
+		}
+	}()
 
 	ackBuf := make([]byte, 0, ackFrameLen)
 	sinceDeadline := 0
@@ -192,7 +293,15 @@ func (w *Worker) serveIngest(rw http.ResponseWriter, r *http.Request) {
 			// unacked chunks elsewhere.
 			return
 		}
-		ack := w.FoldChunk(name, c)
+		if root == nil && w.tracer != nil && c.Trace != "" {
+			if remote, perr := trace.ParseTraceparent(c.Trace); perr == nil {
+				sctx, root = w.tracer.StartRoot(sctx, "cluster.fold_stream", remote)
+				root.SetAttr("model", name)
+				root.SetAttr("instance", w.instance)
+			}
+		}
+		chunks++
+		ack := w.FoldChunk(sctx, name, c)
 		ackBuf = AppendAck(ackBuf[:0], ack)
 		if _, err := rw.Write(ackBuf); err != nil {
 			return

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: what /debug/fleet reports in
+// its build block and what the rr_build_info gauge labels carry, so a
+// mixed-version fleet is visible at a glance.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for plain go build,
+	// a tag or pseudo-version for installed binaries).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit (vcs.revision), "" when built outside
+	// a checkout or with -buildvcs=false.
+	Revision string `json:"revision,omitempty"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build identity, read once from
+// runtime/debug.ReadBuildInfo.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// RegisterBuildInfo publishes the constant-1 rr_build_info gauge whose
+// labels carry the binary's identity — the Prometheus idiom for joining
+// version metadata onto any other series. Safe to call more than once
+// on the same registry.
+func RegisterBuildInfo(r *Registry) {
+	b := Build()
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	r.GaugeVec("rr_build_info",
+		"Build identity of this binary; constant 1.",
+		"version", "go_version", "revision").
+		With(b.Version, b.GoVersion, rev).Set(1)
+}
+
+// SpanDropCounter registers the conventional span-loss counter for a
+// trace.Config Dropped hook (see internal/obs/trace): incremented once
+// per span refused after the per-trace cap.
+func SpanDropCounter(r *Registry) *Counter {
+	return r.Counter("rr_trace_spans_dropped_total",
+		"Spans dropped after a trace hit its per-trace span cap.")
+}

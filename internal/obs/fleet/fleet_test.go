@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ratiorules/internal/obs"
+)
+
+// fakeMember serves the minimal scrape surface of an rrserve node:
+// /metrics text exposition and a /readyz probe.
+func fakeMember(t *testing.T, metricsText string, ready bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		io.WriteString(w, metricsText)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		io.WriteString(w, `{"status":"ok","role":"leader"}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+const memberAMetrics = `# HELP rr_models Registered models.
+# TYPE rr_models gauge
+rr_models 3
+# HELP rr_build_info Build metadata of the running binary.
+# TYPE rr_build_info gauge
+rr_build_info{version="v1.2.3",go_version="go1.24",revision="abcdef0"} 1
+`
+
+const memberBMetrics = `# HELP rr_models Registered models.
+# TYPE rr_models gauge
+rr_models 7
+`
+
+func newTestCollector(t *testing.T, members ...Member) *Collector {
+	t.Helper()
+	return New(Config{
+		Members:  members,
+		Interval: time.Hour, // tests drive scrapes explicitly
+		Timeout:  2 * time.Second,
+		Logger:   quietLogger(),
+		Metrics:  obs.NewRegistry(),
+	})
+}
+
+// TestFleetAggregation scrapes two live members and checks the merged
+// exposition carries per-node series, synthetic liveness series, and
+// that /debug/fleet rows parse the build info.
+func TestFleetAggregation(t *testing.T) {
+	a := fakeMember(t, memberAMetrics, true)
+	b := fakeMember(t, memberBMetrics, true)
+	c := newTestCollector(t,
+		Member{Name: "a", URL: a.URL, Role: "leader"},
+		Member{Name: "b", URL: b.URL, Role: "follower"},
+	)
+	c.ScrapeOnce(context.Background())
+
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`rr_models{node="a"} 3`,
+		`rr_models{node="b"} 7`,
+		`rr_build_info{node="a",version="v1.2.3",go_version="go1.24",revision="abcdef0"} 1`,
+		`rr_fleet_member_up{node="a"} 1`,
+		`rr_fleet_member_up{node="b"} 1`,
+		`rr_fleet_member_stale{node="a"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet exposition missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE metadata must not repeat per node.
+	if n := strings.Count(out, "# HELP rr_models "); n != 1 {
+		t.Errorf("rr_models HELP repeated %d times, want 1", n)
+	}
+
+	nodes := c.Nodes()
+	if len(nodes) != 2 {
+		t.Fatalf("Nodes() = %d rows, want 2", len(nodes))
+	}
+	byName := map[string]NodeStatus{}
+	for _, n := range nodes {
+		byName[n.Name] = n
+	}
+	na := byName["a"]
+	if !na.Healthy || na.Stale || na.Err != "" {
+		t.Errorf("node a status = %+v, want healthy fresh", na)
+	}
+	if na.Build == nil || na.Build.Version != "v1.2.3" || na.Build.Revision != "abcdef0" {
+		t.Errorf("node a build = %+v, want parsed rr_build_info", na.Build)
+	}
+	if byName["b"].Build != nil {
+		t.Errorf("node b build = %+v, want nil (no rr_build_info series)", byName["b"].Build)
+	}
+}
+
+// TestFleetUnreachableMember kills one member between scrapes: the
+// collector must keep serving its last-good series, marked stale and
+// down, while the healthy member stays fresh.
+func TestFleetUnreachableMember(t *testing.T) {
+	a := fakeMember(t, memberAMetrics, true)
+	b := fakeMember(t, memberBMetrics, true)
+	c := newTestCollector(t,
+		Member{Name: "a", URL: a.URL},
+		Member{Name: "b", URL: b.URL},
+	)
+	c.ScrapeOnce(context.Background())
+	b.Close()
+	c.ScrapeOnce(context.Background())
+
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`rr_models{node="b"} 7`, // retained last-good data
+		`rr_fleet_member_up{node="b"} 0`,
+		`rr_fleet_member_stale{node="b"} 1`,
+		`rr_fleet_member_up{node="a"} 1`,
+		`rr_fleet_member_stale{node="a"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degraded exposition missing %q:\n%s", want, out)
+		}
+	}
+	for _, n := range c.Nodes() {
+		switch n.Name {
+		case "a":
+			if !n.Healthy || n.Stale {
+				t.Errorf("node a = %+v, want healthy fresh", n)
+			}
+		case "b":
+			if n.Healthy || !n.Stale || n.Err == "" {
+				t.Errorf("node b = %+v, want down, stale, with error", n)
+			}
+		}
+	}
+}
+
+// TestFleetUnhealthyMember: a member that answers its probe 503 is
+// scraped (fresh data, not stale) but reported down.
+func TestFleetUnhealthyMember(t *testing.T) {
+	a := fakeMember(t, memberAMetrics, false)
+	c := newTestCollector(t, Member{Name: "a", URL: a.URL})
+	c.ScrapeOnce(context.Background())
+	nodes := c.Nodes()
+	if len(nodes) != 1 {
+		t.Fatalf("Nodes() = %d rows, want 1", len(nodes))
+	}
+	if nodes[0].Healthy || nodes[0].Stale || nodes[0].Err != "" {
+		t.Errorf("node = %+v, want unhealthy but fresh (scrape succeeded)", nodes[0])
+	}
+}
+
+// TestFleetSelfAndSource: the collecting node's own registry renders
+// without an HTTP hop, and a live Source feeds extra members per
+// scrape; members that leave the source are forgotten.
+func TestFleetSelfAndSource(t *testing.T) {
+	self := obs.NewRegistry()
+	self.Gauge("rr_models", "Registered models.").Set(1)
+
+	w := fakeMember(t, memberBMetrics, true)
+	var dynamic []Member
+	c := New(Config{
+		Source:      func() []Member { return dynamic },
+		Interval:    time.Hour,
+		Logger:      quietLogger(),
+		SelfName:    "co",
+		SelfRole:    "coordinator",
+		SelfMetrics: self,
+	})
+
+	// No members at all: self still renders, ErrNoData is not returned.
+	c.ScrapeOnce(context.Background())
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `rr_models{node="co"} 1`) {
+		t.Errorf("self series missing:\n%s", buf.String())
+	}
+
+	dynamic = []Member{{Name: "w1", URL: w.URL, Role: "worker"}}
+	c.ScrapeOnce(context.Background())
+	buf.Reset()
+	if err := c.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `rr_models{node="w1"} 7`) {
+		t.Errorf("source member series missing:\n%s", buf.String())
+	}
+
+	// The worker departs: the next scrape forgets it entirely (a node
+	// removed from membership is not "stale", it is gone).
+	dynamic = nil
+	c.ScrapeOnce(context.Background())
+	if n := len(c.Nodes()); n != 0 {
+		t.Errorf("departed member still listed: %d rows, want 0", n)
+	}
+}
+
+// TestFleetNoData: with no members, no source and no self registry the
+// exposition has nothing to serve.
+func TestFleetNoData(t *testing.T) {
+	c := New(Config{Interval: time.Hour, Logger: quietLogger()})
+	c.ScrapeOnce(context.Background())
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != ErrNoData {
+		t.Fatalf("WriteMetrics = %v, want ErrNoData", err)
+	}
+}
+
+// TestInjectNode pins the relabeling across exposition line shapes.
+func TestInjectNode(t *testing.T) {
+	cases := []struct{ in, node, want string }{
+		{`rr_models 3`, "a", `rr_models{node="a"} 3`},
+		{`rr_up{job="x"} 1`, "a", `rr_up{node="a",job="x"} 1`},
+		{`rr_hist_bucket{le="+Inf"} 4`, "b", `rr_hist_bucket{node="b",le="+Inf"} 4`},
+	}
+	for _, tc := range cases {
+		if got := injectNode(tc.in, tc.node); got != tc.want {
+			t.Errorf("injectNode(%q, %q) = %q, want %q", tc.in, tc.node, got, tc.want)
+		}
+	}
+}

@@ -36,6 +36,12 @@ import (
 	"time"
 )
 
+// Counter is the write side of a monotonic metric. It matches
+// *obs.Counter; the tracer cannot import internal/obs directly (obs
+// already imports this package for log correlation), so the dependency
+// points this way.
+type Counter interface{ Inc() }
+
 // Defaults for Config zero values.
 const (
 	// DefaultBufferSize is the flight-recorder capacity in traces.
@@ -77,6 +83,13 @@ type Config struct {
 	Slow time.Duration
 	// Logger receives slow-trace lines; nil disables them.
 	Logger *slog.Logger
+	// Dropped, when non-nil, is incremented once per span refused after
+	// the per-trace cap (obs.SpanDropCounter registers the conventional
+	// rr_trace_spans_dropped_total). Span loss is silent by design on
+	// streaming routes — one NDJSON request can want thousands of spans
+	// — so the aggregate counter is how an operator notices it at all;
+	// the per-trace count is in /debug/traces/{id}.
+	Dropped Counter
 }
 
 // Tracer owns a flight recorder and the per-trace policy. Construct
@@ -86,6 +99,7 @@ type Tracer struct {
 	maxSpans int
 	slow     time.Duration
 	logger   *slog.Logger
+	dropped  Counter
 }
 
 // New returns a Tracer over a fresh flight recorder.
@@ -98,6 +112,7 @@ func New(cfg Config) *Tracer {
 		maxSpans: cfg.MaxSpans,
 		slow:     cfg.Slow,
 		logger:   cfg.Logger,
+		dropped:  cfg.Dropped,
 	}
 }
 
@@ -173,6 +188,9 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	if st.done || st.started >= st.tracer.maxSpans {
 		st.dropped++
 		st.mu.Unlock()
+		if c := st.tracer.dropped; c != nil {
+			c.Inc()
+		}
 		return ctx, nil
 	}
 	st.started++

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// RemoteNodeAttr is the span attr key that marks a cross-node handoff:
+// a span that shipped its context to another process (the coordinator's
+// fan-out, the leader's replication stamp) sets it to the receiving
+// node's address, and the /debug/traces/{id} surface turns it into a
+// remote-child reference so an operator knows where the rest of the
+// trace lives.
+const RemoteNodeAttr = "remote_node"
+
+// SpanNode is one span in the rendered trace tree.
+type SpanNode struct {
+	SpanID     string      `json:"span_id"`
+	Name       string      `json:"name"`
+	Start      time.Time   `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+	Attrs      []Attr      `json:"attrs,omitempty"`
+	Children   []*SpanNode `json:"children,omitempty"`
+}
+
+// RemoteRef points at the part of a trace that lives on another node.
+// Kind "child" means a local span handed its context to Node (the
+// subtree continues there); kind "parent" means the local subtree was
+// started by a remote span — SpanID is then the unresolved remote
+// parent's ID, and the trace root lives wherever that span ran.
+type RemoteRef struct {
+	Kind   string `json:"kind"`
+	SpanID string `json:"span_id"`
+	Node   string `json:"node,omitempty"`
+}
+
+// BuildTree arranges a sealed trace's spans into parent/child trees.
+// Spans whose parent is not in the trace — the root, remote-parented
+// continuation roots, and children whose parent was dropped at the span
+// cap — surface as top-level roots rather than vanishing. Siblings are
+// ordered by start time.
+func BuildTree(spans []SpanData) []*SpanNode {
+	nodes := make(map[string]*SpanNode, len(spans))
+	for _, sd := range spans {
+		nodes[sd.SpanID] = &SpanNode{
+			SpanID:     sd.SpanID,
+			Name:       sd.Name,
+			Start:      sd.Start,
+			DurationMS: float64(sd.Duration) / 1e6,
+			Attrs:      sd.Attrs,
+		}
+	}
+	var roots []*SpanNode
+	for _, sd := range spans {
+		n := nodes[sd.SpanID]
+		if p, ok := nodes[sd.ParentID]; ok && sd.ParentID != sd.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortNodes func([]*SpanNode)
+	sortNodes = func(ns []*SpanNode) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Start.Before(ns[j].Start) })
+		for _, n := range ns {
+			sortNodes(n.Children)
+		}
+	}
+	sortNodes(roots)
+	return roots
+}
+
+// RemoteRefs extracts a trace's cross-node references: one "child" ref
+// per RemoteNodeAttr annotation, and one "parent" ref per span whose
+// parent ID is absent from the local span set (the remote span that
+// started this subtree).
+func RemoteRefs(spans []SpanData) []RemoteRef {
+	local := make(map[string]bool, len(spans))
+	for _, sd := range spans {
+		local[sd.SpanID] = true
+	}
+	var refs []RemoteRef
+	for _, sd := range spans {
+		for _, a := range sd.Attrs {
+			if a.Key != RemoteNodeAttr {
+				continue
+			}
+			node, _ := a.Value.(string)
+			refs = append(refs, RemoteRef{Kind: "child", SpanID: sd.SpanID, Node: node})
+		}
+		if sd.ParentID != "" && !local[sd.ParentID] {
+			refs = append(refs, RemoteRef{Kind: "parent", SpanID: sd.ParentID})
+		}
+	}
+	return refs
+}

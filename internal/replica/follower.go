@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/store"
 )
 
@@ -34,6 +35,11 @@ type Options struct {
 	Client   *http.Client  // default: a fresh client with no timeout
 	Logger   *slog.Logger  // default slog.Default()
 	Registry *obs.Registry // rr_replica_* metrics; nil skips registration
+	// Tracer records a replica.apply span per applied event whose
+	// replicated Trace stamp parses, continuing the LEADER's originating
+	// trace ID — so /debug/traces/{id} on the follower shows this node's
+	// share of the mutation the leader committed. Nil disables the spans.
+	Tracer *trace.Tracer
 
 	MinBackoff time.Duration // reconnect backoff floor; DefaultMinBackoff if 0
 	MaxBackoff time.Duration // reconnect backoff ceiling; DefaultMaxBackoff if 0
@@ -69,6 +75,7 @@ type Follower struct {
 	minBackoff   time.Duration
 	maxBackoff   time.Duration
 	stallTimeout time.Duration
+	tracer       *trace.Tracer
 
 	mu           sync.Mutex
 	connected    bool
@@ -108,6 +115,7 @@ func New(opts Options) (*Follower, error) {
 		minBackoff:   opts.MinBackoff,
 		maxBackoff:   opts.MaxBackoff,
 		stallTimeout: opts.StallTimeout,
+		tracer:       opts.Tracer,
 		start:        time.Now(),
 	}
 	if f.client == nil {
@@ -254,7 +262,15 @@ func (f *Follower) tail(ctx context.Context) (frames int, err error) {
 		frames++
 		switch fr.Kind {
 		case KindEvent:
+			sp := f.applySpan(ctx, fr.Event)
 			applied, err := f.st.ApplyEvent(fr.Event)
+			if sp != nil {
+				sp.SetAttr("applied", applied)
+				if err != nil {
+					sp.SetAttr("error", err.Error())
+				}
+				sp.End()
+			}
 			if err != nil {
 				// A gap (ErrSnapshotNeeded) or a corrupt event: drop the
 				// connection and re-dial from the applied seq — the leader
@@ -282,6 +298,29 @@ func (f *Follower) tail(ctx context.Context) (frames int, err error) {
 			f.observe(fr.Seq, true)
 		}
 	}
+}
+
+// applySpan roots a replica.apply span continuing the leader trace
+// stamped on ev, or nil when untraced/untraceable: each applied
+// mutation becomes one follower-local trace under the leader's trace
+// ID, with a remote "parent" reference back to the span that committed
+// it on the leader.
+func (f *Follower) applySpan(ctx context.Context, ev store.Event) *trace.Span {
+	if f.tracer == nil || ev.Trace == "" {
+		return nil
+	}
+	remote, err := trace.ParseTraceparent(ev.Trace)
+	if err != nil {
+		return nil
+	}
+	_, sp := f.tracer.StartRoot(ctx, "replica.apply", remote)
+	sp.SetAttr("op", ev.Op)
+	sp.SetAttr("model", ev.Name)
+	sp.SetAttr("seq", ev.Seq)
+	if ev.Version > 0 {
+		sp.SetAttr("version", ev.Version)
+	}
+	return sp
 }
 
 // observe folds a frame's view of the leader head into the status. A

@@ -80,6 +80,21 @@ func TestV1Contract(t *testing.T) {
 		{label: "ready", method: "GET", path: "/readyz", wantStatus: 200},
 		{label: "metrics", method: "GET", path: "/metrics", wantStatus: 200},
 		{label: "debug alerts", method: "GET", path: "/debug/alerts", wantStatus: 200},
+		{label: "debug traces", method: "GET", path: "/debug/traces", wantStatus: 200},
+		{label: "debug trace absent", method: "GET", path: "/debug/traces/deadbeef",
+			wantStatus: 404, wantCode: CodeNotFound},
+		{label: "debug profiles", method: "GET", path: "/debug/profiles", wantStatus: 200},
+		{label: "debug profile bad id", method: "GET", path: "/debug/profiles/abc",
+			wantStatus: 400, wantCode: CodeBadRequest},
+		{label: "debug profile absent", method: "GET", path: "/debug/profiles/999",
+			wantStatus: 404, wantCode: CodeNotFound},
+		// No fleet collector configured on this node: the routes exist
+		// (not 404-by-absence — wrong methods still draw 405 below) but
+		// answer not_found with an explanatory envelope.
+		{label: "metrics fleet unconfigured", method: "GET", path: "/metrics/fleet",
+			wantStatus: 404, wantCode: CodeNotFound},
+		{label: "debug fleet unconfigured", method: "GET", path: "/debug/fleet",
+			wantStatus: 404, wantCode: CodeNotFound},
 		{label: "unknown path", method: "GET", path: "/nope", wantStatus: 404, wantCode: CodeNotFound},
 		{label: "unknown v1 path", method: "POST", path: "/v1/bogus", wantStatus: 404, wantCode: CodeNotFound},
 
@@ -184,6 +199,18 @@ func TestV1Contract(t *testing.T) {
 		{label: "405 stream", method: "POST", path: "/v1/rules/m/stream",
 			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "GET, DELETE"},
 		{label: "405 model health", method: "POST", path: "/v1/rules/m/health",
+			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "GET"},
+		// Probes and debug routes live in the same route table, so a
+		// wrong method answers 405 + Allow, not a bare 404.
+		{label: "405 healthz", method: "POST", path: "/healthz",
+			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "GET"},
+		{label: "405 metrics", method: "POST", path: "/metrics",
+			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "GET"},
+		{label: "405 metrics fleet", method: "POST", path: "/metrics/fleet",
+			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "GET"},
+		{label: "405 debug profiles", method: "DELETE", path: "/debug/profiles",
+			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "GET"},
+		{label: "405 debug fleet", method: "POST", path: "/debug/fleet",
 			wantStatus: 405, wantCode: CodeMethodNotAllowed, wantAllow: "GET"},
 	}
 

@@ -1,11 +1,22 @@
 package server
 
+// Debug and fleet surfaces: the trace flight recorder (/debug/traces),
+// the continuous-profiling ring (/debug/profiles), and the federated
+// fleet views (/metrics/fleet, /debug/fleet). All of them mount from
+// the route table (routes.go) untraced — scraping the scraper would
+// flush real traffic out of the flight recorder.
+
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
+	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/fleet"
+	"ratiorules/internal/obs/profile"
 	"ratiorules/internal/obs/trace"
 )
 
@@ -49,32 +60,26 @@ func (s *service) debugTraces(w http.ResponseWriter, req *http.Request) {
 	})
 }
 
-// spanNode is one span rendered into the tree, children nested under
-// their parent.
-type spanNode struct {
-	SpanID     string       `json:"span_id"`
-	Name       string       `json:"name"`
-	Start      time.Time    `json:"start"`
-	DurationMS float64      `json:"duration_ms"`
-	Attrs      []trace.Attr `json:"attrs,omitempty"`
-	Children   []*spanNode  `json:"children,omitempty"`
-}
-
-// traceResponse is the GET /debug/traces/{id} body: the trace header
-// plus its span tree. Spans whose parent was dropped at the span cap
-// (or belongs to an upstream service) surface as extra roots.
+// traceResponse is the GET /debug/traces/{id} body: the trace header,
+// its span tree, and the trace's cross-node references — where the
+// rest of a federated trace lives when this node only holds a part of
+// it. Spans whose parent was dropped at the span cap (or ran on
+// another node) surface as extra roots.
 type traceResponse struct {
-	TraceID    string      `json:"trace_id"`
-	Name       string      `json:"name"`
-	Start      time.Time   `json:"start"`
-	DurationMS float64     `json:"duration_ms"`
-	Spans      int         `json:"spans"`
-	Dropped    int         `json:"dropped,omitempty"`
-	Tree       []*spanNode `json:"tree"`
+	TraceID    string            `json:"trace_id"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Spans      int               `json:"spans"`
+	Dropped    int               `json:"dropped,omitempty"`
+	Remote     []trace.RemoteRef `json:"remote,omitempty"`
+	Tree       []*trace.SpanNode `json:"tree"`
 }
 
 // debugTrace serves one retained trace's full span tree, rebuilt from
-// the flat span list by ParentID. Evicted or unknown IDs answer 404.
+// the flat span list by ParentID (trace.BuildTree — the same renderer
+// worker nodes use, so every node in the fleet answers the same shape).
+// Evicted or unknown IDs answer 404.
 func (s *service) debugTrace(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	td, ok := s.tracer.Recorder().Get(id)
@@ -83,6 +88,10 @@ func (s *service) debugTrace(w http.ResponseWriter, req *http.Request) {
 			fmt.Errorf("trace %q not retained (evicted or never recorded)", id))
 		return
 	}
+	tree := trace.BuildTree(td.Spans)
+	if tree == nil {
+		tree = []*trace.SpanNode{}
+	}
 	writeJSON(w, http.StatusOK, traceResponse{
 		TraceID:    td.TraceID,
 		Name:       td.Name,
@@ -90,49 +99,118 @@ func (s *service) debugTrace(w http.ResponseWriter, req *http.Request) {
 		DurationMS: float64(td.Duration) / float64(time.Millisecond),
 		Spans:      len(td.Spans),
 		Dropped:    td.Dropped,
-		Tree:       buildSpanTree(td.Spans),
+		Remote:     trace.RemoteRefs(td.Spans),
+		Tree:       tree,
 	})
 }
 
-// buildSpanTree nests the flat span list by ParentID, ordering
-// siblings by start time. Orphans — spans whose parent is not in the
-// list — become roots, so a capped trace still renders.
-func buildSpanTree(spans []trace.SpanData) []*spanNode {
-	nodes := make(map[string]*spanNode, len(spans))
-	for _, sp := range spans {
-		nodes[sp.SpanID] = &spanNode{
-			SpanID:     sp.SpanID,
-			Name:       sp.Name,
-			Start:      sp.Start,
-			DurationMS: float64(sp.Duration) / float64(time.Millisecond),
-			Attrs:      sp.Attrs,
-		}
-	}
-	var roots []*spanNode
-	for _, sp := range spans {
-		node := nodes[sp.SpanID]
-		if parent, ok := nodes[sp.ParentID]; ok && sp.ParentID != sp.SpanID {
-			parent.Children = append(parent.Children, node)
-		} else {
-			roots = append(roots, node)
-		}
-	}
-	sortSpanNodes(roots)
-	for _, n := range nodes {
-		sortSpanNodes(n.Children)
-	}
-	if roots == nil {
-		roots = []*spanNode{}
-	}
-	return roots
+// metricsExpo serves the node's own registry (GET /metrics).
+func (s *service) metricsExpo(w http.ResponseWriter, req *http.Request) {
+	s.metricsHandler.ServeHTTP(w, req)
 }
 
-// sortSpanNodes orders siblings chronologically (insertion sort: spans
-// already arrive in near-End order, and sibling lists are short).
-func sortSpanNodes(nodes []*spanNode) {
-	for i := 1; i < len(nodes); i++ {
-		for j := i; j > 0 && nodes[j].Start.Before(nodes[j-1].Start); j-- {
-			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
-		}
+// metricsFleet serves the federated exposition: every member's last
+// scrape with node="..." injected, plus the synthetic per-node health
+// series. Nodes without a collector answer 404 so scrapers can probe
+// which node fronts the fleet.
+func (s *service) metricsFleet(w http.ResponseWriter, _ *http.Request) {
+	if s.fleet == nil {
+		writeErr(w, http.StatusNotFound, CodeNotFound,
+			errors.New("fleet collection not configured on this node"))
+		return
 	}
+	// Render to a buffer first so a mid-exposition failure can still
+	// answer a clean error instead of a torn body.
+	var buf bytes.Buffer
+	if err := s.fleet.WriteMetrics(&buf); err != nil {
+		if errors.Is(err, fleet.ErrNoData) {
+			writeErr(w, http.StatusNotFound, CodeNotFound, err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// fleetResponse is the GET /debug/fleet body: the collecting node's
+// own identity plus one row per scraped member.
+type fleetResponse struct {
+	Self            fleetSelf          `json:"self"`
+	IntervalSeconds float64            `json:"scrape_interval_seconds"`
+	Nodes           []fleet.NodeStatus `json:"nodes"`
+}
+
+// fleetSelf identifies the node serving the rollup.
+type fleetSelf struct {
+	Role  string        `json:"role"`
+	Build obs.BuildInfo `json:"build"`
+}
+
+// debugFleet serves the JSON fleet rollup: per-node role, health,
+// staleness, build identity, probe body and (for workers) shard
+// ownership.
+func (s *service) debugFleet(w http.ResponseWriter, _ *http.Request) {
+	if s.fleet == nil {
+		writeErr(w, http.StatusNotFound, CodeNotFound,
+			errors.New("fleet collection not configured on this node"))
+		return
+	}
+	nodes := s.fleet.Nodes()
+	if nodes == nil {
+		nodes = []fleet.NodeStatus{}
+	}
+	writeJSON(w, http.StatusOK, fleetResponse{
+		Self:            fleetSelf{Role: s.role.String(), Build: obs.Build()},
+		IntervalSeconds: s.fleet.Interval().Seconds(),
+		Nodes:           nodes,
+	})
+}
+
+// profilesResponse is the GET /debug/profiles body: ring occupancy, the
+// knobs in effect, and the retained captures oldest first.
+type profilesResponse struct {
+	Retained           int             `json:"retained"`
+	TotalBytes         int64           `json:"total_bytes"`
+	IntervalSeconds    float64         `json:"interval_seconds"`
+	CPUDurationSeconds float64         `json:"cpu_duration_seconds"`
+	Profiles           []profile.Entry `json:"profiles"`
+}
+
+// debugProfiles lists the continuous-profiling ring.
+func (s *service) debugProfiles(w http.ResponseWriter, _ *http.Request) {
+	entries := s.profiles.List()
+	if entries == nil {
+		entries = []profile.Entry{}
+	}
+	writeJSON(w, http.StatusOK, profilesResponse{
+		Retained:           len(entries),
+		TotalBytes:         s.profiles.TotalBytes(),
+		IntervalSeconds:    s.profiles.Interval().Seconds(),
+		CPUDurationSeconds: s.profiles.CPUDuration().Seconds(),
+		Profiles:           entries,
+	})
+}
+
+// debugProfile serves one retained capture's pprof blob, ready for
+// `go tool pprof <url>` or a saved-file workflow.
+func (s *service) debugProfile(w http.ResponseWriter, req *http.Request) {
+	raw := req.PathValue("id")
+	id, err := strconv.Atoi(raw)
+	if err != nil || id <= 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("invalid profile id %q: want a positive integer", raw))
+		return
+	}
+	e, blob, ok := s.profiles.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("profile %d not retained (evicted or never captured)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("%s-%d.pprof", e.Kind, e.ID)))
+	_, _ = w.Write(blob)
 }

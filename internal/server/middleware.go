@@ -9,6 +9,8 @@ import (
 
 	"ratiorules/internal/cluster"
 	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/fleet"
+	"ratiorules/internal/obs/profile"
 	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/online"
 	"ratiorules/internal/replica"
@@ -23,6 +25,8 @@ type handlerConfig struct {
 	tracer        *trace.Tracer
 	online        *online.Manager
 	cluster       *cluster.Coordinator
+	fleet         *fleet.Collector
+	profiles      *profile.Ring
 	follower      *replica.Follower
 	leaderURL     string
 	maxReplicaLag time.Duration
@@ -87,6 +91,25 @@ func WithOnline(m *online.Manager) HandlerOption {
 // -cluster-workers and friends through it).
 func WithCluster(c *cluster.Coordinator) HandlerOption {
 	return func(cfg *handlerConfig) { cfg.cluster = c }
+}
+
+// WithFleet mounts the federated fleet surface over c: GET
+// /metrics/fleet serves every member's last scrape as one
+// node="..."-labeled exposition and GET /debug/fleet serves the JSON
+// rollup. The caller owns the collector's Run lifecycle (rrserve wires
+// -fleet-members and -fleet-every through it). Without this option both
+// routes answer 404 not_found.
+func WithFleet(c *fleet.Collector) HandlerOption {
+	return func(cfg *handlerConfig) { cfg.fleet = c }
+}
+
+// WithProfiles serves the continuous-profiling ring at GET
+// /debug/profiles[/{id}]. The caller owns the ring's Run lifecycle
+// (rrserve wires -profile-every and -profile-cpu through it). Without
+// this option Handler builds a passive ring, so the routes always
+// answer — just with an empty listing.
+func WithProfiles(r *profile.Ring) HandlerOption {
+	return func(cfg *handlerConfig) { cfg.profiles = r }
 }
 
 // WithFollower puts the server in read-only follower mode: every GET

@@ -1,11 +1,14 @@
 package server
 
-// The declarative v1 route table. Every /v1 route is one entry —
-// method, path, which server roles serve it, whether it mutates state —
-// and both the mux (Handler) and the contract tests walk the same
-// table, so leader/follower/coordinator gating lives here and nowhere
-// else. Wrong-method fallbacks (405 + Allow) are derived from the
-// table too: the Allow header is exactly the methods mounted on a path.
+// The declarative route table. Every route of the public surface —
+// the /v1 API, the probes, /metrics and the /debug introspection
+// endpoints — is one entry: method, path, which server roles serve it,
+// whether it mutates state — and both the mux (Handler) and the
+// contract tests walk the same table, so leader/follower/coordinator
+// gating lives here and nowhere else. Wrong-method fallbacks (405 +
+// Allow) are derived from the table too: the Allow header is exactly
+// the methods mounted on a path (so POST /healthz is a 405 with
+// Allow: GET, not a bare 404).
 
 import (
 	"fmt"
@@ -101,6 +104,21 @@ var v1Routes = []route{
 	{method: "GET", path: "/v1/cluster/status", roles: RoleCoordinator, handler: (*service).clusterStatus},
 	{method: "POST", path: "/v1/cluster/join", roles: RoleCoordinator, handler: (*service).clusterJoin},
 	{method: "POST", path: "/v1/cluster/republish/{name}", roles: RoleCoordinator, handler: (*service).clusterRepublish},
+	// Probes, metrics and the /debug introspection surface. All untraced:
+	// scrapers hit them every few seconds and would flush real traffic
+	// out of the flight recorder (and tracing the trace dump would be
+	// silly). Every role serves them; the fleet pair answers 404
+	// not_found on nodes without a collector.
+	{method: "GET", path: "/healthz", roles: rolesAll, untraced: true, handler: (*service).health},
+	{method: "GET", path: "/readyz", roles: rolesAll, untraced: true, handler: (*service).readyz},
+	{method: "GET", path: "/metrics", roles: rolesAll, untraced: true, handler: (*service).metricsExpo},
+	{method: "GET", path: "/metrics/fleet", roles: rolesAll, untraced: true, handler: (*service).metricsFleet},
+	{method: "GET", path: "/debug/traces", roles: rolesAll, untraced: true, handler: (*service).debugTraces},
+	{method: "GET", path: "/debug/traces/{id}", roles: rolesAll, untraced: true, handler: (*service).debugTrace},
+	{method: "GET", path: "/debug/alerts", roles: rolesAll, untraced: true, handler: (*service).debugAlerts},
+	{method: "GET", path: "/debug/fleet", roles: rolesAll, untraced: true, handler: (*service).debugFleet},
+	{method: "GET", path: "/debug/profiles", roles: rolesAll, untraced: true, handler: (*service).debugProfiles},
+	{method: "GET", path: "/debug/profiles/{id}", roles: rolesAll, untraced: true, handler: (*service).debugProfile},
 }
 
 // mounted reports whether a role mounts this route at all: either

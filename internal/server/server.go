@@ -31,10 +31,14 @@
 //	GET    /v1/replicate                     WAL replication stream (CRC frames; ?from=N)
 //	GET    /healthz                          liveness probe (process up, nothing else)
 //	GET    /readyz                           readiness: 503 when the store is wedged
-//	GET    /metrics                          Prometheus text exposition
+//	GET    /metrics                          Prometheus text exposition (this node)
+//	GET    /metrics/fleet                    federated exposition, node="..." labeled (WithFleet)
 //	GET    /debug/traces                     flight recorder: recent trace summaries
-//	GET    /debug/traces/{id}                one trace's full span tree
+//	GET    /debug/traces/{id}                one trace's span tree + remote-node references
 //	GET    /debug/alerts                     alert engine: rules and per-model states
+//	GET    /debug/fleet                      fleet rollup: per-node health, lag, shards, build
+//	GET    /debug/profiles                   continuous-profiling ring listing
+//	GET    /debug/profiles/{id}              one retained pprof blob
 //
 // The server runs as one of three roles (see routes.go): a plain
 // leader, a coordinator (WithCluster: adds the /v1/cluster admin
@@ -76,6 +80,8 @@ import (
 	"ratiorules/internal/core"
 	"ratiorules/internal/matrix"
 	"ratiorules/internal/obs"
+	"ratiorules/internal/obs/fleet"
+	"ratiorules/internal/obs/profile"
 	"ratiorules/internal/obs/trace"
 	"ratiorules/internal/online"
 	"ratiorules/internal/replica"
@@ -200,9 +206,19 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 		o(&cfg)
 	}
 	if cfg.tracer == nil {
-		cfg.tracer = trace.New(trace.Config{Logger: cfg.logger})
+		cfg.tracer = trace.New(trace.Config{
+			Logger:  cfg.logger,
+			Dropped: obs.SpanDropCounter(cfg.metrics),
+		})
+	}
+	if cfg.profiles == nil {
+		// A passive ring (nobody calls Run) keeps GET /debug/profiles
+		// serving an honest empty listing; rrserve decides whether the
+		// capture loop actually runs (WithProfiles + -profile-every).
+		cfg.profiles = profile.New(profile.Config{Logger: cfg.logger})
 	}
 	obs.RegisterRuntime(cfg.metrics)
+	obs.RegisterBuildInfo(cfg.metrics)
 	if cfg.online == nil {
 		// A default manager (no checkpoint dir, synchronous row-count
 		// republishing) keeps the ingest routes working for embedders
@@ -228,18 +244,21 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	}
 	m := newHTTPMetrics(cfg.metrics, cfg.logger, cfg.tracer)
 	s := &service{
-		reg:           reg,
-		logger:        cfg.logger,
-		batchWorkers:  cfg.batchWorkers,
-		batch:         newBatchMetrics(cfg.metrics),
-		tracer:        cfg.tracer,
-		online:        cfg.online,
-		cluster:       cfg.cluster,
-		failed:        reg.Failed,
-		role:          role,
-		follower:      cfg.follower,
-		leaderURL:     cfg.leaderURL,
-		maxReplicaLag: maxLag,
+		reg:            reg,
+		logger:         cfg.logger,
+		batchWorkers:   cfg.batchWorkers,
+		batch:          newBatchMetrics(cfg.metrics),
+		tracer:         cfg.tracer,
+		online:         cfg.online,
+		cluster:        cfg.cluster,
+		failed:         reg.Failed,
+		metricsHandler: cfg.metrics.Handler(),
+		fleet:          cfg.fleet,
+		profiles:       cfg.profiles,
+		role:           role,
+		follower:       cfg.follower,
+		leaderURL:      cfg.leaderURL,
+		maxReplicaLag:  maxLag,
 		replication: &replica.Handler{
 			Store:  reg.Store(),
 			Logger: cfg.logger,
@@ -249,18 +268,10 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 		},
 	}
 	mux := http.NewServeMux()
-	// Probe and introspection routes stay untraced: scrapers hit them
-	// every few seconds and would flush real traffic out of the flight
-	// recorder (and tracing the trace dump would be silly).
-	mux.Handle("GET /healthz", m.instrument("/healthz", http.HandlerFunc(s.health)))
-	mux.Handle("GET /readyz", m.instrument("/readyz", http.HandlerFunc(s.readyz)))
-	mux.Handle("GET /metrics", m.instrument("/metrics", cfg.metrics.Handler()))
-	mux.Handle("GET /debug/traces", m.instrument("/debug/traces", http.HandlerFunc(s.debugTraces)))
-	mux.Handle("GET /debug/traces/{id}", m.instrument("/debug/traces/{id}", http.HandlerFunc(s.debugTrace)))
-	mux.Handle("GET /debug/alerts", m.instrument("/debug/alerts", http.HandlerFunc(s.debugAlerts)))
-	// The whole /v1 surface — handlers, role gating, body caps, and the
-	// derived wrong-method fallbacks — mounts from the declarative route
-	// table in routes.go.
+	// The whole public surface — the /v1 API, probes, /metrics and the
+	// /debug endpoints, with role gating, body caps, and the derived
+	// wrong-method fallbacks — mounts from the declarative route table
+	// in routes.go.
 	mountRoutes(mux, s, m, cfg.maxBodyBytes)
 	// Catch-all: unknown paths answer the uniform envelope instead of
 	// net/http's plain-text 404.
@@ -283,14 +294,17 @@ func limitBody(limit int64, h http.HandlerFunc) http.HandlerFunc {
 }
 
 type service struct {
-	reg          *Registry
-	logger       *slog.Logger
-	batchWorkers int
-	batch        *batchMetrics
-	tracer       *trace.Tracer
-	online       *online.Manager
-	cluster      *cluster.Coordinator // nil unless coordinator mode (WithCluster)
-	failed       func() error         // readiness seam; Handler wires reg.Failed
+	reg            *Registry
+	logger         *slog.Logger
+	batchWorkers   int
+	batch          *batchMetrics
+	tracer         *trace.Tracer
+	online         *online.Manager
+	cluster        *cluster.Coordinator // nil unless coordinator mode (WithCluster)
+	failed         func() error         // readiness seam; Handler wires reg.Failed
+	metricsHandler http.Handler         // GET /metrics (this node's registry)
+	fleet          *fleet.Collector     // nil unless fleet collection configured (WithFleet)
+	profiles       *profile.Ring        // always non-nil; passive unless rrserve runs it
 
 	role          Role
 	follower      *replica.Follower // nil unless follower mode (WithFollower)

@@ -56,6 +56,12 @@ type Event struct {
 	Name    string          `json:"name"`
 	Version int             `json:"version,omitempty"`
 	Rules   json.RawMessage `json:"rules,omitempty"`
+	// Trace is the leader's originating traceparent ("" when the
+	// mutation was untraced): what lets a follower's replica.apply span
+	// link back to the leader trace that committed the mutation. The
+	// field layout must stay identical to walEvent — the two convert by
+	// direct struct conversion.
+	Trace string `json:"trace,omitempty"`
 }
 
 // SnapshotRev is one retained revision inside a SnapshotDoc.

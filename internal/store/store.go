@@ -362,6 +362,15 @@ func (s *Store) install(name string, r rev) {
 // rather than appending past torn bytes that recovery would stop at.
 // Callers hold s.mu.
 func (s *Store) journal(ctx context.Context, ev walEvent) error {
+	// Stamp the committing request's trace onto the event (replicated
+	// applies arrive pre-stamped with the LEADER's trace and a traceless
+	// ctx, so an existing stamp is never overwritten): followers parent
+	// their replica.apply spans on it.
+	if ev.Trace == "" {
+		if tid, sid, ok := trace.FromContext(ctx); ok {
+			ev.Trace = trace.Traceparent(tid, sid)
+		}
+	}
 	if s.wal != nil {
 		payload, err := json.Marshal(ev)
 		if err != nil {

@@ -44,6 +44,11 @@ type walEvent struct {
 	Name    string          `json:"name"`
 	Version int             `json:"version,omitempty"`
 	Rules   json.RawMessage `json:"rules,omitempty"` // core.Rules JSON (put only)
+	// Trace is the W3C traceparent of the mutation that journaled the
+	// event ("" when untraced). It ships to follower replicas via the
+	// identical-shape Event struct, so a follower's replica.apply span
+	// can continue the leader's originating trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // encodeRecord frames a payload as one WAL record.
