@@ -4,7 +4,7 @@ FUZZTIME ?= 10s
 # no staticcheck binary is on PATH (needs network for the first run).
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet test race lint verify verify-api verify-store verify-trace verify-online verify-alert verify-cluster verify-replica verify-fleet fuzz bench clean
+.PHONY: all build vet test race lint verify verify-api verify-store verify-trace verify-online verify-alert verify-cluster verify-replica verify-fleet verify-admission fuzz bench clean
 
 all: build
 
@@ -116,12 +116,25 @@ verify-fleet:
 	$(GO) test -race -run 'TestFollowerContinuesLeaderTrace|TestUntracedCommitAppliesQuietly' -count=1 ./internal/replica
 	$(GO) test -run 'TestV1Contract|TestFleetRoutes|TestProfileRoutes|TestMetricsServesBuildInfo' -count=1 ./internal/server
 
+# verify-admission checks admission control & multi-tenancy
+# (docs/api.md "Authentication and multi-tenancy", docs/runbook.md):
+# the tenant registry / bucket / quota / shed suites under the race
+# detector twice (bounded-wait and reload paths are timing-sensitive),
+# the auth/rate-limit/isolation/shed HTTP contract, and the rrserve
+# end-to-end pair (tenants-file boot + SIGHUP rotation, flags-only
+# anonymous admission).
+verify-admission:
+	$(GO) vet ./internal/admission ./internal/server ./cmd/rrserve
+	$(GO) test -race -count=2 ./internal/admission
+	$(GO) test -run 'TestV1Contract' -count=1 ./internal/server
+	$(GO) test -race -run 'TestAdmission' -count=1 ./cmd/rrserve
+
 # verify is the gate for every change: vet, a full build, the race
 # detector across all packages, then the store persistence gauntlet,
 # the HTTP API contract, the tracing layer, the live-ingest loop, the
-# model-quality alert path, the sharded cluster, follower replication
-# and the fleet observability layer. (Lint is a separate CI step — it
-# may need the network to fetch staticcheck.)
+# model-quality alert path, the sharded cluster, follower replication,
+# the fleet observability layer and admission control. (Lint is a
+# separate CI step — it may need the network to fetch staticcheck.)
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -134,6 +147,7 @@ verify:
 	$(MAKE) verify-cluster
 	$(MAKE) verify-replica
 	$(MAKE) verify-fleet
+	$(MAKE) verify-admission
 
 # fuzz runs each core fuzz target for FUZZTIME (default 10s). Go allows
 # one -fuzz pattern per invocation, hence the separate runs.

@@ -1,0 +1,39 @@
+// Command healthprobe issues one HTTP GET and exits 0 on a 2xx
+// response, 1 otherwise. It exists for container healthchecks: the
+// distroless runtime image (see Dockerfile) has no shell or curl, so
+// compose/Kubernetes probes exec this static binary against the
+// service's own /healthz and /readyz endpoints instead.
+//
+// Usage:
+//
+//	healthprobe [-timeout 2s] <url>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 2*time.Second, "request timeout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: healthprobe [-timeout 2s] <url>")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "healthprobe:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		fmt.Fprintf(os.Stderr, "healthprobe: %s answered %s\n", flag.Arg(0), resp.Status)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

@@ -43,7 +43,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rrbench", flag.ContinueOnError)
 	var (
-		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch, online, drift, cluster, replica, profile or all")
+		experiment    = fs.String("experiment", "all", "fig6, fig7, fig8, fig9, fig11, fig12, sec63, table2, cutoff, robust, bands, learncurve, batch, online, drift, cluster, replica, profile, admission or all")
 		batchRows     = fs.Int("batch-rows", 10000, "rows for the batch experiment")
 		batchPatterns = fs.Int("batch-patterns", 8, "distinct hole patterns for the batch experiment")
 		batchWorkers  = fs.Int("batch-workers", 0, "worker pool width for the batch experiment (<= 0 = one per CPU)")
@@ -58,6 +58,8 @@ func run(args []string, w io.Writer) error {
 		clusterNodes  = fs.Int("cluster-nodes", 4, "in-process worker nodes for the cluster experiment")
 		replicaEvents = fs.Int("replica-events", 2000, "committed models for the replica experiment")
 		replicaWidth  = fs.Int("replica-width", 32, "columns per model for the replica experiment")
+		admRequests   = fs.Int("admission-requests", 2000, "sequential probe requests per admission experiment phase")
+		admFlood      = fs.Int("admission-flood", 12, "concurrent flooding goroutines for the admission experiment")
 		ds            = fs.String("dataset", "nba", "dataset for fig6/cutoff: nba, baseball or abalone")
 		sizes         = fs.String("sizes", "", "comma-separated row counts for fig8 (default: the paper's sweep)")
 		datDir        = fs.String("datdir", "", "also write the paper's gnuplot data files (nba.d2, scaleup.dat, ...) into this directory")
@@ -80,6 +82,7 @@ func run(args []string, w io.Writer) error {
 	var clusterRes *experiments.ClusterResult
 	var replicaRes *experiments.ReplicaResult
 	var profileRes *experiments.ProfileResult
+	var admissionRes *experiments.AdmissionResult
 
 	runOne := func(name string) error {
 		switch name {
@@ -203,6 +206,13 @@ func run(args []string, w io.Writer) error {
 			}
 			profileRes = res
 			fmt.Fprintln(w, res)
+		case "admission":
+			res, err := experiments.RunAdmission(*admRequests, *admFlood)
+			if err != nil {
+				return err
+			}
+			admissionRes = res
+			fmt.Fprintln(w, res)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -225,7 +235,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "online", "drift", "cluster", "replica", "profile", "fig8"} {
+		for _, name := range []string{"table2", "fig7", "fig6", "fig11", "fig9", "fig12", "sec63", "cutoff", "robust", "bands", "learncurve", "batch", "online", "drift", "cluster", "replica", "profile", "admission", "fig8"} {
 			fmt.Fprintf(w, "==================== %s ====================\n", name)
 			if err := timedRun(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -239,7 +249,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("creating -out file: %w", err)
 		}
-		if err := writeJSONSummary(f, timings, driftRes, clusterRes, replicaRes, profileRes); err != nil {
+		if err := writeJSONSummary(f, timings, driftRes, clusterRes, replicaRes, profileRes, admissionRes); err != nil {
 			f.Close()
 			return fmt.Errorf("writing %s: %w", *outFile, err)
 		}
@@ -249,7 +259,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote summary to %s\n", *outFile)
 	}
 	if *jsonOut {
-		return writeJSONSummary(jsonDst, timings, driftRes, clusterRes, replicaRes, profileRes)
+		return writeJSONSummary(jsonDst, timings, driftRes, clusterRes, replicaRes, profileRes, admissionRes)
 	}
 	return nil
 }
@@ -287,6 +297,10 @@ type benchSummary struct {
 	// Profile carries the continuous-profiling overhead comparison
 	// (ingest throughput ring-off vs ring-on) when it ran.
 	Profile *experiments.ProfileResult `json:"profile,omitempty"`
+	// Admission carries the traffic-protection figures (middleware
+	// overhead, tenant isolation under flood, shed turnaround) when the
+	// admission experiment ran.
+	Admission *experiments.AdmissionResult `json:"admission,omitempty"`
 	// ClusterMetrics snapshots the coordinator/worker rr_cluster_*
 	// counters accumulated by the run.
 	ClusterMetrics clusterSummary `json:"cluster_metrics"`
@@ -346,7 +360,7 @@ type minerSummary struct {
 // writeJSONSummary snapshots the obs registry into the -json document.
 func writeJSONSummary(w io.Writer, timings []benchExperiment, drift *experiments.DriftResult,
 	clusterRes *experiments.ClusterResult, replicaRes *experiments.ReplicaResult,
-	profileRes *experiments.ProfileResult) error {
+	profileRes *experiments.ProfileResult, admissionRes *experiments.AdmissionResult) error {
 	sum := benchSummary{
 		Experiments: timings,
 		Miner: minerSummary{
@@ -359,10 +373,11 @@ func writeJSONSummary(w io.Writer, timings []benchExperiment, drift *experiments
 			RowsIngested: make(map[string]float64),
 			Republishes:  make(map[string]float64),
 		},
-		Drift:   drift,
-		Cluster: clusterRes,
-		Replica: replicaRes,
-		Profile: profileRes,
+		Drift:     drift,
+		Cluster:   clusterRes,
+		Replica:   replicaRes,
+		Profile:   profileRes,
+		Admission: admissionRes,
 		ClusterMetrics: clusterSummary{
 			Rows:   make(map[string]float64),
 			Chunks: make(map[string]float64),

@@ -97,6 +97,25 @@
 //	-fleet-every     fleet scrape interval (default 5s)
 //	-fleet-self      node label for this node's own series in the
 //	                 fleet exposition (default "self")
+//	-tenants-file    JSON tenant registry (bearer tokens, per-tenant
+//	                 limit overrides); setting it — or any admission
+//	                 flag below — turns admission control on. The file
+//	                 is hot-reloaded on SIGHUP or on-disk change
+//	                 (docs/api.md, docs/runbook.md)
+//	-admission-rps   default per-tenant request rate (requests/s,
+//	                 0 = unlimited); -admission-burst sets the bucket
+//	                 burst (0 = one second of rate)
+//	-admission-rows  default per-tenant ingest row rate (rows/s) with
+//	                 -admission-row-burst; -admission-batch-rows and
+//	                 -admission-batch-row-burst meter /batch rows
+//	-admission-inflight default per-tenant in-flight request quota
+//	                 (0 = unlimited)
+//	-admission-wait  bounded wait for a quota slot or row tokens
+//	                 before a request sheds with 429 (default 100ms)
+//	-max-inflight    global in-flight ceiling; beyond it requests shed
+//	                 lowest-priority tenants first (0 disables)
+//	-ingest-queue    bounded waiters behind each model's ingest fold
+//	                 (default 64; < 0 disables the queue)
 //	-v               debug logging (overrides RR_LOG_LEVEL)
 //	RR_LOG_LEVEL  debug|info|warn|error (default info)
 //	RR_LOG_FORMAT text|json (default text)
@@ -126,6 +145,7 @@ import (
 	"syscall"
 	"time"
 
+	"ratiorules/internal/admission"
 	"ratiorules/internal/cluster"
 	"ratiorules/internal/obs"
 	"ratiorules/internal/obs/alert"
@@ -206,6 +226,18 @@ func run(ctx context.Context, args []string) error {
 		fleetMembers = fs.String("fleet-members", "", "comma-separated [name=]url fleet member list; non-empty starts the fleet collector")
 		fleetEvery   = fs.Duration("fleet-every", fleet.DefaultInterval, "fleet scrape interval")
 		fleetSelf    = fs.String("fleet-self", "self", "node label for this node's own series in the fleet exposition")
+
+		tenantsFile       = fs.String("tenants-file", "", "JSON tenant registry (bearer tokens, per-tenant limits); hot-reloaded on SIGHUP or file change")
+		admissionRPS      = fs.Float64("admission-rps", 0, "default per-tenant request rate limit, requests/s (0 = unlimited)")
+		admissionBurst    = fs.Float64("admission-burst", 0, "default request-bucket burst (0 = one second of rate)")
+		admissionRows     = fs.Float64("admission-rows", 0, "default per-tenant ingest row rate limit, rows/s (0 = unlimited)")
+		admissionRowB     = fs.Float64("admission-row-burst", 0, "default ingest row-bucket burst (0 = one second of rate)")
+		admissionBatch    = fs.Float64("admission-batch-rows", 0, "default per-tenant batch inference row rate limit, rows/s (0 = unlimited)")
+		admissionBatchB   = fs.Float64("admission-batch-row-burst", 0, "default batch row-bucket burst (0 = one second of rate)")
+		admissionInflight = fs.Int("admission-inflight", 0, "default per-tenant in-flight request quota (0 = unlimited)")
+		admissionWait     = fs.Duration("admission-wait", admission.DefaultMaxWait, "bounded wait for a quota slot or row tokens before shedding")
+		maxInflight       = fs.Int("max-inflight", 0, "global in-flight ceiling; beyond it requests shed lowest-priority first (0 disables)")
+		ingestQueue       = fs.Int("ingest-queue", admission.DefaultIngestQueue, "bounded waiters behind each model's ingest fold (< 0 disables the queue)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -429,6 +461,64 @@ func run(ctx context.Context, args []string) error {
 			"static_members", len(fleetCfg.Members), "coordinator_sourced", coord != nil,
 			"every", collector.Interval())
 		handlerOpts = append(handlerOpts, server.WithFleet(collector))
+	}
+
+	// Admission control: on when -tenants-file names a registry or any
+	// admission tuning flag was given explicitly. Off (the default) the
+	// handler chain is untouched — no auth, no limits, no per-request
+	// overhead — and model names stay unprefixed in the store.
+	admissionOn := *tenantsFile != ""
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "admission-rps", "admission-burst", "admission-rows", "admission-row-burst",
+			"admission-batch-rows", "admission-batch-row-burst", "admission-inflight",
+			"admission-wait", "max-inflight", "ingest-queue":
+			admissionOn = true
+		}
+	})
+	if admissionOn {
+		ctrl, err := admission.New(admission.Config{
+			TenantsFile: *tenantsFile,
+			Defaults: admission.Limits{
+				RequestsPerSecond:  *admissionRPS,
+				RequestBurst:       *admissionBurst,
+				RowsPerSecond:      *admissionRows,
+				RowBurst:           *admissionRowB,
+				BatchRowsPerSecond: *admissionBatch,
+				BatchRowBurst:      *admissionBatchB,
+				MaxInFlight:        *admissionInflight,
+			},
+			GlobalInFlight: *maxInflight,
+			IngestQueue:    *ingestQueue,
+			MaxWait:        *admissionWait,
+			Logger:         logger,
+			Metrics:        obs.Default(),
+		})
+		if err != nil {
+			return fmt.Errorf("building admission controller: %w", err)
+		}
+		go ctrl.Run(ctx) // tenant-file mtime polling
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					if err := ctrl.Reload(); err != nil {
+						logger.Error("tenant registry reload failed, keeping last-good", "err", err)
+					} else {
+						logger.Info("tenant registry reloaded on SIGHUP")
+					}
+				}
+			}
+		}()
+		logger.Info("admission control on",
+			"tenants_file", *tenantsFile, "global_inflight", *maxInflight,
+			"max_wait", *admissionWait)
+		handlerOpts = append(handlerOpts, server.WithAdmission(ctrl))
 	}
 
 	// baseCancel ends the long-lived replication streams (they select on

@@ -1,0 +1,138 @@
+package admission
+
+// Token buckets are the rate-limiting primitive: a bucket refills at a
+// fixed rate up to a burst capacity, and each admitted unit (one
+// request, one streamed row) takes one token. Buckets are lazy — no
+// background refill goroutine; the available balance is recomputed from
+// the elapsed time on every take — so an idle tenant costs nothing.
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is one token bucket. A nil bucket admits everything (the
+// unlimited case), so callers never branch on configuration.
+type bucket struct {
+	mu sync.Mutex
+	// rate is tokens per second; burst is the capacity the balance can
+	// accumulate to while idle.
+	rate  float64
+	burst float64
+	// tokens is the balance as of last. It may go slightly negative
+	// transiently inside take, never when take reports ok.
+	tokens float64
+	last   time.Time
+}
+
+// newBucket builds a bucket that starts full. rate <= 0 means
+// unlimited: newBucket returns nil and every take succeeds.
+func newBucket(rate, burst float64) *bucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < rate {
+		burst = rate
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// refillLocked advances the balance to now. Callers hold mu.
+func (b *bucket) refillLocked(now time.Time) {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// take removes n tokens if available. When the balance is short it
+// reports ok=false and how long until n tokens will have refilled —
+// the Retry-After the caller surfaces to the client.
+func (b *bucket) take(n float64) (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(time.Now())
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	need := n - b.tokens
+	if need > b.burst {
+		// n exceeds the burst capacity outright: it will never fit in
+		// one take. Report the time to refill a full burst; chunked
+		// callers (rowGate) fall back to smaller draws.
+		need = b.burst
+	}
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// takeUpTo removes up to n tokens, returning how many it got (possibly
+// zero). Row gates use it to drain whatever allowance is left instead
+// of failing a full chunk draw outright.
+func (b *bucket) takeUpTo(n float64) float64 {
+	if b == nil {
+		return n
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(time.Now())
+	got := b.tokens
+	if got > n {
+		got = n
+	}
+	if got < 0 {
+		got = 0
+	}
+	b.tokens -= got
+	return got
+}
+
+// refund returns unspent tokens (clamped to burst). Row gates refund
+// the tail of a chunk when a stream ends early.
+func (b *bucket) refund(n float64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += n
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// setRate retunes the bucket in place on a tenant-file reload. The
+// current balance is clamped to the new burst so a reload can only
+// shrink outstanding allowance, never mint tokens.
+func (b *bucket) setRate(rate, burst float64) {
+	if b == nil {
+		return
+	}
+	if burst < rate {
+		burst = rate
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(time.Now())
+	b.rate, b.burst = rate, burst
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+}
+
+// available reports the current balance (for /debug/admission).
+func (b *bucket) available() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(time.Now())
+	return b.tokens
+}

@@ -1,0 +1,86 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketUnlimited(t *testing.T) {
+	var b *bucket = newBucket(0, 0)
+	if b != nil {
+		t.Fatalf("rate 0 should yield a nil (unlimited) bucket")
+	}
+	if ok, retry := b.take(1e9); !ok || retry != 0 {
+		t.Fatalf("nil bucket take = (%v, %v), want (true, 0)", ok, retry)
+	}
+	if got := b.takeUpTo(42); got != 42 {
+		t.Fatalf("nil bucket takeUpTo = %v, want 42", got)
+	}
+}
+
+func TestBucketStartsFullAndDrains(t *testing.T) {
+	b := newBucket(10, 5) // burst clamps up to rate
+	if b.burst != 10 {
+		t.Fatalf("burst = %v, want clamped to rate 10", b.burst)
+	}
+	for i := 0; i < 10; i++ {
+		if ok, _ := b.take(1); !ok {
+			t.Fatalf("take %d failed with a full bucket", i)
+		}
+	}
+	ok, retry := b.take(1)
+	if ok {
+		t.Fatal("take succeeded on an empty bucket")
+	}
+	if retry <= 0 || retry > 150*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want ~100ms for 1 token at 10/s", retry)
+	}
+}
+
+func TestBucketRefills(t *testing.T) {
+	b := newBucket(1000, 1000)
+	b.takeUpTo(1000) // drain
+	time.Sleep(20 * time.Millisecond)
+	if got := b.takeUpTo(1000); got < 5 {
+		t.Fatalf("after 20ms at 1000/s, takeUpTo got %v tokens, want >= 5", got)
+	}
+}
+
+func TestBucketOversizedDraw(t *testing.T) {
+	b := newBucket(10, 10)
+	ok, retry := b.take(1e6)
+	if ok {
+		t.Fatal("oversized take succeeded")
+	}
+	// retryAfter is clamped to a full-burst refill, not 1e5 seconds.
+	if retry > 2*time.Second {
+		t.Fatalf("oversized take retryAfter = %v, want <= burst refill (1s)", retry)
+	}
+}
+
+func TestBucketSetRateNeverMints(t *testing.T) {
+	b := newBucket(10, 100)
+	b.takeUpTo(100) // drain
+	b.setRate(10, 10)
+	if got := b.available(); got > 1 {
+		t.Fatalf("available after retune = %v, want ~0 (no minting)", got)
+	}
+	b2 := newBucket(10, 10)
+	b2.setRate(10, 5) // shrink burst below balance
+	if got := b2.available(); got > 10 {
+		t.Fatalf("available after shrink = %v, want clamped to new burst", got)
+	}
+}
+
+func TestBucketRefund(t *testing.T) {
+	b := newBucket(10, 10)
+	b.takeUpTo(10)
+	b.refund(4)
+	if got := b.available(); got < 4 || got > 5 {
+		t.Fatalf("available after refund = %v, want ~4", got)
+	}
+	b.refund(1e6)
+	if got := b.available(); got > 10 {
+		t.Fatalf("refund exceeded burst: available = %v", got)
+	}
+}

@@ -1,0 +1,56 @@
+package admission
+
+// The rr_admission_* metric family. Every per-tenant series is labeled
+// with the tenant ID, whose cardinality is bounded by the tenants file.
+
+import "ratiorules/internal/obs"
+
+type admissionMetrics struct {
+	// requests counts request-level decisions by tenant and outcome:
+	// allowed | rate_limited | over_quota | shed | unauthorized |
+	// forbidden.
+	requests *obs.CounterVec
+	// rows counts streamed-row decisions by tenant, stream kind
+	// (ingest | batch) and outcome (allowed | shed).
+	rows *obs.CounterVec
+	// inflight tracks admitted requests currently running per tenant;
+	// globalInflight the total against the shedding ceiling.
+	inflight       *obs.GaugeVec
+	globalInflight *obs.Gauge
+	// queueDepth is the total waiters across model ingest queues;
+	// queueSheds counts rows shed at a full ingest queue.
+	queueDepth *obs.Gauge
+	queueSheds *obs.CounterVec
+	// wait observes time spent queued before admission, by tenant and
+	// wait point (quota | ingest_queue | rows).
+	wait *obs.HistogramVec
+	// reloads counts tenant-registry reloads by result (ok | error);
+	// tenants is the registry size after the last successful load.
+	reloads *obs.CounterVec
+	tenants *obs.Gauge
+}
+
+func newAdmissionMetrics(r *obs.Registry) *admissionMetrics {
+	return &admissionMetrics{
+		requests: r.CounterVec("rr_admission_requests_total",
+			"Request-level admission decisions by tenant and outcome.",
+			"tenant", "decision"),
+		rows: r.CounterVec("rr_admission_rows_total",
+			"Streamed-row admission decisions by tenant, stream and outcome.",
+			"tenant", "stream", "decision"),
+		inflight: r.GaugeVec("rr_admission_in_flight",
+			"Admitted requests currently executing, per tenant.", "tenant"),
+		globalInflight: r.Gauge("rr_admission_global_in_flight",
+			"Admitted requests currently executing against the global ceiling."),
+		queueDepth: r.Gauge("rr_admission_ingest_queue_depth",
+			"Waiters queued across all model ingest admission queues."),
+		queueSheds: r.CounterVec("rr_admission_ingest_queue_sheds_total",
+			"Ingest rows shed because a model's admission queue was full.", "tenant"),
+		wait: r.HistogramVec("rr_admission_wait_seconds",
+			"Time spent queued before admission.", obs.DefBuckets, "tenant", "point"),
+		reloads: r.CounterVec("rr_admission_tenant_reloads_total",
+			"Tenant-registry reload attempts by result.", "result"),
+		tenants: r.Gauge("rr_admission_tenants",
+			"Tenants in the registry after the last successful load."),
+	}
+}

@@ -1,0 +1,142 @@
+package admission
+
+// Live state export: Snapshot feeds GET /debug/admission with bucket
+// balances and semaphore occupancy per tenant; Health feeds the tenant
+// block of /readyz.
+
+import "time"
+
+// TenantSnapshot is one tenant's live admission state.
+type TenantSnapshot struct {
+	ID        string `json:"id"`
+	Scope     string `json:"scope,omitempty"`
+	Priority  int    `json:"priority"`
+	Disabled  bool   `json:"disabled,omitempty"`
+	Anonymous bool   `json:"anonymous,omitempty"`
+	Limits    Limits `json:"limits"`
+	InFlight  int    `json:"in_flight"`
+	Queued    int    `json:"queued"`
+	// Token balances; absent (null) buckets are unlimited.
+	RequestTokens  *float64 `json:"request_tokens,omitempty"`
+	RowTokens      *float64 `json:"row_tokens,omitempty"`
+	BatchRowTokens *float64 `json:"batch_row_tokens,omitempty"`
+}
+
+// QueueSnapshot is one model ingest queue's occupancy.
+type QueueSnapshot struct {
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+}
+
+// Snapshot is the GET /debug/admission document.
+type Snapshot struct {
+	TenantsFile    string                   `json:"tenants_file,omitempty"`
+	Reloads        int                      `json:"reloads"`
+	ReloadError    string                   `json:"reload_error,omitempty"`
+	GlobalInFlight int                      `json:"global_in_flight"`
+	GlobalCeiling  int                      `json:"global_ceiling,omitempty"`
+	MaxWaitMillis  int64                    `json:"max_wait_ms"`
+	IngestQueueCap int                      `json:"ingest_queue_cap"`
+	Tenants        []TenantSnapshot         `json:"tenants"`
+	IngestQueues   map[string]QueueSnapshot `json:"ingest_queues,omitempty"`
+}
+
+// Snapshot captures the controller's live state.
+func (c *Controller) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := Snapshot{
+		TenantsFile:    c.cfg.TenantsFile,
+		Reloads:        c.reloads,
+		GlobalCeiling:  c.cfg.GlobalInFlight,
+		MaxWaitMillis:  c.cfg.MaxWait.Milliseconds(),
+		IngestQueueCap: c.cfg.IngestQueue,
+		Tenants:        make([]TenantSnapshot, 0, len(c.byID)),
+	}
+	if c.reloadErr != nil {
+		s.ReloadError = c.reloadErr.Error()
+	}
+	if c.global != nil {
+		used, _, _ := c.global.state()
+		s.GlobalInFlight = used
+	}
+	for _, t := range sortedTenants(c.byID) {
+		used, _, queued := t.state.inflight.state()
+		ts := TenantSnapshot{
+			ID:        t.ID,
+			Scope:     t.Scope,
+			Priority:  t.Priority,
+			Disabled:  t.disabled,
+			Anonymous: t == c.anon,
+			Limits:    t.limits,
+			InFlight:  used,
+			Queued:    queued,
+		}
+		ts.RequestTokens = balance(t.state.requests)
+		ts.RowTokens = balance(t.state.rows)
+		ts.BatchRowTokens = balance(t.state.batchRows)
+		s.Tenants = append(s.Tenants, ts)
+	}
+	if len(c.ingestQueues) > 0 {
+		s.IngestQueues = make(map[string]QueueSnapshot, len(c.ingestQueues))
+		for model, q := range c.ingestQueues {
+			used, _, queued := q.state()
+			s.IngestQueues[model] = QueueSnapshot{InFlight: used, Queued: queued}
+		}
+	}
+	return s
+}
+
+func balance(b *bucket) *float64 {
+	if b == nil {
+		return nil
+	}
+	v := b.available()
+	return &v
+}
+
+func sortedTenants(byID map[string]*Tenant) []*Tenant {
+	out := make([]*Tenant, 0, len(byID))
+	for _, t := range byID {
+		out = append(out, t)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; tenant counts are small
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Health is the /readyz tenant block.
+type Health struct {
+	Enabled     bool      `json:"enabled"`
+	Tenants     int       `json:"tenants"`
+	Anonymous   string    `json:"anonymous,omitempty"`
+	Reloads     int       `json:"reloads"`
+	ReloadError string    `json:"reload_error,omitempty"`
+	LoadedAt    time.Time `json:"loaded_at,omitempty"`
+}
+
+// Health summarizes registry state for readiness. A stale-but-serving
+// registry (reload failing, last-good table active) is reported
+// degraded via ReloadError but does not fail readiness — rejecting all
+// traffic because a config rotation was fumbled would be worse.
+func (c *Controller) Health() Health {
+	if c == nil {
+		return Health{}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h := Health{Enabled: true, Tenants: len(c.byID), Reloads: c.reloads, LoadedAt: c.fileMod}
+	if c.anon != nil {
+		h.Anonymous = c.anon.ID
+	}
+	if c.reloadErr != nil {
+		h.ReloadError = c.reloadErr.Error()
+	}
+	return h
+}

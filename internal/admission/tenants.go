@@ -1,0 +1,208 @@
+package admission
+
+// The tenant registry: a static bearer-token → tenant mapping loaded
+// from a JSON file (rrserve -tenants-file), hot-reloadable on SIGHUP or
+// when the file's mtime changes. Each tenant carries its own limit
+// overrides on top of the controller defaults, a shedding priority, and
+// a namespace scope: models a tenant mines or ingests are keyed
+// "<tenant>/<name>" in the store, except the designated anonymous
+// tenant, which owns the unprefixed root namespace so a pre-tenancy
+// deployment keeps serving its existing models unchanged.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// Limits is one tenant's traffic allowance. Zero-valued fields inherit
+// the controller defaults; an explicit -1 on a rate or in-flight field
+// means unlimited.
+type Limits struct {
+	// RequestsPerSecond rate-limits non-streaming requests; RequestBurst
+	// is the bucket capacity (defaults to one second of rate).
+	RequestsPerSecond float64 `json:"requests_per_second,omitempty"`
+	RequestBurst      float64 `json:"request_burst,omitempty"`
+	// RowsPerSecond rate-limits streamed ingest rows; RowBurst is the
+	// bucket capacity.
+	RowsPerSecond float64 `json:"rows_per_second,omitempty"`
+	RowBurst      float64 `json:"row_burst,omitempty"`
+	// BatchRowsPerSecond rate-limits streamed batch-inference rows —
+	// a separate bucket, so a heavy analytics batch cannot starve the
+	// same tenant's live ingest (or vice versa).
+	BatchRowsPerSecond float64 `json:"batch_rows_per_second,omitempty"`
+	BatchRowBurst      float64 `json:"batch_row_burst,omitempty"`
+	// MaxInFlight bounds the tenant's concurrent requests; acquirers
+	// past it wait up to MaxWait in a bounded FIFO before shedding.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// MaxWaitMillis bounds how long a request may queue for a quota
+	// slot or row tokens before shedding (default: controller's).
+	MaxWaitMillis int `json:"max_wait_ms,omitempty"`
+}
+
+// Priorities recognized in tenant files.
+const (
+	PriorityLow    = 0
+	PriorityNormal = 1
+	PriorityHigh   = 2
+)
+
+// merge overlays explicit fields of l onto base. -1 means "explicitly
+// unlimited" and wins over a base default.
+func (l Limits) merge(base Limits) Limits {
+	out := base
+	overlay := func(dst *float64, v float64) {
+		if v != 0 {
+			*dst = v
+		}
+	}
+	overlay(&out.RequestsPerSecond, l.RequestsPerSecond)
+	overlay(&out.RequestBurst, l.RequestBurst)
+	overlay(&out.RowsPerSecond, l.RowsPerSecond)
+	overlay(&out.RowBurst, l.RowBurst)
+	overlay(&out.BatchRowsPerSecond, l.BatchRowsPerSecond)
+	overlay(&out.BatchRowBurst, l.BatchRowBurst)
+	if l.MaxInFlight != 0 {
+		out.MaxInFlight = l.MaxInFlight
+	}
+	if l.MaxWaitMillis != 0 {
+		out.MaxWaitMillis = l.MaxWaitMillis
+	}
+	return out
+}
+
+// maxWait resolves the per-tenant queue-wait bound against fallback.
+func (l Limits) maxWait(fallback time.Duration) time.Duration {
+	if l.MaxWaitMillis > 0 {
+		return time.Duration(l.MaxWaitMillis) * time.Millisecond
+	}
+	if l.MaxWaitMillis < 0 {
+		return 0
+	}
+	return fallback
+}
+
+// TenantConfig is one entry of the tenants file.
+type TenantConfig struct {
+	// ID names the tenant: metric label, namespace scope, log field.
+	ID string `json:"id"`
+	// Token is the bearer token that authenticates as this tenant.
+	// Empty is allowed only for the anonymous tenant.
+	Token string `json:"token,omitempty"`
+	// Disabled rejects the tenant's requests with 403 forbidden while
+	// keeping its models and metrics intact — the suspend switch.
+	Disabled bool `json:"disabled,omitempty"`
+	// Priority orders global load shedding: 0 = shed first, 1 = normal
+	// (the default when omitted), 2 = shed last.
+	Priority *int `json:"priority,omitempty"`
+	// Limits overrides the file defaults field-by-field.
+	Limits *Limits `json:"limits,omitempty"`
+}
+
+// TenantsFile is the -tenants-file document.
+type TenantsFile struct {
+	// Anonymous names the tenant unauthenticated requests run as. It
+	// owns the unprefixed root model namespace (pre-tenancy back
+	// compat). Empty rejects unauthenticated requests with 401.
+	Anonymous string `json:"anonymous,omitempty"`
+	// Defaults seeds every tenant's limits (overridden per tenant).
+	Defaults *Limits        `json:"defaults,omitempty"`
+	Tenants  []TenantConfig `json:"tenants"`
+}
+
+// Tenant is the resolved runtime identity attached to each admitted
+// request. It is an immutable snapshot — reloads build new Tenant
+// values over the same persistent limiter state.
+type Tenant struct {
+	// ID is the tenant name ("anon" for the built-in default identity
+	// when no tenants file is configured).
+	ID string
+	// Scope is the model-key prefix ("" for the root namespace,
+	// "<id>/" otherwise).
+	Scope string
+	// Priority is the global-shed class (PriorityLow..PriorityHigh).
+	Priority int
+	disabled bool
+	limits   Limits
+	state    *tenantState
+	maxWait  time.Duration
+}
+
+// Limits reports the tenant's resolved limits (for /debug/admission).
+func (t *Tenant) Limits() Limits { return t.limits }
+
+// ScopedName maps a tenant-visible model name to its store key.
+func (t *Tenant) ScopedName(name string) string {
+	if t == nil {
+		return name
+	}
+	return t.Scope + name
+}
+
+// tenantState is the persistent limiter state for one tenant ID. It
+// survives reloads so a reload cannot mint burst tokens or forget
+// in-flight requests.
+type tenantState struct {
+	requests  *bucket
+	rows      *bucket
+	batchRows *bucket
+	inflight  *quota
+}
+
+// parseTenantsFile reads and validates a tenants file. Validation is
+// strict: a malformed file must never half-apply.
+func parseTenantsFile(path string) (*TenantsFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var f TenantsFile
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if err := f.validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func (f *TenantsFile) validate() error {
+	if len(f.Tenants) == 0 {
+		return errors.New("no tenants configured")
+	}
+	ids := make(map[string]bool, len(f.Tenants))
+	tokens := make(map[string]string, len(f.Tenants))
+	for i, tc := range f.Tenants {
+		if tc.ID == "" {
+			return fmt.Errorf("tenant %d: missing id", i)
+		}
+		if strings.ContainsAny(tc.ID, "/ \t\n\"") {
+			return fmt.Errorf("tenant %q: id must not contain slashes, spaces or quotes", tc.ID)
+		}
+		if ids[tc.ID] {
+			return fmt.Errorf("tenant %q: duplicate id", tc.ID)
+		}
+		ids[tc.ID] = true
+		if tc.Token == "" && tc.ID != f.Anonymous {
+			return fmt.Errorf("tenant %q: missing token (only the anonymous tenant may omit it)", tc.ID)
+		}
+		if tc.Token != "" {
+			if other, dup := tokens[tc.Token]; dup {
+				return fmt.Errorf("tenants %q and %q: duplicate token", other, tc.ID)
+			}
+			tokens[tc.Token] = tc.ID
+		}
+		if tc.Priority != nil && (*tc.Priority < PriorityLow || *tc.Priority > PriorityHigh) {
+			return fmt.Errorf("tenant %q: priority %d out of range [0, 2]", tc.ID, *tc.Priority)
+		}
+	}
+	if f.Anonymous != "" && !ids[f.Anonymous] {
+		return fmt.Errorf("anonymous tenant %q not in tenants list", f.Anonymous)
+	}
+	return nil
+}

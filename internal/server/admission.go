@@ -1,0 +1,158 @@
+package server
+
+// Admission wiring: the per-route middleware that authenticates the
+// tenant, runs the rate/quota/shed gauntlet, and stashes the resolved
+// tenant on the request context; the tenant-scoped model-name helpers
+// every handler resolves {name} through; and GET /debug/admission.
+//
+// The middleware wraps only routes marked protected in the table
+// (routes.go) and only when WithAdmission configured a controller — a
+// server without one serves the exact pre-admission code path, nil
+// checks aside, which is what keeps the no-auth overhead unmeasurable.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ratiorules/internal/admission"
+	"ratiorules/internal/obs/trace"
+)
+
+// tenantKey carries the admitted *admission.Tenant on the request
+// context. Absent (admission off) means the legacy single-tenant path.
+type tenantKey struct{}
+
+// tenantFrom returns the request's admitted tenant, nil when admission
+// is off. A nil tenant scopes nothing: ScopedName is the identity.
+func tenantFrom(req *http.Request) *admission.Tenant {
+	t, _ := req.Context().Value(tenantKey{}).(*admission.Tenant)
+	return t
+}
+
+// bearerToken extracts the Authorization: Bearer credential. An absent
+// header is the anonymous path (empty token); a present but non-Bearer
+// header is malformed and must not silently downgrade to anonymous.
+func bearerToken(req *http.Request) (string, error) {
+	h := req.Header.Get("Authorization")
+	if h == "" {
+		return "", nil
+	}
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return strings.TrimSpace(h[len(prefix):]), nil
+	}
+	return "", errors.New("malformed Authorization header: want \"Bearer <token>\"")
+}
+
+// admitted wraps a protected route's handler with the admission
+// gauntlet. No controller → the handler is returned untouched.
+func (s *service) admitted(stream bool, h http.Handler) http.Handler {
+	if s.admission == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ctx, sp := trace.Start(req.Context(), "admission.check")
+		token, err := bearerToken(req)
+		var tn *admission.Tenant
+		if err == nil {
+			tn, err = s.admission.Authenticate(token)
+		} else {
+			err = fmt.Errorf("%w: %v", admission.ErrUnauthorized, err)
+		}
+		if err != nil {
+			sp.SetAttr("decision", "denied")
+			sp.End()
+			writeAdmissionErr(w, err)
+			return
+		}
+		sp.SetAttr("tenant", tn.ID)
+		release, err := s.admission.AdmitRequest(ctx, tn, stream)
+		if err != nil {
+			sp.SetAttr("decision", "denied")
+			sp.End()
+			writeAdmissionErr(w, err)
+			return
+		}
+		sp.SetAttr("decision", "allowed")
+		sp.End()
+		defer release()
+		h.ServeHTTP(w, req.WithContext(context.WithValue(ctx, tenantKey{}, tn)))
+	})
+}
+
+// writeAdmissionErr maps an admission rejection onto the v1 envelope:
+// 401 unauthorized (+ WWW-Authenticate), 403 forbidden, 429
+// rate_limited / over_quota (+ Retry-After), 503 overloaded
+// (+ Retry-After).
+func writeAdmissionErr(w http.ResponseWriter, err error) {
+	if retry := admission.RetryAfterOf(err); retry > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+	}
+	if errors.Is(err, admission.ErrUnauthorized) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="ratiorules"`)
+	}
+	status, code := errStatus(err)
+	writeErr(w, status, code, err)
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1 (a zero would invite an immediate retry storm).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// modelRef resolves the {name} path value to its tenant-scoped store
+// key. name is what the client said (for messages and response bodies),
+// key is where the model actually lives. With admission on, a path
+// name containing "/" (reachable via %2F escapes) could address
+// another tenant's namespace from the root scope, so it answers the
+// same 404 a missing model would — indistinguishable from absent.
+func (s *service) modelRef(w http.ResponseWriter, req *http.Request) (name, key string, ok bool) {
+	name = req.PathValue("name")
+	if s.admission != nil && strings.Contains(name, "/") {
+		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
+		return name, "", false
+	}
+	return name, tenantFrom(req).ScopedName(name), true
+}
+
+// visibleName maps a store key to the name the request's tenant sees,
+// reporting false for keys outside its namespace. With admission off
+// every key is visible as itself.
+func (s *service) visibleName(t *admission.Tenant, key string) (string, bool) {
+	if s.admission == nil {
+		return key, true
+	}
+	scope := ""
+	if t != nil {
+		scope = t.Scope
+	}
+	rest, found := strings.CutPrefix(key, scope)
+	if !found || strings.Contains(rest, "/") {
+		return "", false
+	}
+	return rest, true
+}
+
+// debugAdmission serves GET /debug/admission: the controller's live
+// bucket balances, semaphore occupancy and registry state. Not mounted
+// behind admission itself — like the other /debug routes it is an
+// operator surface, bound to the same listener trust as /metrics.
+func (s *service) debugAdmission(w http.ResponseWriter, _ *http.Request) {
+	if s.admission == nil {
+		writeErr(w, http.StatusNotFound, CodeNotFound,
+			errors.New("admission control is not enabled on this node"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.admission.Snapshot())
+}

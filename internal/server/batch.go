@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ratiorules/internal/core"
@@ -178,6 +179,14 @@ func serveBatch[J, R any](
 	extend()
 	src := batchSource(req)
 	ctx := req.Context()
+	gate := s.admission.RowGate(tenantFrom(req), true)
+	defer gate.Close()
+	// The feeder sets shed when the tenant's batch-row bucket runs dry:
+	// the offending row becomes its own error line (rate_limited, in
+	// slot), the feeder stops — terminating the stream after in-flight
+	// rows drain — and the loop below stops rolling the generous
+	// deadline forward so a limited client cannot hold the connection.
+	var shed atomic.Bool
 	jobs := make(chan J)
 	go func() {
 		defer close(jobs)
@@ -185,6 +194,16 @@ func serveBatch[J, R any](
 			raw, rowErr, more := src()
 			if !more {
 				return
+			}
+			if rowErr == nil {
+				if gateErr := gate.Take(ctx); gateErr != nil {
+					shed.Store(true)
+					select {
+					case jobs <- parse(nil, gateErr):
+					case <-ctx.Done():
+					}
+					return
+				}
 			}
 			select {
 			case jobs <- parse(raw, rowErr):
@@ -200,7 +219,7 @@ func serveBatch[J, R any](
 	defer lw.release()
 	rows := 0
 	for res := range results {
-		if rows%256 == 0 {
+		if rows%256 == 0 && !shed.Load() {
 			extend()
 		}
 		idx, v, rowErr := line(res)
@@ -219,6 +238,11 @@ func serveBatch[J, R any](
 		if !lw.emitErr(idx, rowErr) {
 			return
 		}
+	}
+	if shed.Load() {
+		t := time.Now().Add(shedDrainSlack)
+		_ = rc.SetReadDeadline(t)
+		_ = rc.SetWriteDeadline(t)
 	}
 	s.batch.size.With(op).Observe(float64(rows))
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"ratiorules/internal/admission"
 	"ratiorules/internal/obs/alert"
 	"ratiorules/internal/online"
 	"ratiorules/internal/replica"
@@ -34,12 +35,13 @@ func (s *service) health(w http.ResponseWriter, _ *http.Request) {
 
 // readyzResponse is the GET /readyz success body.
 type readyzResponse struct {
-	Status       string          `json:"status"` // "ready" | "degraded"
-	Role         string          `json:"role"`   // "leader" | "follower" | "coordinator"
-	Models       int             `json:"models"`
-	FiringAlerts int             `json:"firing_alerts"`
-	Cluster      *readyzCluster  `json:"cluster,omitempty"` // coordinator mode only
-	Replica      *replica.Status `json:"replica,omitempty"` // follower mode only
+	Status       string            `json:"status"` // "ready" | "degraded"
+	Role         string            `json:"role"`   // "leader" | "follower" | "coordinator"
+	Models       int               `json:"models"`
+	FiringAlerts int               `json:"firing_alerts"`
+	Cluster      *readyzCluster    `json:"cluster,omitempty"`   // coordinator mode only
+	Replica      *replica.Status   `json:"replica,omitempty"`   // follower mode only
+	Admission    *admission.Health `json:"admission,omitempty"` // WithAdmission only
 }
 
 // readyzCluster summarizes cluster health in the readiness body.
@@ -105,6 +107,15 @@ func (s *service) readyz(w http.ResponseWriter, _ *http.Request) {
 			status = "degraded"
 		}
 	}
+	if s.admission != nil {
+		ah := s.admission.Health()
+		resp.Admission = &ah
+		// A failing tenant-file reload serves the last-good registry:
+		// degraded, not unready (see admission.Health).
+		if ah.ReloadError != "" {
+			status = "degraded"
+		}
+	}
 	resp.Status = status
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -134,18 +145,21 @@ type modelHealthResponse struct {
 // the pinned (or head) version, so health pollers can skip the body
 // while the served revision is unchanged.
 func (s *service) modelHealth(w http.ResponseWriter, req *http.Request) {
-	name := req.PathValue("name")
+	name, key, ok := s.modelRef(w, req)
+	if !ok {
+		return
+	}
 	version, pinned, ok := queryVersion(w, req)
 	if !ok {
 		return
 	}
-	_, headVersion, exists := s.reg.GetWithVersion(name)
+	_, headVersion, exists := s.reg.GetWithVersion(key)
 	if !exists {
 		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
 		return
 	}
 	if pinned {
-		if _, ok := s.reg.GetVersion(name, version); !ok {
+		if _, ok := s.reg.GetVersion(key, version); !ok {
 			writeErr(w, http.StatusNotFound, CodeVersionNotFound,
 				fmt.Errorf("model %q has no retained version %d", name, version))
 			return
@@ -160,16 +174,19 @@ func (s *service) modelHealth(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	h, live := s.online.Health(name)
+	h, live := s.online.Health(key)
 	if !live {
-		h = online.ModelHealth{Name: name, Status: "ok"}
+		h = online.ModelHealth{Status: "ok"}
 	}
+	// The response names the model as the tenant addressed it, not by
+	// its internal scoped key.
+	h.Name = name
 	h.ServingVersion = headVersion
 	if h.Alerts == nil {
 		h.Alerts = []alert.Status{}
 	}
 	resp := modelHealthResponse{ModelHealth: h, Version: version}
-	if ge, ok := s.reg.VersionGE(name, version); ok {
+	if ge, ok := s.reg.VersionGE(key, version); ok {
 		resp.VersionGE = &ge
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -87,8 +87,19 @@ func decodeIngestRow(raw json.RawMessage) ([]float64, error) {
 // of a new stream fixes its width; a ?decay=D on stream creation sets
 // its exponential decay, and later requests naming a different decay
 // answer 409 conflict (omit the parameter to join whatever runs).
+// shedDrainSlack replaces the rolling deadline once a stream has shed:
+// just enough for the done line to flush and the connection to wind
+// down. Without this, a rate-limited client could keep trickling rows
+// and have each 256-row extend() push the deadline 5 minutes out —
+// holding a connection (and its quota slot) open indefinitely while
+// every row is refused.
+const shedDrainSlack = 5 * time.Second
+
 func (s *service) ingest(w http.ResponseWriter, req *http.Request) {
-	name := req.PathValue("name")
+	name, key, ok := s.modelRef(w, req)
+	if !ok {
+		return
+	}
 	if name == "" {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("missing model name"))
 		return
@@ -98,10 +109,10 @@ func (s *service) ingest(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if s.cluster != nil {
-		s.ingestClustered(w, req, name, decay, explicit)
+		s.ingestClustered(w, req, key, decay, explicit)
 		return
 	}
-	st, err := s.online.Stream(name, decay, explicit)
+	st, err := s.online.Stream(key, decay, explicit)
 	if err != nil {
 		if errors.Is(err, online.ErrDecayConflict) {
 			writeErr(w, http.StatusConflict, CodeConflict, err)
@@ -125,12 +136,16 @@ func (s *service) ingest(w http.ResponseWriter, req *http.Request) {
 
 	src := batchSource(req)
 	ctx := req.Context()
+	tn := tenantFrom(req)
+	gate := s.admission.RowGate(tn, false)
+	defer gate.Close()
 	w.Header().Set("Content-Type", ndjsonContentType)
 	w.WriteHeader(http.StatusOK)
 	lw := newLineWriter(w)
 	defer lw.release()
 
 	var done ingestDone
+	shed := false
 	for index := 0; ; index++ {
 		raw, rowErr, more := src()
 		if !more || ctx.Err() != nil {
@@ -145,8 +160,28 @@ func (s *service) ingest(w http.ResponseWriter, req *http.Request) {
 			row, rowErr = decodeIngestRow(raw)
 		}
 		if rowErr == nil {
+			// The row gate (tenant row bucket) and the fold slot (bounded
+			// per-model admission queue) both shed by terminating the
+			// stream: the client gets one error line naming the limit and
+			// the Retry-After, then the done summary — continuing to read
+			// and refuse rows one by one would just burn both sides' CPU.
+			if rowErr = gate.Take(ctx); rowErr != nil {
+				done.Errors++
+				shed = true
+				lw.emitErr(index, rowErr)
+				break
+			}
+			var releaseSlot func()
+			if releaseSlot, rowErr = s.admission.IngestSlot(ctx, tn, key); rowErr != nil {
+				done.Errors++
+				shed = true
+				lw.emitErr(index, rowErr)
+				break
+			}
 			var count int
-			if count, rowErr = st.Push(ctx, row); rowErr == nil {
+			count, rowErr = st.Push(ctx, row)
+			releaseSlot()
+			if rowErr == nil {
 				done.Accepted++
 				done.Count = count
 				if !lw.emit(ingestAck{Index: index, Count: count}) {
@@ -160,8 +195,15 @@ func (s *service) ingest(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
+	if shed {
+		// Stop rolling the generous deadline forward: give the done line
+		// a short window to flush, then let the connection die.
+		t := time.Now().Add(shedDrainSlack)
+		_ = rc.SetReadDeadline(t)
+		_ = rc.SetWriteDeadline(t)
+	}
 	s.logger.Info("rows ingested",
-		"model", name, "rows", done.Rows, "accepted", done.Accepted,
+		"model", key, "rows", done.Rows, "accepted", done.Accepted,
 		"errors", done.Errors, "count", done.Count)
 	lw.emit(ingestDoneLine{Done: done})
 }
@@ -237,7 +279,10 @@ func (s *service) ingestClustered(w http.ResponseWriter, req *http.Request, name
 		}
 	}()
 
+	gate := s.admission.RowGate(tenantFrom(req), false)
+	defer gate.Close()
 	rows := 0
+	shed := false
 	for {
 		raw, rowErr, more := src()
 		if !more || ctx.Err() != nil {
@@ -250,6 +295,16 @@ func (s *service) ingestClustered(w http.ResponseWriter, req *http.Request, name
 		var row []float64
 		if rowErr == nil {
 			row, rowErr = decodeIngestRow(raw)
+		}
+		if rowErr == nil {
+			if rowErr = gate.Take(ctx); rowErr != nil {
+				// Shed terminates the stream, same as the single-node
+				// path: the error line surfaces through the ack drainer
+				// in input order, then the session closes.
+				sess.PushError(rowErr)
+				shed = true
+				break
+			}
 		}
 		if rowErr != nil {
 			sess.PushError(rowErr)
@@ -264,6 +319,11 @@ func (s *service) ingestClustered(w http.ResponseWriter, req *http.Request, name
 	}
 	closeErr := sess.Close()
 	<-drained
+	if shed {
+		t := time.Now().Add(shedDrainSlack)
+		_ = rc.SetReadDeadline(t)
+		_ = rc.SetWriteDeadline(t)
+	}
 	if closeErr != nil {
 		s.logger.Error("cluster ingest session closed with error",
 			"model", name, "error", closeErr)
@@ -279,25 +339,33 @@ func (s *service) ingestClustered(w http.ResponseWriter, req *http.Request, name
 // reservoir counts, republish/promotion/rejection tallies, and the GE
 // values of the last gate decision.
 func (s *service) streamStatus(w http.ResponseWriter, req *http.Request) {
-	name := req.PathValue("name")
-	status, ok := s.online.Status(name)
+	name, key, ok := s.modelRef(w, req)
+	if !ok {
+		return
+	}
+	status, ok := s.online.Status(key)
 	if !ok {
 		writeErr(w, http.StatusNotFound, CodeNotFound,
 			fmt.Errorf("model %q has no live stream", name))
 		return
 	}
+	status.Name = name // the tenant's view, not the scoped store key
 	writeJSON(w, http.StatusOK, status)
 }
 
 // streamDrop discards a model's live stream and its checkpoint
 // (DELETE .../stream). Published model versions are untouched.
 func (s *service) streamDrop(w http.ResponseWriter, req *http.Request) {
-	name := req.PathValue("name")
-	if !s.online.Drop(name) {
+	name, key, ok := s.modelRef(w, req)
+	if !ok {
+		return
+	}
+	if !s.online.Drop(key) {
 		writeErr(w, http.StatusNotFound, CodeNotFound,
 			fmt.Errorf("model %q has no live stream", name))
 		return
 	}
-	s.logger.Info("stream dropped", "model", name)
+	s.admission.DropIngestQueue(key)
+	s.logger.Info("stream dropped", "model", key)
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"ratiorules/internal/admission"
 	"ratiorules/internal/cluster"
 	"ratiorules/internal/obs"
 	"ratiorules/internal/obs/fleet"
@@ -30,6 +31,7 @@ type handlerConfig struct {
 	follower      *replica.Follower
 	leaderURL     string
 	maxReplicaLag time.Duration
+	admission     *admission.Controller
 }
 
 // HandlerOption customizes Handler.
@@ -110,6 +112,20 @@ func WithFleet(c *fleet.Collector) HandlerOption {
 // answer — just with an empty listing.
 func WithProfiles(r *profile.Ring) HandlerOption {
 	return func(cfg *handlerConfig) { cfg.profiles = r }
+}
+
+// WithAdmission puts the API surface behind the given admission
+// controller: bearer-token tenant auth, per-tenant rate limits and
+// concurrency quotas, tenant-scoped model namespaces, and global load
+// shedding (see internal/admission and docs/api.md). The caller owns
+// the controller's Run lifecycle (rrserve wires -tenants-file, SIGHUP
+// reload and the -admission-* flags through it). Without this option
+// every request runs unauthenticated against the root namespace on the
+// exact pre-admission code path. The replication and cluster-internal
+// routes stay outside admission either way — isolate them at the
+// network layer (see docs/runbook.md).
+func WithAdmission(c *admission.Controller) HandlerOption {
+	return func(cfg *handlerConfig) { cfg.admission = c }
 }
 
 // WithFollower puts the server in read-only follower mode: every GET

@@ -69,32 +69,39 @@ type route struct {
 	// untraced routes skip the flight recorder (long-lived replication
 	// streams would pin open root spans for hours).
 	untraced bool
-	handler  func(*service, http.ResponseWriter, *http.Request)
+	// protected routes go through admission control (tenant auth, rate
+	// limits, quotas, load shedding) when WithAdmission is configured:
+	// the whole /v1/rules surface. Replication and cluster-internal
+	// routes are exempt — followers and workers hold no tenant tokens;
+	// those surfaces are isolated at the network layer instead (see
+	// docs/runbook.md) — as are the probes, /metrics and /debug.
+	protected bool
+	handler   func(*service, http.ResponseWriter, *http.Request)
 }
 
 // v1Routes is the whole versioned API surface. Inference POSTs (fill,
 // forecast, whatif, project, outliers and their batch forms) are
 // semantic reads — they touch no state — so followers serve them.
 var v1Routes = []route{
-	{method: "GET", path: "/v1/rules", roles: rolesAll, handler: (*service).list},
-	{method: "POST", path: "/v1/rules", roles: rolesWriters, mutating: true, handler: (*service).mine},
-	{method: "GET", path: "/v1/rules/{name}", roles: rolesAll, handler: (*service).get},
-	{method: "PUT", path: "/v1/rules/{name}", roles: rolesWriters, mutating: true, handler: (*service).put},
-	{method: "DELETE", path: "/v1/rules/{name}", roles: rolesWriters, mutating: true, handler: (*service).del},
-	{method: "GET", path: "/v1/rules/{name}/versions", roles: rolesAll, handler: (*service).versions},
-	{method: "POST", path: "/v1/rules/{name}/rollback", roles: rolesWriters, mutating: true, handler: (*service).rollback},
-	{method: "POST", path: "/v1/rules/{name}/fill", roles: rolesAll, handler: (*service).fill},
-	{method: "POST", path: "/v1/rules/{name}/forecast", roles: rolesAll, handler: (*service).forecast},
-	{method: "POST", path: "/v1/rules/{name}/whatif", roles: rolesAll, handler: (*service).whatIf},
-	{method: "POST", path: "/v1/rules/{name}/project", roles: rolesAll, handler: (*service).project},
-	{method: "POST", path: "/v1/rules/{name}/outliers", roles: rolesAll, handler: (*service).outliers},
-	{method: "POST", path: "/v1/rules/{name}/batch/fill", roles: rolesAll, stream: true, handler: (*service).batchFill},
-	{method: "POST", path: "/v1/rules/{name}/batch/forecast", roles: rolesAll, stream: true, handler: (*service).batchForecast},
-	{method: "POST", path: "/v1/rules/{name}/batch/outliers", roles: rolesAll, stream: true, handler: (*service).batchOutliers},
-	{method: "POST", path: "/v1/rules/{name}/ingest", roles: rolesWriters, mutating: true, stream: true, handler: (*service).ingest},
-	{method: "GET", path: "/v1/rules/{name}/stream", roles: rolesAll, handler: (*service).streamStatus},
-	{method: "DELETE", path: "/v1/rules/{name}/stream", roles: rolesWriters, mutating: true, handler: (*service).streamDrop},
-	{method: "GET", path: "/v1/rules/{name}/health", roles: rolesAll, handler: (*service).modelHealth},
+	{method: "GET", path: "/v1/rules", roles: rolesAll, protected: true, handler: (*service).list},
+	{method: "POST", path: "/v1/rules", roles: rolesWriters, mutating: true, protected: true, handler: (*service).mine},
+	{method: "GET", path: "/v1/rules/{name}", roles: rolesAll, protected: true, handler: (*service).get},
+	{method: "PUT", path: "/v1/rules/{name}", roles: rolesWriters, mutating: true, protected: true, handler: (*service).put},
+	{method: "DELETE", path: "/v1/rules/{name}", roles: rolesWriters, mutating: true, protected: true, handler: (*service).del},
+	{method: "GET", path: "/v1/rules/{name}/versions", roles: rolesAll, protected: true, handler: (*service).versions},
+	{method: "POST", path: "/v1/rules/{name}/rollback", roles: rolesWriters, mutating: true, protected: true, handler: (*service).rollback},
+	{method: "POST", path: "/v1/rules/{name}/fill", roles: rolesAll, protected: true, handler: (*service).fill},
+	{method: "POST", path: "/v1/rules/{name}/forecast", roles: rolesAll, protected: true, handler: (*service).forecast},
+	{method: "POST", path: "/v1/rules/{name}/whatif", roles: rolesAll, protected: true, handler: (*service).whatIf},
+	{method: "POST", path: "/v1/rules/{name}/project", roles: rolesAll, protected: true, handler: (*service).project},
+	{method: "POST", path: "/v1/rules/{name}/outliers", roles: rolesAll, protected: true, handler: (*service).outliers},
+	{method: "POST", path: "/v1/rules/{name}/batch/fill", roles: rolesAll, stream: true, protected: true, handler: (*service).batchFill},
+	{method: "POST", path: "/v1/rules/{name}/batch/forecast", roles: rolesAll, stream: true, protected: true, handler: (*service).batchForecast},
+	{method: "POST", path: "/v1/rules/{name}/batch/outliers", roles: rolesAll, stream: true, protected: true, handler: (*service).batchOutliers},
+	{method: "POST", path: "/v1/rules/{name}/ingest", roles: rolesWriters, mutating: true, stream: true, protected: true, handler: (*service).ingest},
+	{method: "GET", path: "/v1/rules/{name}/stream", roles: rolesAll, protected: true, handler: (*service).streamStatus},
+	{method: "DELETE", path: "/v1/rules/{name}/stream", roles: rolesWriters, mutating: true, protected: true, handler: (*service).streamDrop},
+	{method: "GET", path: "/v1/rules/{name}/health", roles: rolesAll, protected: true, handler: (*service).modelHealth},
 	// Replication is served by every role — a follower can feed further
 	// followers (cascading fan-out) because its store keeps its own
 	// replication log under the leader's seqs.
@@ -116,6 +123,7 @@ var v1Routes = []route{
 	{method: "GET", path: "/debug/traces", roles: rolesAll, untraced: true, handler: (*service).debugTraces},
 	{method: "GET", path: "/debug/traces/{id}", roles: rolesAll, untraced: true, handler: (*service).debugTrace},
 	{method: "GET", path: "/debug/alerts", roles: rolesAll, untraced: true, handler: (*service).debugAlerts},
+	{method: "GET", path: "/debug/admission", roles: rolesAll, untraced: true, handler: (*service).debugAdmission},
 	{method: "GET", path: "/debug/fleet", roles: rolesAll, untraced: true, handler: (*service).debugFleet},
 	{method: "GET", path: "/debug/profiles", roles: rolesAll, untraced: true, handler: (*service).debugProfiles},
 	{method: "GET", path: "/debug/profiles/{id}", roles: rolesAll, untraced: true, handler: (*service).debugProfile},
@@ -175,10 +183,15 @@ func mountRoutes(mux *http.ServeMux, s *service, m *httpMetrics, maxBodyBytes in
 		if s.role&rt.roles == 0 {
 			handler = (*service).readOnly
 		}
-		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { handler(s, w, r) })
-		var wrapped http.Handler = h
+		var wrapped http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { handler(s, w, r) })
+		// Admission wraps inside the body cap and the instrumentation:
+		// 401/429 rejections are counted, logged and traced like any
+		// other response, and never read the request body at all.
+		if rt.protected {
+			wrapped = s.admitted(rt.stream, wrapped)
+		}
 		if !rt.stream && maxBodyBytes > 0 {
-			wrapped = limitBody(maxBodyBytes, h)
+			wrapped = limitBody(maxBodyBytes, wrapped)
 		}
 		if rt.untraced {
 			wrapped = m.instrument(rt.path, wrapped)

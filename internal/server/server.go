@@ -76,6 +76,7 @@ import (
 	"strings"
 	"time"
 
+	"ratiorules/internal/admission"
 	"ratiorules/internal/cluster"
 	"ratiorules/internal/core"
 	"ratiorules/internal/matrix"
@@ -256,6 +257,7 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 		fleet:          cfg.fleet,
 		profiles:       cfg.profiles,
 		role:           role,
+		admission:      cfg.admission,
 		follower:       cfg.follower,
 		leaderURL:      cfg.leaderURL,
 		maxReplicaLag:  maxLag,
@@ -284,13 +286,13 @@ func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 
 // limitBody caps the request body; reads past the cap fail with
 // *http.MaxBytesError, which the decode helpers map to 413.
-func limitBody(limit int64, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
+func limitBody(limit int64, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, limit)
 		}
-		h(w, r)
-	}
+		h.ServeHTTP(w, r)
+	})
 }
 
 type service struct {
@@ -300,11 +302,12 @@ type service struct {
 	batch          *batchMetrics
 	tracer         *trace.Tracer
 	online         *online.Manager
-	cluster        *cluster.Coordinator // nil unless coordinator mode (WithCluster)
-	failed         func() error         // readiness seam; Handler wires reg.Failed
-	metricsHandler http.Handler         // GET /metrics (this node's registry)
-	fleet          *fleet.Collector     // nil unless fleet collection configured (WithFleet)
-	profiles       *profile.Ring        // always non-nil; passive unless rrserve runs it
+	cluster        *cluster.Coordinator  // nil unless coordinator mode (WithCluster)
+	failed         func() error          // readiness seam; Handler wires reg.Failed
+	metricsHandler http.Handler          // GET /metrics (this node's registry)
+	fleet          *fleet.Collector      // nil unless fleet collection configured (WithFleet)
+	profiles       *profile.Ring         // always non-nil; passive unless rrserve runs it
+	admission      *admission.Controller // nil unless traffic protection configured (WithAdmission)
 
 	role          Role
 	follower      *replica.Follower // nil unless follower mode (WithFollower)
@@ -330,6 +333,11 @@ const (
 	CodeClusterJoin      = "cluster_join"       // worker node failed its admission probe
 	CodeReadOnly         = "read_only"          // mutation sent to a follower replica; write to the leader
 	CodeReplicaLagging   = "replica_lagging"    // follower too far behind the leader (503 + Retry-After)
+	CodeUnauthorized     = "unauthorized"       // missing/unknown bearer token (401 + WWW-Authenticate)
+	CodeForbidden        = "forbidden"          // valid token, but the tenant is disabled
+	CodeRateLimited      = "rate_limited"       // tenant token bucket empty (429 + Retry-After)
+	CodeOverQuota        = "over_quota"         // tenant concurrency quota or ingest queue full (429 + Retry-After)
+	CodeOverloaded       = "overloaded"         // global in-flight ceiling shed this request (503 + Retry-After)
 	CodeInternal         = "internal"           // unexpected server-side failure
 )
 
@@ -388,6 +396,16 @@ func errStatus(err error) (int, string) {
 		return http.StatusNotFound, CodeVersionNotFound
 	case errors.Is(err, store.ErrNotFound):
 		return http.StatusNotFound, CodeNotFound
+	case errors.Is(err, admission.ErrUnauthorized):
+		return http.StatusUnauthorized, CodeUnauthorized
+	case errors.Is(err, admission.ErrForbidden):
+		return http.StatusForbidden, CodeForbidden
+	case errors.Is(err, admission.ErrRateLimited):
+		return http.StatusTooManyRequests, CodeRateLimited
+	case errors.Is(err, admission.ErrOverQuota):
+		return http.StatusTooManyRequests, CodeOverQuota
+	case errors.Is(err, admission.ErrOverloaded):
+		return http.StatusServiceUnavailable, CodeOverloaded
 	default:
 		return http.StatusInternalServerError, CodeInternal
 	}
@@ -441,6 +459,14 @@ func (s *service) mine(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("missing model name"))
 		return
 	}
+	// With tenancy on, "/" is the namespace separator in store keys, so
+	// client-chosen names must not contain it (a root-scope tenant could
+	// otherwise mine straight into another tenant's namespace).
+	if s.admission != nil && strings.Contains(body.Name, "/") {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("invalid model name %q: must not contain %q", body.Name, "/"))
+		return
+	}
 	if len(body.Rows) == 0 {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("missing rows"))
 		return
@@ -469,24 +495,30 @@ func (s *service) mine(w http.ResponseWriter, req *http.Request) {
 		writeErrFor(w, err)
 		return
 	}
-	version, err := s.reg.Put(req.Context(), body.Name, rules)
+	key := tenantFrom(req).ScopedName(body.Name)
+	version, err := s.reg.Put(req.Context(), key, rules)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, CodeStoreFailed,
 			fmt.Errorf("persisting model: %w", err))
 		return
 	}
 	s.logger.Info("model mined",
-		"model", body.Name, "version", version,
+		"model", key, "version", version,
 		"rows", rules.TrainedRows(), "k", rules.K(), "attrs", rules.M())
 	writeJSON(w, http.StatusCreated, summarize(body.Name, version, rules))
 }
 
-func (s *service) list(w http.ResponseWriter, _ *http.Request) {
+func (s *service) list(w http.ResponseWriter, req *http.Request) {
+	t := tenantFrom(req)
 	names := s.reg.Names()
 	out := make([]modelSummary, 0, len(names))
-	for _, n := range names {
-		if m, version, ok := s.reg.GetWithVersion(n); ok {
-			out = append(out, summarize(n, version, m))
+	for _, key := range names {
+		name, visible := s.visibleName(t, key)
+		if !visible {
+			continue
+		}
+		if m, version, ok := s.reg.GetWithVersion(key); ok {
+			out = append(out, summarize(name, version, m))
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -510,22 +542,27 @@ func queryVersion(w http.ResponseWriter, req *http.Request) (version int, pinned
 
 // lookup resolves {name} to a rule set, honoring the ?version=N pin
 // shared by every inference endpoint. Missing models answer 404
-// not_found; unretained pins answer 404 version_not_found.
+// not_found; unretained pins answer 404 version_not_found. The store
+// key is the tenant-scoped name, so another tenant's models are
+// indistinguishable from absent.
 func (s *service) lookup(w http.ResponseWriter, req *http.Request) (*core.Rules, bool) {
-	name := req.PathValue("name")
+	name, key, ok := s.modelRef(w, req)
+	if !ok {
+		return nil, false
+	}
 	version, pinned, ok := queryVersion(w, req)
 	if !ok {
 		return nil, false
 	}
 	_, sp := trace.Start(req.Context(), "store.get")
-	sp.SetAttr("model", name)
+	sp.SetAttr("model", key)
 	defer sp.End()
 	if pinned {
-		if _, exists := s.reg.Get(name); !exists {
+		if _, exists := s.reg.Get(key); !exists {
 			writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
 			return nil, false
 		}
-		rules, ok := s.reg.GetVersion(name, version)
+		rules, ok := s.reg.GetVersion(key, version)
 		if !ok {
 			writeErr(w, http.StatusNotFound, CodeVersionNotFound,
 				fmt.Errorf("model %q has no retained version %d", name, version))
@@ -533,7 +570,7 @@ func (s *service) lookup(w http.ResponseWriter, req *http.Request) (*core.Rules,
 		}
 		return rules, true
 	}
-	rules, ok := s.reg.Get(name)
+	rules, ok := s.reg.Get(key)
 	if !ok {
 		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
 		return nil, false
@@ -563,25 +600,28 @@ func etagMatch(header, etag string) bool {
 // second WriteHeader on mid-body errors). The ETag is the served
 // version; If-None-Match answers 304 so pollers skip the download.
 func (s *service) get(w http.ResponseWriter, req *http.Request) {
-	name := req.PathValue("name")
+	name, key, ok := s.modelRef(w, req)
+	if !ok {
+		return
+	}
 	version, pinned, ok := queryVersion(w, req)
 	if !ok {
 		return
 	}
 	var raw []byte
 	if pinned {
-		if _, _, exists := s.reg.GetRaw(name); !exists {
+		if _, _, exists := s.reg.GetRaw(key); !exists {
 			writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
 			return
 		}
-		raw, ok = s.reg.GetVersionRaw(name, version)
+		raw, ok = s.reg.GetVersionRaw(key, version)
 		if !ok {
 			writeErr(w, http.StatusNotFound, CodeVersionNotFound,
 				fmt.Errorf("model %q has no retained version %d", name, version))
 			return
 		}
 	} else {
-		raw, version, ok = s.reg.GetRaw(name)
+		raw, version, ok = s.reg.GetRaw(key)
 		if !ok {
 			writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
 			return
@@ -600,7 +640,10 @@ func (s *service) get(w http.ResponseWriter, req *http.Request) {
 // put installs a model from Rules JSON (as produced by GET or rrmine
 // -out), enabling offline mining with online serving.
 func (s *service) put(w http.ResponseWriter, req *http.Request) {
-	name := req.PathValue("name")
+	name, key, ok := s.modelRef(w, req)
+	if !ok {
+		return
+	}
 	if name == "" {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("missing model name"))
 		return
@@ -610,20 +653,23 @@ func (s *service) put(w http.ResponseWriter, req *http.Request) {
 		bodyErr(w, err)
 		return
 	}
-	version, err := s.reg.Put(req.Context(), name, rules)
+	version, err := s.reg.Put(req.Context(), key, rules)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, CodeStoreFailed,
 			fmt.Errorf("persisting model: %w", err))
 		return
 	}
 	s.logger.Info("model installed",
-		"model", name, "version", version, "k", rules.K(), "attrs", rules.M())
+		"model", key, "version", version, "k", rules.K(), "attrs", rules.M())
 	writeJSON(w, http.StatusOK, summarize(name, version, rules))
 }
 
 func (s *service) del(w http.ResponseWriter, req *http.Request) {
-	name := req.PathValue("name")
-	ok, err := s.reg.Delete(req.Context(), name)
+	name, key, ok := s.modelRef(w, req)
+	if !ok {
+		return
+	}
+	ok, err := s.reg.Delete(req.Context(), key)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, CodeStoreFailed,
 			fmt.Errorf("deleting model: %w", err))
@@ -634,9 +680,11 @@ func (s *service) del(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	// Deleting the model also drops its live stream: leaving the
-	// accumulator running would republish the model right back.
-	s.online.Drop(name)
-	s.logger.Info("model deleted", "model", name)
+	// accumulator running would republish the model right back. The
+	// ingest admission queue goes with it.
+	s.online.Drop(key)
+	s.admission.DropIngestQueue(key)
+	s.logger.Info("model deleted", "model", key)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -648,8 +696,11 @@ type versionsResponse struct {
 }
 
 func (s *service) versions(w http.ResponseWriter, req *http.Request) {
-	name := req.PathValue("name")
-	infos, ok := s.reg.Versions(name)
+	name, key, ok := s.modelRef(w, req)
+	if !ok {
+		return
+	}
+	infos, ok := s.reg.Versions(key)
 	if !ok {
 		writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("model %q not found", name))
 		return
@@ -670,7 +721,10 @@ type rollbackRequest struct {
 // revision gets a fresh version number, so history stays linear and
 // ETags keep advancing.
 func (s *service) rollback(w http.ResponseWriter, req *http.Request) {
-	name := req.PathValue("name")
+	name, key, ok := s.modelRef(w, req)
+	if !ok {
+		return
+	}
 	var body rollbackRequest
 	if !decodeBody(w, req, &body) {
 		return
@@ -682,7 +736,7 @@ func (s *service) rollback(w http.ResponseWriter, req *http.Request) {
 	// The store returns the restored rules from under its lock, so the
 	// summary always matches newVersion even when a concurrent Put lands
 	// a newer head before we respond.
-	rules, newVersion, err := s.reg.Rollback(req.Context(), name, body.Version)
+	rules, newVersion, err := s.reg.Rollback(req.Context(), key, body.Version)
 	if err != nil {
 		// Rollback failures that are neither missing-model nor
 		// missing-version are journal write failures.
